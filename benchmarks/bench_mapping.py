@@ -1,0 +1,77 @@
+"""Figure 8 and Examples 4.7/4.8: chase graph and template mapping.
+
+Replays the paper's worked mapping: the chase over the Figure 8 EDB, the
+chase path π = {α, β, γ, β, γ}, its decomposition into the three-rule
+simple path plus the dashed cycle, and the final Example 4.8 text.
+"""
+
+from __future__ import annotations
+
+from repro.apps import figures
+from repro.core import Explainer, completeness_ratio
+from repro.datalog.atoms import fact
+from repro.render import chase_graph_dot
+
+from _harness import emit, once
+
+
+def test_figure8_chase_graph(benchmark):
+    scenario = figures.figure8_instance()
+    result = once(benchmark, scenario.run)
+    emit("fig08_chase_graph", chase_graph_dot(result.graph))
+    assert result.proof_size(fact("Default", "C")) == 5
+    spine = result.spine(fact("Default", "C"))
+    assert spine.rule_sequence == ("alpha", "beta", "gamma", "beta", "gamma")
+
+
+def test_example_4_7_mapping_and_4_8_text(benchmark):
+    scenario = figures.figure8_instance()
+    result = scenario.run()
+    explainer = Explainer(result, scenario.application.glossary)
+
+    explanation = once(
+        benchmark, explainer.explain, fact("Default", "C"),
+    )
+    lines = [
+        f"pi = {result.spine(fact('Default', 'C')).rule_sequence}",
+        "segments: " + ", ".join(str(s) for s in explanation.segments),
+        "",
+        "Explanation (Example 4.8):",
+        explanation.text,
+    ]
+    emit("ex4_7_4_8_mapping", "\n".join(lines))
+
+    # The paper's composition: the three-rule simple path (single
+    # contributor) followed by the dashed cycle (multi contributor).
+    first, second = explanation.segments
+    assert frozenset(first.path.labels) == frozenset({"alpha", "beta", "gamma"})
+    assert first.path.multi_rules == frozenset()
+    assert frozenset(second.path.labels) == frozenset({"beta", "gamma"})
+    assert second.path.multi_rules == frozenset({"beta"})
+    # Example 4.8's narrative content.
+    assert "sum of 2 and 9" in explanation.text
+    constants = explainer.proof_constants(fact("Default", "C"))
+    assert completeness_ratio(explanation.text, constants) == 1.0
+
+
+def test_section5_representative_scenario(benchmark):
+    """Figures 12/13 and the Section 5 Default(F) narrative, composed from
+    {Π, Γ, Γ} with a joint dual-channel final cycle."""
+    scenario = figures.figure12_stress_instance()
+    result = scenario.run()
+    explainer = Explainer(result, scenario.application.glossary)
+
+    explanation = once(benchmark, explainer.explain, scenario.target)
+    emit(
+        "fig12_13_representative_scenario",
+        "derived: " + ", ".join(str(f) for f in result.answers())
+        + "\n\nExplanation of Default(F):\n" + explanation.text,
+    )
+    used = [frozenset(s.path.labels) for s in explanation.segments]
+    assert used == [
+        frozenset({"sigma4", "sigma5", "sigma7"}),
+        frozenset({"sigma6", "sigma7"}),
+        frozenset({"sigma5", "sigma6", "sigma7"}),
+    ]
+    constants = explainer.proof_constants(scenario.target)
+    assert completeness_ratio(explanation.text, constants) == 1.0

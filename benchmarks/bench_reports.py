@@ -1,0 +1,55 @@
+"""Business-report generation at portfolio scale.
+
+Not a paper figure: measures the end-to-end cost of the §1/§5 use case —
+"natural language business reports" covering *every* conclusion of a
+reasoning task — and checks the report stays complete as the instance
+grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps import generators
+from repro.core import Explainer, ReportBuilder, completeness_ratio
+from repro.render import format_table
+
+from _harness import emit, once
+
+CASCADE_HOPS = (2, 5, 8, 11)
+
+
+def test_full_cascade_reports(benchmark):
+    def run_all():
+        rows = []
+        for hops in CASCADE_HOPS:
+            scenario = generators.stress_cascade(hops, seed=1, debts_per_hop=2)
+            result = scenario.run()
+            explainer = Explainer(result, scenario.application.glossary)
+            started = time.perf_counter()
+            report = ReportBuilder(explainer).build(prefer_enhanced=False)
+            elapsed = time.perf_counter() - started
+            complete = all(
+                completeness_ratio(
+                    section.explanation.text,
+                    explainer.proof_constants(section.target),
+                ) == 1.0
+                for section in report.sections
+            )
+            rows.append([
+                hops, len(report), round(elapsed * 1000, 2), complete,
+            ])
+        return rows
+
+    rows = once(benchmark, run_all)
+    emit(
+        "reports_scaling",
+        format_table(
+            ["cascade hops", "sections", "report time (ms)", "complete"],
+            rows,
+            title="Business-report generation over whole default cascades",
+        ),
+    )
+    assert all(row[3] for row in rows)
+    # Sections = one default per cascade member.
+    assert [row[1] for row in rows] == [h + 1 for h in CASCADE_HOPS]

@@ -1,0 +1,122 @@
+"""Figures 3, 9 and 10: dependency graphs and reasoning paths.
+
+Regenerates the dependency graphs of the financial applications (Figures 3
+and 9) and the reasoning-path table of Figure 10, asserting that the
+computed paths coincide with the published ones.
+"""
+
+from __future__ import annotations
+
+from repro.apps import close_links, company_control, stress_test
+from repro.core import StructuralAnalysis
+from repro.datalog import DependencyGraph
+from repro.render import dependency_graph_dot, format_table
+
+from _harness import emit, once
+
+#: Figure 10, company control (paper's global numbering Π1–Π5, Γ1).
+FIG10_CONTROL_SIMPLE = {
+    frozenset({"sigma1"}),
+    frozenset({"sigma1", "sigma3"}),
+    frozenset({"sigma2"}),
+    frozenset({"sigma2", "sigma3"}),
+    frozenset({"sigma1", "sigma2", "sigma3"}),
+}
+FIG10_CONTROL_CYCLES = {frozenset({"sigma3"})}
+
+#: Figure 10, stress test (paper's Π6–Π9, Γ2–Γ4).
+FIG10_STRESS_SIMPLE = {
+    frozenset({"sigma4"}),
+    frozenset({"sigma4", "sigma5", "sigma7"}),
+    frozenset({"sigma4", "sigma6", "sigma7"}),
+    frozenset({"sigma4", "sigma5", "sigma6", "sigma7"}),
+}
+FIG10_STRESS_CYCLES = {
+    frozenset({"sigma5", "sigma7"}),
+    frozenset({"sigma6", "sigma7"}),
+    frozenset({"sigma5", "sigma6", "sigma7"}),
+}
+
+
+def test_figure3_and_9_dependency_graphs(benchmark):
+    """Emit the dependency graphs of all applications as DOT (Figs. 3/9)."""
+    applications = [
+        stress_test.build_simple(), company_control.build(),
+        stress_test.build(), close_links.build(),
+    ]
+
+    def build_all():
+        return [DependencyGraph(app.program) for app in applications]
+
+    graphs = once(benchmark, build_all)
+    artifact = "\n\n".join(
+        dependency_graph_dot(graph, name=app.name)
+        for graph, app in zip(graphs, applications)
+    )
+    emit("fig03_09_dependency_graphs", artifact)
+    # Shape assertions from the paper: all dependency graphs are cyclic.
+    for graph, app in zip(graphs, applications):
+        assert graph.is_recursive(), f"{app.name} must be recursive"
+
+
+def test_figure10_reasoning_paths(benchmark):
+    """Recompute Figure 10's table and check it against the paper."""
+    control = company_control.build()
+    stress = stress_test.build()
+
+    def analyse_both():
+        return (
+            StructuralAnalysis(control.program),
+            StructuralAnalysis(stress.program),
+        )
+
+    control_analysis, stress_analysis = once(benchmark, analyse_both)
+
+    rows = []
+    for name, analysis in (
+        ("Company Control", control_analysis), ("Stress Test", stress_analysis),
+    ):
+        simple = ";  ".join(
+            p.notation() + ("*" if p.has_aggregation_variants else "")
+            for p in analysis.simple_paths
+        )
+        cycles = ";  ".join(
+            c.notation() + ("*" if c.has_aggregation_variants else "")
+            for c in analysis.cycles
+        )
+        rows.append([name, simple, cycles])
+    emit(
+        "fig10_reasoning_paths",
+        format_table(
+            ["KG Application", "Simple Reasoning Paths", "Reasoning Cycles"],
+            rows,
+            title="Figure 10 — reasoning paths of the financial KG applications",
+        ),
+    )
+
+    assert {frozenset(p.labels) for p in control_analysis.simple_paths} \
+        == FIG10_CONTROL_SIMPLE
+    assert {frozenset(c.labels) for c in control_analysis.cycles} \
+        == FIG10_CONTROL_CYCLES
+    assert {frozenset(p.labels) for p in stress_analysis.simple_paths} \
+        == FIG10_STRESS_SIMPLE
+    assert {frozenset(c.labels) for c in stress_analysis.cycles} \
+        == FIG10_STRESS_CYCLES
+
+
+def test_figure4_5_simplified_stress_paths(benchmark):
+    """Example 4.3's paths (Figures 4/5), including the dashed variants."""
+    simple_app = stress_test.build_simple()
+    analysis = once(benchmark, StructuralAnalysis, simple_app.program)
+    assert {frozenset(p.labels) for p in analysis.simple_paths} == {
+        frozenset({"alpha"}), frozenset({"alpha", "beta", "gamma"}),
+    }
+    assert {frozenset(c.labels) for c in analysis.cycles} == {
+        frozenset({"beta", "gamma"}),
+    }
+    # Figure 5: one dashed variant each for the β-containing paths.
+    variants = [v for v in analysis.all_variants if v.multi_rules]
+    assert {frozenset(v.labels) for v in variants} == {
+        frozenset({"alpha", "beta", "gamma"}), frozenset({"beta", "gamma"}),
+    }
+    emit("fig04_05_simplified_paths", analysis.describe())

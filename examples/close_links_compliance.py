@@ -1,0 +1,64 @@
+"""Close-links screening: a supervisory compliance check.
+
+The third application of the paper's expert study.  Two counterparties
+are *closely linked* (CRR Art. 4(1)(38)) through participation (≥ 20%),
+control, or a common controller — relationships a supervisor must detect
+before, e.g., accepting collateral.  This example screens a synthetic
+portfolio and produces an explanation for every detected link.
+
+Run with::
+
+    python examples/close_links_compliance.py
+"""
+
+from repro import Explainer, SimulatedLLM
+from repro.apps import close_links
+from repro.apps.close_links import close_link, company, own
+from repro.engine import Database
+
+
+def main() -> None:
+    application = close_links.build()
+    database = Database([
+        # Common controller: the fund fully controls both banks.
+        own("UmbrellaFund", "NorthBank", 0.72),
+        own("UmbrellaFund", "SouthBank", 0.66),
+        # Participation just above the 20% threshold.
+        own("NorthBank", "LeasingArm", 0.21),
+        # Control chain: SouthBank -> Broker -> DealerDesk.
+        own("SouthBank", "Broker", 0.81),
+        own("Broker", "DealerDesk", 0.64),
+        # Below threshold: not a close link.
+        own("Outsider", "NorthBank", 0.12),
+        company("UmbrellaFund"),
+    ])
+
+    result = application.reason(database)
+    links = [
+        fact for fact in result.answers()
+        if str(fact.terms[0]) < str(fact.terms[1])  # one direction per pair
+    ]
+    print(f"Close links detected: {len(links)}")
+    for fact in links:
+        print(f"  {fact}")
+    print()
+
+    explainer = Explainer(
+        result, application.glossary, llm=SimulatedLLM(seed=8, faithful=True)
+    )
+    for query in (
+        close_link("NorthBank", "SouthBank"),     # common controller
+        close_link("NorthBank", "LeasingArm"),    # participation
+        close_link("SouthBank", "DealerDesk"),    # control chain
+    ):
+        explanation = explainer.explain(query)
+        print(f"Q_e = {{{query}}}  (paths: {', '.join(explanation.paths_used())})")
+        print(f"  {explanation.text}")
+        print()
+
+    negative = close_link("Outsider", "NorthBank")
+    print(f"{negative}: derived -> {negative in result.answers()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Bring your own application: the approach is database-independent.
+
+Section 6.5 of the paper argues that the template-based method transfers
+to any domain equipped with a data dictionary — no training, no
+fine-tuning, no per-application LLM work beyond the once-for-all template
+enhancement.  This example builds a *supply-chain risk* application from
+scratch: rules, glossary, data, reasoning, explanations.
+
+Run with::
+
+    python examples/custom_application.py
+"""
+
+from repro import DomainGlossary, Explainer, SimulatedLLM, fact, parse_program, reason
+from repro.core import StructuralAnalysis
+
+
+RULES = """
+delta1: Supplies(x, y, q), q > 10 -> DependsOn(y, x).
+delta2: DependsOn(y, x), Outage(x) -> AtRisk(y).
+delta3: AtRisk(y), Supplies(y, z, q), q > 10 -> AtRisk(z).
+delta4: AtRisk(y), Inventory(y, d), BacklogDays(y, b), t = sum(b), t > d
+        -> Disrupted(y).
+"""
+
+
+def build_glossary() -> DomainGlossary:
+    glossary = DomainGlossary()
+    glossary.define(
+        "Supplies", ["x", "y", "q"],
+        "<x> supplies <q> critical units per week to <y>",
+    )
+    glossary.define("DependsOn", ["y", "x"], "<y> depends on supplier <x>")
+    glossary.define("Outage", ["x"], "<x> suffers a production outage")
+    glossary.define("AtRisk", ["y"], "<y> is at operational risk")
+    glossary.define(
+        "Inventory", ["y", "d"], "<y> holds <d> days of safety stock"
+    )
+    glossary.define(
+        "BacklogDays", ["y", "b"], "<y> accumulates <b> days of backlog"
+    )
+    glossary.define("Disrupted", ["y"], "<y> halts production")
+    return glossary
+
+
+def main() -> None:
+    program = parse_program(RULES, name="supply_chain", goal="Disrupted")
+    glossary = build_glossary()
+
+    # The database-independent step: reasoning paths from the rules alone.
+    analysis = StructuralAnalysis(program)
+    print(analysis.describe())
+    print()
+
+    result = reason(program, [
+        fact("Supplies", "Mine", "Smelter", 40),
+        fact("Supplies", "Smelter", "Factory", 25),
+        fact("Outage", "Mine"),
+        fact("Inventory", "Factory", 5),
+        fact("BacklogDays", "Factory", 4),
+        fact("BacklogDays", "Factory", 3),
+    ])
+    print("Derived:", ", ".join(str(f) for f in result.derived()))
+    print()
+
+    explainer = Explainer(
+        result, glossary, llm=SimulatedLLM(seed=2, faithful=True)
+    )
+    query = fact("Disrupted", "Factory")
+    explanation = explainer.explain(query)
+    print(f"Q_e = {{{query}}}  (paths: {', '.join(explanation.paths_used())})")
+    print(explanation.text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(pip falls back to the setuptools legacy editable install).
+"""
+
+from setuptools import setup
+
+setup()

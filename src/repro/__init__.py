@@ -1,0 +1,65 @@
+"""Template-based explainable inference over financial knowledge graphs.
+
+A from-scratch reproduction of
+
+    Colombo, Baldazzi, Bellomarini, Sallinger, Ceri.
+    "Template-based Explainable Inference over High-Stakes Financial
+    Knowledge Graphs", EDBT 2025.
+
+The package is organized by substrate (see DESIGN.md):
+
+* :mod:`repro.datalog` — the Vadalog language fragment (rules, parser,
+  dependency graphs);
+* :mod:`repro.engine`  — the chase-based reasoning engine with provenance;
+* :mod:`repro.core`    — the paper's contribution: structural analysis,
+  explanation templates, chase-to-template mapping, explanation queries;
+* :mod:`repro.llm`     — the offline simulated LLM (rewriting + calibrated
+  omissions);
+* :mod:`repro.apps`    — the financial KG applications and workload
+  generators;
+* :mod:`repro.study`   — the simulated user studies and statistics;
+* :mod:`repro.render`  — DOT export and terminal tables.
+
+Quickstart::
+
+    from repro.apps import figures
+    from repro.core import Explainer
+
+    scenario = figures.figure8_instance()
+    result = scenario.run()
+    explainer = Explainer(result, scenario.application.glossary)
+    print(explainer.explain(scenario.target).text)
+"""
+
+from .apps.base import KGApplication, ScenarioInstance
+from .core.explain import Explainer, Explanation
+from .core.glossary import DomainGlossary, GlossaryEntry
+from .core.structural import StructuralAnalysis
+from .datalog.atoms import Atom, fact
+from .datalog.parser import parse_program, parse_rule
+from .datalog.program import Program
+from .engine.database import Database
+from .engine.reasoning import ReasoningResult, reason
+from .llm.simulated import SimulatedLLM
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Database",
+    "DomainGlossary",
+    "Explainer",
+    "Explanation",
+    "GlossaryEntry",
+    "KGApplication",
+    "Program",
+    "ReasoningResult",
+    "ScenarioInstance",
+    "SimulatedLLM",
+    "StructuralAnalysis",
+    "fact",
+    "parse_program",
+    "parse_rule",
+    "reason",
+    "__version__",
+]

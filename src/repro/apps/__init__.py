@@ -1,0 +1,30 @@
+"""Financial Knowledge Graph applications (paper, Section 5).
+
+Rule-based KG applications of the Bank of Italy's EKG, reconstructed from
+the paper (company control, stress tests) or synthesized from the public
+regulatory definition (close links), together with synthetic workload
+generators and the paper's worked instances.
+"""
+
+from . import (
+    close_links,
+    company_control,
+    figures,
+    generators,
+    golden_powers,
+    integrated_ownership,
+    stress_test,
+)
+from .base import KGApplication, ScenarioInstance
+
+__all__ = [
+    "KGApplication",
+    "ScenarioInstance",
+    "close_links",
+    "company_control",
+    "figures",
+    "generators",
+    "golden_powers",
+    "integrated_ownership",
+    "stress_test",
+]

@@ -1,0 +1,65 @@
+"""The company control application (paper, Section 5).
+
+Finds chains of control between companies under the official "one-share
+one-vote" definition: x controls y if (i) x directly owns more than 50% of
+y, or (ii) x controls a set of companies that jointly — summing the shares,
+possibly together with x itself — own more than 50% of y.
+
+Rules (σ1–σ3 of the paper)::
+
+    σ1: Own(x, y, s), s > 0.5 -> Control(x, y)
+    σ2: Company(x) -> Control(x, x)
+    σ3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y)
+
+Shares are fractions in (0, 1]; the glossary mirrors the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+from ..core.glossary import DomainGlossary
+from ..datalog.atoms import Fact, fact
+from ..datalog.parser import parse_program
+from .base import KGApplication
+
+RULES = """
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+sigma2: Company(x) -> Control(x, x).
+sigma3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y).
+"""
+
+
+def build_glossary() -> DomainGlossary:
+    """The Figure 11 data-dictionary rows for this application."""
+    glossary = DomainGlossary()
+    glossary.define("Own", ["x", "y", "s"], "<x> owns <s> shares of <y>")
+    glossary.define("Control", ["x", "y"], "<x> exercises control over <y>")
+    glossary.define("Company", ["x"], "<x> is a business corporation")
+    return glossary
+
+
+def build() -> KGApplication:
+    """The deployed company-control application."""
+    program = parse_program(RULES, name="company_control", goal="Control")
+    return KGApplication(
+        name="company_control", program=program, glossary=build_glossary()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fact constructors (typed convenience API)
+# ----------------------------------------------------------------------
+
+def own(owner: str, owned: str, share: float) -> Fact:
+    """``owner`` holds ``share`` (fraction of total) of ``owned``."""
+    if not 0 < share <= 1:
+        raise ValueError(f"share must be in (0, 1], got {share}")
+    return fact("Own", owner, owned, share)
+
+
+def company(name: str) -> Fact:
+    return fact("Company", name)
+
+
+def control(controller: str, controlled: str) -> Fact:
+    """The intensional pattern, useful for explanation queries."""
+    return fact("Control", controller, controlled)

@@ -1,0 +1,101 @@
+"""The golden-powers application (synthesized).
+
+The paper's EKG suite includes applications built for the Italian "golden
+power" regime — screening foreign takeovers of strategic companies (see
+the authors' companion work, reference [9] of the paper: "COVID-19 and
+Company Knowledge Graphs: Assessing Golden Powers...").  No rule set is
+printed, so we synthesize one on top of the official company-control
+rules, exercising the two Vadalog extensions the printed applications do
+not use: **negation** (exempted acquirers do not trigger alerts) and a
+**negative constraint** (an already-vetoed acquirer must not reach
+control of any strategic asset)::
+
+    σ1: Own(x, y, s), s > 0.5 -> Control(x, y)
+    σ2: Company(x) -> Control(x, x)
+    σ3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y)
+    γ1: Control(x, y), x != y, Foreign(x), Strategic(y), not Exempt(x)
+        -> Alert(x, y)
+    κ1: Alert(x, y), Vetoed(x) -> false
+
+The program is stratified (Alert's stratum is above Control's through the
+negated Exempt edge, which is extensional here) and demonstrates
+constraint-violation reporting end to end.
+"""
+
+from __future__ import annotations
+
+from ..core.glossary import DomainGlossary
+from ..datalog.atoms import Fact, fact
+from ..datalog.parser import parse_program
+from .base import KGApplication
+from .company_control import company, control, own
+
+RULES = """
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+sigma2: Company(x) -> Control(x, x).
+sigma3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y).
+gamma1: Control(x, y), x != y, Foreign(x), Strategic(y), not Exempt(x)
+        -> Alert(x, y).
+kappa1: Alert(x, y), Vetoed(x) -> false.
+"""
+
+
+def build_glossary() -> DomainGlossary:
+    glossary = DomainGlossary()
+    glossary.define("Own", ["x", "y", "s"], "<x> owns <s> shares of <y>")
+    glossary.define("Control", ["x", "y"], "<x> exercises control over <y>")
+    glossary.define("Company", ["x"], "<x> is a business corporation")
+    glossary.define("Foreign", ["x"], "<x> is a foreign investor")
+    glossary.define(
+        "Strategic", ["y"], "<y> is a strategic national asset"
+    )
+    glossary.define(
+        "Exempt", ["x"], "<x> holds a golden-power exemption"
+    )
+    glossary.define(
+        "Vetoed", ["x"], "<x> has been vetoed by the golden-power committee"
+    )
+    glossary.define(
+        "Alert", ["x", "y"],
+        "the takeover of <y> by <x> requires golden-power screening",
+    )
+    return glossary
+
+
+def build() -> KGApplication:
+    """The synthesized golden-powers screening application."""
+    program = parse_program(RULES, name="golden_powers", goal="Alert")
+    return KGApplication(
+        name="golden_powers", program=program, glossary=build_glossary()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fact constructors
+# ----------------------------------------------------------------------
+
+def foreign(investor: str) -> Fact:
+    return fact("Foreign", investor)
+
+
+def strategic(asset: str) -> Fact:
+    return fact("Strategic", asset)
+
+
+def exempt(investor: str) -> Fact:
+    return fact("Exempt", investor)
+
+
+def vetoed(investor: str) -> Fact:
+    return fact("Vetoed", investor)
+
+
+def alert(investor: str, asset: str) -> Fact:
+    """The intensional pattern, for explanation queries."""
+    return fact("Alert", investor, asset)
+
+
+__all__ = [
+    "alert", "build", "build_glossary", "company", "control",
+    "exempt", "foreign", "own", "strategic", "vetoed",
+]

@@ -1,0 +1,74 @@
+"""The integrated-ownership application (synthesized).
+
+The paper's Figure 12 caption reads "Red edges represent both Owns and
+IntOwns facts": alongside direct shareholdings, the Bank-of-Italy EKG
+materializes *integrated ownership* — the total economic stake an
+investor holds in a company through every ownership path, computed as the
+sum over paths of the product of shares along each path (see the
+companion company-ownership-graph literature the paper cites, its
+reference [2]).  The rule set is not printed; we synthesize the standard
+formulation, exercising the ``prod``-style arithmetic the paper's
+Section 4.1 calls central ("the sum and prod operators")::
+
+    io1: Own(x, y, s), x != y -> PathOwn(x, y, s)
+    io2: PathOwn(x, z, s1), Own(z, y, s2), p = s1 * s2, p >= 0.01, x != y
+         -> PathOwn(x, y, p)
+    io3: PathOwn(x, y, p), t = sum(p) -> IntOwn(x, y, t)
+
+``PathOwn`` carries one fact per ownership path (keyed by its product);
+``io3`` sums the paths into the integrated stake.  The ``p >= 0.01``
+truncation keeps the computation finite on cyclic shareholding structures
+(vanishing stakes are immaterial), the standard practical cut-off.
+
+Limitations of the set-based encoding (documented, tested): two distinct
+paths with *exactly* equal products collapse into one ``PathOwn`` fact,
+slightly understating the integrated stake in that corner case.
+"""
+
+from __future__ import annotations
+
+from ..core.glossary import DomainGlossary
+from ..datalog.atoms import Fact, fact
+from ..datalog.parser import parse_program
+from .base import KGApplication
+from .company_control import own
+
+RULES = """
+io1: Own(x, y, s), x != y -> PathOwn(x, y, s).
+io2: PathOwn(x, z, s1), Own(z, y, s2), p = s1 * s2, p >= 0.01, x != y
+     -> PathOwn(x, y, p).
+io3: PathOwn(x, y, p), t = sum(p) -> IntOwn(x, y, t).
+"""
+
+
+def build_glossary() -> DomainGlossary:
+    glossary = DomainGlossary()
+    glossary.define("Own", ["x", "y", "s"], "<x> owns <s> shares of <y>")
+    glossary.define(
+        "PathOwn", ["x", "y", "p"],
+        "<x> holds an ownership path into <y> worth <p>",
+    )
+    glossary.define(
+        "IntOwn", ["x", "y", "t"],
+        "<x> holds an integrated stake of <t> in <y>",
+    )
+    return glossary
+
+
+def build() -> KGApplication:
+    """The synthesized integrated-ownership application."""
+    program = parse_program(
+        RULES, name="integrated_ownership", goal="IntOwn"
+    )
+    return KGApplication(
+        name="integrated_ownership", program=program,
+        glossary=build_glossary(),
+    )
+
+
+def int_own(owner: str, owned: str, total: float) -> Fact:
+    """The intensional pattern, for explanation queries."""
+    return fact("IntOwn", owner, owned, total)
+
+
+__all__ = ["build", "build_glossary", "int_own", "own"]

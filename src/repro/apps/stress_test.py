@@ -1,0 +1,140 @@
+"""The stress-test applications (paper, Example 4.3 and Section 5).
+
+Two variants are provided:
+
+* the **simplified** program of Example 4.3 (single debt channel),
+  used throughout Section 4's worked examples::
+
+      α: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f)
+      β: Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e)
+      γ: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c)
+
+* the **full two-channel** program of Section 5 (σ4–σ7), distinguishing
+  long-term and short-term exposures::
+
+      σ4: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f)
+      σ5: Default(d), LongTermDebts(d, c, v),  el = sum(v) -> Risk(c, el, "long")
+      σ6: Default(d), ShortTermDebts(d, c, v), es = sum(v) -> Risk(c, es, "short")
+      σ7: Risk(c, e, t), HasCapital(c, p2), l = sum(e), l > p2 -> Default(c)
+
+Monetary values are in millions of euro throughout the examples.
+"""
+
+from __future__ import annotations
+
+from ..core.glossary import DomainGlossary
+from ..datalog.atoms import Fact, fact
+from ..datalog.parser import parse_program
+from .base import KGApplication
+
+SIMPLE_RULES = """
+alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+"""
+
+FULL_RULES = """
+sigma4: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+sigma5: Default(d), LongTermDebts(d, c, v), el = sum(v) -> Risk(c, el, "long").
+sigma6: Default(d), ShortTermDebts(d, c, v), es = sum(v) -> Risk(c, es, "short").
+sigma7: Risk(c, e, t), HasCapital(c, p2), l = sum(e), l > p2 -> Default(c).
+"""
+
+
+def build_simple_glossary() -> DomainGlossary:
+    """The Figure 7 glossary for the simplified program."""
+    glossary = DomainGlossary()
+    glossary.define(
+        "HasCapital", ["f", "p"],
+        "<f> is a financial institution with capital of <p> million euros",
+    )
+    glossary.define(
+        "Shock", ["f", "s"],
+        "a shock amounting to <s> million euros affects <f>",
+    )
+    glossary.define("Default", ["f"], "<f> is in default")
+    glossary.define(
+        "Debts", ["d", "c", "v"],
+        "<d> has an amount of <v> million euros of debts with <c>",
+    )
+    glossary.define(
+        "Risk", ["c", "e"],
+        "<c> is at risk of defaulting given its loan of <e> million euros "
+        "of exposures to a defaulted debtor",
+    )
+    return glossary
+
+
+def build_full_glossary() -> DomainGlossary:
+    """The Figure 11 glossary for the two-channel program."""
+    glossary = DomainGlossary()
+    glossary.define(
+        "HasCapital", ["f", "p"],
+        "<f> is a company with capital of <p> million euros",
+    )
+    glossary.define(
+        "Shock", ["f", "s"],
+        "a shock amounting to <s> million euros hits <f>",
+    )
+    glossary.define("Default", ["f"], "<f> is in default")
+    glossary.define(
+        "LongTermDebts", ["d", "c", "v"],
+        "<d> has an amount of <v> million euros of long-term debts with <c>",
+    )
+    glossary.define(
+        "ShortTermDebts", ["d", "c", "v"],
+        "<d> has an amount of <v> million euros of short-term debts with <c>",
+    )
+    glossary.define(
+        "Risk", ["c", "e", "t"],
+        "<c> is at risk of defaulting given its <t>-term loans of <e> "
+        "million euros of exposures to a defaulted debtor",
+    )
+    return glossary
+
+
+def build_simple() -> KGApplication:
+    """The Example 4.3 single-channel stress test."""
+    program = parse_program(SIMPLE_RULES, name="stress_simple", goal="Default")
+    return KGApplication(
+        name="stress_simple", program=program, glossary=build_simple_glossary()
+    )
+
+
+def build() -> KGApplication:
+    """The Section 5 two-channel stress test."""
+    program = parse_program(FULL_RULES, name="stress_test", goal="Default")
+    return KGApplication(
+        name="stress_test", program=program, glossary=build_full_glossary()
+    )
+
+
+# ----------------------------------------------------------------------
+# Fact constructors
+# ----------------------------------------------------------------------
+
+def shock(entity: str, size: float) -> Fact:
+    """An exogenous shock of ``size`` million euros hitting ``entity``."""
+    return fact("Shock", entity, size)
+
+
+def has_capital(entity: str, capital: float) -> Fact:
+    return fact("HasCapital", entity, capital)
+
+
+def debt(debtor: str, creditor: str, amount: float) -> Fact:
+    """Single-channel debt (simplified program only)."""
+    return fact("Debts", debtor, creditor, amount)
+
+
+def long_term_debt(debtor: str, creditor: str, amount: float) -> Fact:
+    return fact("LongTermDebts", debtor, creditor, amount)
+
+
+def short_term_debt(debtor: str, creditor: str, amount: float) -> Fact:
+    return fact("ShortTermDebts", debtor, creditor, amount)
+
+
+def default(entity: str) -> Fact:
+    """The intensional pattern, for explanation queries Q_e = {Default(x)}."""
+    return fact("Default", entity)

@@ -1,0 +1,231 @@
+"""``repro-explain``: command-line front end to the explanation pipeline.
+
+Examples::
+
+    # Explain the Figure 8 default of C with enhanced templates
+    repro-explain --demo figure8
+
+    # Structural analysis (reasoning paths) of the built-in applications
+    repro-explain --analyse company_control
+    repro-explain --analyse stress_test --dot
+
+    # Explain a fact of a generated workload
+    repro-explain --demo chain --steps 6
+
+    # Bring your own application (program + facts + glossary files)
+    repro-explain --program rules.vada --data portfolio.facts \\
+                  --glossary dictionary.json --query "Control(A, C)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import (
+    close_links, company_control, figures, generators, golden_powers,
+    integrated_ownership, stress_test,
+)
+from .apps.base import ScenarioInstance
+from .core.explain import Explainer
+from .core.structural import StructuralAnalysis
+from .io import load_facts, load_glossary, load_program, parse_fact
+from .llm.simulated import SimulatedLLM
+from .render.dot import chase_graph_dot, dependency_graph_dot
+
+_APPLICATIONS = {
+    "company_control": company_control.build,
+    "stress_test": stress_test.build,
+    "stress_simple": stress_test.build_simple,
+    "close_links": close_links.build,
+    "golden_powers": golden_powers.build,
+    "integrated_ownership": integrated_ownership.build,
+}
+
+_DEMOS = {
+    "figure8": lambda args: figures.figure8_instance(),
+    "figure12": lambda args: figures.figure12_stress_instance(),
+    "figure15": lambda args: figures.figure15_instance(),
+    "chain": lambda args: generators.control_with_steps(args.steps, seed=args.seed),
+    "cascade": lambda args: generators.stress_with_steps(args.steps, seed=args.seed),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explain",
+        description=(
+            "Template-based explainable inference over financial knowledge "
+            "graphs (EDBT 2025 reproduction)."
+        ),
+    )
+    parser.add_argument(
+        "--analyse", choices=sorted(_APPLICATIONS),
+        help="print the structural analysis of a built-in application",
+    )
+    parser.add_argument(
+        "--demo", choices=sorted(_DEMOS),
+        help="run one of the built-in explanation demos",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=5,
+        help="proof length for generated demos (default: 5)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+    parser.add_argument(
+        "--deterministic", action="store_true",
+        help="show the deterministic template text instead of the enhanced one",
+    )
+    parser.add_argument(
+        "--dot", action="store_true",
+        help="emit DOT graphs instead of prose",
+    )
+    parser.add_argument(
+        "--program", metavar="FILE",
+        help="load a rule file (.vada) instead of a built-in application",
+    )
+    parser.add_argument(
+        "--data", metavar="FILE",
+        help="fact file (.facts) for --program",
+    )
+    parser.add_argument(
+        "--glossary", metavar="FILE",
+        help="JSON data dictionary for --program",
+    )
+    parser.add_argument(
+        "--goal", metavar="PREDICATE",
+        help="goal predicate (overrides the program file's @goal pragma)",
+    )
+    parser.add_argument(
+        "--query", metavar="FACT",
+        help='explain one derived fact, e.g. \'Control(A, C)\'',
+    )
+    parser.add_argument(
+        "--query-all", action="store_true",
+        help="explain every derived goal fact",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="emit a Markdown business report instead of per-query prose",
+    )
+    parser.add_argument(
+        "--why-not", metavar="FACT", dest="why_not",
+        help="explain why a fact was NOT derived, e.g. 'Control(A, D)'",
+    )
+    return parser
+
+
+def _run_files(args: argparse.Namespace) -> int:
+    if not args.data or not args.glossary:
+        print("--program requires --data and --glossary", file=sys.stderr)
+        return 2
+    program = load_program(args.program, goal=args.goal)
+    database = load_facts(args.data)
+    glossary = load_glossary(args.glossary)
+
+    if args.dot and not (args.query or args.query_all):
+        from .datalog.depgraph import DependencyGraph
+
+        print(dependency_graph_dot(DependencyGraph(program), name=program.name))
+        return 0
+
+    from .engine.reasoning import reason
+
+    result = reason(program, database)
+    llm = None if args.deterministic else SimulatedLLM(seed=args.seed, faithful=True)
+    explainer = Explainer(result, glossary, llm=llm)
+
+    if args.why_not:
+        from .core.whynot import WhyNotExplainer
+
+        answer = WhyNotExplainer(result, glossary).explain_why_not(
+            parse_fact(args.why_not)
+        )
+        print(answer.text)
+        return 0
+
+    if args.report:
+        from .core.reports import ReportBuilder
+
+        targets = [parse_fact(args.query)] if args.query else None
+        report = ReportBuilder(explainer).build(
+            targets=targets, prefer_enhanced=not args.deterministic
+        )
+        print(report.to_markdown())
+        return 0
+
+    for violation in result.violations:
+        print(f"! {violation}")
+
+    if args.query:
+        targets = [parse_fact(args.query)]
+    elif args.query_all:
+        targets = list(result.answers())
+    else:
+        print("Derived facts:")
+        for fact in result.derived():
+            print(f"  {fact}")
+        print("\nUse --query 'Fact(...)' or --query-all for explanations.")
+        return 0
+
+    for target in targets:
+        explanation = explainer.explain(
+            target, prefer_enhanced=not args.deterministic
+        )
+        print(f"Q_e = {{{target}}}  "
+              f"(paths: {', '.join(explanation.paths_used())})")
+        print(explanation.text)
+        print()
+    return 0
+
+
+def _run_analysis(name: str, dot: bool) -> None:
+    from .datalog.analysis import termination_guarantee
+
+    application = _APPLICATIONS[name]()
+    analysis = StructuralAnalysis(application.program)
+    if dot:
+        print(dependency_graph_dot(analysis.graph, name=name))
+        return
+    print(application.program.describe())
+    print()
+    print(analysis.describe())
+    print()
+    print(f"termination: {termination_guarantee(application.program).value}")
+
+
+def _run_demo(scenario: ScenarioInstance, deterministic: bool, dot: bool) -> None:
+    result = scenario.run()
+    if dot:
+        print(chase_graph_dot(result.graph))
+        return
+    llm = None if deterministic else SimulatedLLM(seed=0, faithful=True)
+    explainer = Explainer(result, scenario.application.glossary, llm=llm)
+    explanation = explainer.explain(
+        scenario.target, prefer_enhanced=not deterministic
+    )
+    print(f"Scenario: {scenario.description}")
+    print(f"Explanation query: Q_e = {{{scenario.target}}}")
+    print(f"Reasoning paths used: {', '.join(explanation.paths_used())}")
+    print()
+    print(explanation.text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.program:
+        return _run_files(args)
+    if args.analyse:
+        _run_analysis(args.analyse, args.dot)
+        return 0
+    if args.demo:
+        scenario = _DEMOS[args.demo](args)
+        _run_demo(scenario, args.deterministic, args.dot)
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

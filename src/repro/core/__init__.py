@@ -1,0 +1,83 @@
+"""The paper's primary contribution: template-based explanations.
+
+Pipeline (Figure 2 of the paper): structural analysis of the dependency
+graph → reasoning paths → deterministic explanation templates via the
+verbalizer and the domain glossary → optional LLM enhancement with a token
+guard → per-query mapping of chase steps to templates → token substitution.
+"""
+
+from .enhancer import (
+    ENHANCEMENT_PROMPT,
+    EnhancementReport,
+    TemplateEnhancer,
+)
+from .explain import Explainer, Explanation
+from .reports import BusinessReport, ReportBuilder, ReportSection
+from .glossary import DomainGlossary, GlossaryEntry, draft_glossary
+from .mapping import MappingError, SegmentMatch, TemplateMapper
+from .paths import ReasoningPath
+from .structural import StructuralAnalysis, StructuralAnalysisError
+from .templates import (
+    ExplanationTemplate,
+    InstantiatedExplanation,
+    TemplateError,
+    TemplateStore,
+    extract_tokens,
+    join_values,
+)
+from .validation import (
+    completeness_ratio,
+    constants_omitted,
+    constants_present,
+    missing_tokens,
+    omission_ratio,
+    tokens_preserved,
+)
+from .whynot import Obstacle, WhyNotAnswer, WhyNotExplainer
+from .verbalizer import (
+    AGGREGATE_PHRASES,
+    OPERATOR_PHRASES,
+    PathTokenMap,
+    Verbalizer,
+    build_path_tokens,
+)
+
+__all__ = [
+    "AGGREGATE_PHRASES",
+    "ENHANCEMENT_PROMPT",
+    "DomainGlossary",
+    "EnhancementReport",
+    "BusinessReport",
+    "Explainer",
+    "Explanation",
+    "ReportBuilder",
+    "ReportSection",
+    "ExplanationTemplate",
+    "GlossaryEntry",
+    "InstantiatedExplanation",
+    "MappingError",
+    "OPERATOR_PHRASES",
+    "PathTokenMap",
+    "ReasoningPath",
+    "SegmentMatch",
+    "StructuralAnalysis",
+    "StructuralAnalysisError",
+    "TemplateEnhancer",
+    "TemplateError",
+    "TemplateMapper",
+    "TemplateStore",
+    "Verbalizer",
+    "WhyNotAnswer",
+    "WhyNotExplainer",
+    "Obstacle",
+    "build_path_tokens",
+    "completeness_ratio",
+    "constants_omitted",
+    "constants_present",
+    "draft_glossary",
+    "extract_tokens",
+    "join_values",
+    "missing_tokens",
+    "omission_ratio",
+    "tokens_preserved",
+]

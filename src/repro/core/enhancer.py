@@ -1,0 +1,88 @@
+"""Template enhancement through an LLM, with the token-presence guard.
+
+Deterministic explanation templates contain repetitions ("Since ..., then
+...") that make the text redundant.  Section 4.2 of the paper enhances them
+by prompting an LLM — *"Rephrase the following text:"* — once per template,
+never on instance data, so no confidential fact ever leaves the system.
+
+Every enhanced candidate is automatically double-checked for the presence
+of all original tokens (Section 4.4); candidates that drop tokens are
+rejected and the enhancement retried.  The step can be repeated to collect
+several interchangeable enriched versions of the same template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from .templates import ExplanationTemplate, TemplateStore
+from .validation import missing_tokens
+
+#: The paper's enhancement prompt (Section 4.2).
+ENHANCEMENT_PROMPT = "Rephrase the following text: "
+
+
+class SupportsComplete(Protocol):
+    """Anything that looks like an LLM client (see :mod:`repro.llm`)."""
+
+    def complete(self, prompt: str) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class EnhancementReport:
+    """Outcome of an enhancement run over a template store."""
+
+    enhanced: int = 0
+    rejected: int = 0
+    failures: list[tuple[str, frozenset[str]]] = field(default_factory=list)
+
+    def record_rejection(self, template_name: str, missing: frozenset[str]) -> None:
+        self.rejected += 1
+        self.failures.append((template_name, missing))
+
+
+class TemplateEnhancer:
+    """Drives LLM enhancement of templates with automatic validation."""
+
+    def __init__(self, llm: SupportsComplete, max_attempts: int = 3):
+        self.llm = llm
+        self.max_attempts = max_attempts
+
+    def enhance_template(
+        self,
+        template: ExplanationTemplate,
+        report: EnhancementReport | None = None,
+    ) -> bool:
+        """Try to add one enhanced version to ``template``.
+
+        Returns ``True`` on success.  Candidates failing the token guard
+        are rejected; after ``max_attempts`` rejections the template keeps
+        its deterministic text (always correct and complete).
+        """
+        original = template.deterministic_text
+        for _ in range(self.max_attempts):
+            candidate = self.llm.complete(ENHANCEMENT_PROMPT + original)
+            missing = missing_tokens(original, candidate)
+            if not missing:
+                template.add_enhanced(candidate)
+                if report is not None:
+                    report.enhanced += 1
+                return True
+            if report is not None:
+                report.record_rejection(
+                    template.path.name or str(template.path.labels), missing
+                )
+        return False
+
+    def enhance_store(
+        self, store: TemplateStore, versions: int = 1
+    ) -> EnhancementReport:
+        """Enhance every template in the store, collecting ``versions``
+        interchangeable enriched versions per template."""
+        report = EnhancementReport()
+        for template in store.templates():
+            for _ in range(versions):
+                self.enhance_template(template, report)
+        return report

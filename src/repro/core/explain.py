@@ -1,0 +1,317 @@
+"""The explanation facade: from explanation query to final text.
+
+Given a reasoning result and a domain glossary, :class:`Explainer` wires
+together the whole pipeline of the paper's Figure 2:
+
+1. structural analysis of the program (once);
+2. template generation for every reasoning-path variant (once), optionally
+   LLM-enhanced with the token guard (once);
+3. per query Q_e = {fact}: derivation-spine extraction, greedy mapping of
+   chase steps to reasoning paths, template instantiation, concatenation.
+
+The result carries the text plus full metadata — which paths explained
+which steps, which constants were substituted — so that completeness can
+be audited mechanically (and is, in the benchmarks).
+
+As an extension beyond the paper's single source-to-leaf path, the
+explainer can recursively cover *side branches*: derived facts feeding the
+spine whose own stories are not on it (e.g. a second, independently
+shocked debtor).  This keeps explanations complete for arbitrary proof
+DAGs and is on by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..datalog.atoms import Fact
+from ..engine.provenance import DerivationSpine
+from ..engine.reasoning import ReasoningResult
+from .enhancer import EnhancementReport, SupportsComplete, TemplateEnhancer
+from .glossary import DomainGlossary
+from .mapping import SegmentMatch, TemplateMapper
+from .structural import StructuralAnalysis
+from .templates import InstantiatedExplanation, TemplateStore
+from .verbalizer import Verbalizer
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A generated textual explanation with its full provenance."""
+
+    query: Fact
+    text: str
+    spine: DerivationSpine
+    segments: tuple[SegmentMatch, ...]
+    instantiations: tuple[InstantiatedExplanation, ...]
+    side_explanations: tuple["Explanation", ...] = ()
+
+    def paths_used(self) -> tuple[str, ...]:
+        """Names of the reasoning paths composing this explanation, e.g.
+        ``("Pi2", "Gamma3", "Gamma4")`` — cf. Section 5's {Π7, Γ3, Γ4}."""
+        own = tuple(segment.path.name for segment in self.segments)
+        sides = tuple(
+            name for side in self.side_explanations for name in side.paths_used()
+        )
+        return sides + own
+
+    def constants(self) -> frozenset[str]:
+        """Every constant substituted into the text (tokens' values)."""
+        mentioned = frozenset(
+            value
+            for instance in self.instantiations
+            for values in instance.token_values.values()
+            for value in values
+        )
+        for side in self.side_explanations:
+            mentioned |= side.constants()
+        return mentioned
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable audit record of this explanation.
+
+        Captures the query, the text, the chase path π, the reasoning-path
+        composition (with aggregation-variant flags) and every token
+        substitution — everything an auditor needs to retrace the
+        derivation without re-running the system.
+        """
+        return {
+            "query": str(self.query),
+            "text": self.text,
+            "chase_path": list(self.spine.rule_sequence),
+            "segments": [
+                {
+                    "path": segment.path.name,
+                    "rules": list(segment.path.labels),
+                    "multi_rules": sorted(segment.path.multi_rules),
+                    "steps": [segment.start + 1, segment.end],
+                }
+                for segment in self.segments
+            ],
+            "tokens": [
+                {token: list(values) for token, values in instance.token_values.items()}
+                for instance in self.instantiations
+            ],
+            "side_explanations": [
+                side.to_dict() for side in self.side_explanations
+            ],
+        }
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class Explainer:
+    """End-to-end template-based explanation generator for one reasoning
+    result (one deployed KG application over one instance)."""
+
+    def __init__(
+        self,
+        result: ReasoningResult,
+        glossary: DomainGlossary,
+        llm: SupportsComplete | None = None,
+        enhanced_versions: int = 1,
+    ):
+        self.result = result
+        self.glossary = glossary
+        self.analysis = StructuralAnalysis(result.program)
+        self.store = TemplateStore(self.analysis, glossary)
+        self.mapper = TemplateMapper(self.analysis)
+        self.verbalizer = Verbalizer(glossary)
+        self.enhancement_report: EnhancementReport | None = None
+        self._llm = llm
+        self._enhanced_versions = enhanced_versions
+        # Pipelines for explanation queries on non-goal predicates (e.g.
+        # Q_e = {Risk(...)}) are built lazily, one per target predicate.
+        self._secondary: dict[str, tuple[TemplateStore, TemplateMapper]] = {}
+        # Explanations are pure functions of (query, options) over the
+        # frozen reasoning result: cache them for interactive drill-down.
+        self._cache: dict[tuple, Explanation] = {}
+        if llm is not None:
+            enhancer = TemplateEnhancer(llm)
+            self.enhancement_report = enhancer.enhance_store(
+                self.store, versions=enhanced_versions
+            )
+
+    def _pipeline_for(self, predicate: str) -> tuple[TemplateStore, TemplateMapper]:
+        """The (store, mapper) pair able to explain facts of ``predicate``.
+
+        Reasoning paths end at the leaf or at critical nodes; explanation
+        queries on other intensional predicates (interactive drill-down on
+        intermediate facts) re-run the database-independent analysis with
+        that predicate as the goal — cached per predicate.
+        """
+        goal = self.result.program.goal
+        if predicate == goal or predicate in self.analysis.critical_nodes:
+            return self.store, self.mapper
+        cached = self._secondary.get(predicate)
+        if cached is not None:
+            return cached
+        analysis = StructuralAnalysis(self.result.program.with_goal(predicate))
+        store = TemplateStore(analysis, self.glossary)
+        if self._llm is not None:
+            TemplateEnhancer(self._llm).enhance_store(
+                store, versions=self._enhanced_versions
+            )
+        pipeline = (store, TemplateMapper(analysis))
+        self._secondary[predicate] = pipeline
+        return pipeline
+
+    # ------------------------------------------------------------------
+    # Explanation queries
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        query: Fact,
+        prefer_enhanced: bool = True,
+        variant_index: int = 0,
+        include_side_branches: bool = True,
+    ) -> Explanation:
+        """Answer the explanation query Q_e = {``query``}.
+
+        Raises ``KeyError`` when the fact was not derived by the chase.
+        Results are cached per (query, options) — the reasoning result is
+        frozen, so explanations are pure.
+        """
+        key = (query, prefer_enhanced, variant_index, include_side_branches)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self._explain(
+                query, prefer_enhanced, variant_index, include_side_branches,
+                visited=set(),
+            )
+            self._cache[key] = cached
+        return cached
+
+    def _explain(
+        self,
+        query: Fact,
+        prefer_enhanced: bool,
+        variant_index: int,
+        include_side_branches: bool,
+        visited: set[Fact],
+    ) -> Explanation:
+        visited.add(query)
+        store, mapper = self._pipeline_for(query.predicate)
+        spine = self.result.spine(query)
+        segments = mapper.map_spine(
+            spine, self.result.chase_result.derivation
+        )
+        side_explanations: tuple[Explanation, ...] = ()
+        if include_side_branches:
+            side_explanations = self._explain_side_branches(
+                segments, prefer_enhanced, variant_index, visited
+            )
+        instantiations = tuple(
+            store.get(segment.path).instantiate(
+                segment.assignments, prefer_enhanced, variant_index
+            )
+            for segment in segments
+        )
+        parts = [side.text for side in side_explanations]
+        parts.extend(instance.text for instance in instantiations)
+        return Explanation(
+            query=query,
+            text=" ".join(parts),
+            spine=spine,
+            segments=tuple(segments),
+            instantiations=instantiations,
+            side_explanations=side_explanations,
+        )
+
+    def _explain_side_branches(
+        self,
+        segments: Sequence[SegmentMatch],
+        prefer_enhanced: bool,
+        variant_index: int,
+        visited: set[Fact],
+    ) -> tuple[Explanation, ...]:
+        """Recursively explain derived facts that feed the mapped segments
+        but whose own derivations are not covered by them."""
+        covered = {
+            record.fact
+            for segment in segments
+            for records in segment.assignments.values()
+            for record in records
+        }
+        derivation = self.result.chase_result.derivation
+        sides: list[Explanation] = []
+        for segment in segments:
+            for records in segment.assignments.values():
+                for record in records:
+                    for parent in record.parents:
+                        needs_story = (
+                            parent in derivation
+                            and parent not in covered
+                            and parent not in visited
+                        )
+                        if needs_story:
+                            sides.append(
+                                self._explain(
+                                    parent, prefer_enhanced, variant_index,
+                                    include_side_branches=True, visited=visited,
+                                )
+                            )
+        return tuple(sides)
+
+    # ------------------------------------------------------------------
+    # Interactive drill-down
+    # ------------------------------------------------------------------
+    def why(self, query: Fact) -> str:
+        """One-step drill-down: the single chase step deriving ``query``.
+
+        Where :meth:`explain` tells the whole story, ``why`` answers the
+        interactive "and where does *this* come from?" click on a derived
+        edge (the KG-Roar-style interaction of the paper's reference
+        [10]): the applied rule verbalized with the actual premises.
+        """
+        record = self.result.chase_result.record_for(query)
+        return self.verbalizer.step_sentence(record)
+
+    # ------------------------------------------------------------------
+    # Constraint violations
+    # ------------------------------------------------------------------
+    def explain_violation(
+        self,
+        violation,
+        prefer_enhanced: bool = True,
+        include_side_branches: bool = True,
+    ) -> str:
+        """A textual report for a negative-constraint violation.
+
+        The witnesses' own derivations are explained first (when they are
+        intensional), then the violated condition is stated — giving the
+        compliance officer the full story behind the ⊥.
+        """
+        parts: list[str] = []
+        for witness in violation.witnesses:
+            if self.result.chase_result.is_derived(witness):
+                story = self.explain(
+                    witness, prefer_enhanced=prefer_enhanced,
+                    include_side_branches=include_side_branches,
+                )
+                parts.append(story.text)
+        witness_texts = ", and ".join(
+            self.verbalizer._ground_atom_text(witness)
+            for witness in violation.witnesses
+        )
+        parts.append(
+            f"This violates constraint {violation.constraint.label}: "
+            f"{witness_texts} must not hold together."
+        )
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Baseline: deterministic instance verbalization
+    # ------------------------------------------------------------------
+    def deterministic_explanation(self, query: Fact) -> str:
+        """The plain proof-to-text conversion of the whole derivation —
+        verbose and repetitive, but trivially complete.  This is the input
+        handed to the pure-LLM baselines in the paper's experiments."""
+        records = self.result.provenance.proof_records(query)
+        return self.verbalizer.proof_text(records)
+
+    def proof_constants(self, query: Fact) -> tuple[str, ...]:
+        """Ground truth for completeness checks (Section 6.3)."""
+        return self.result.provenance.proof_constants(query)

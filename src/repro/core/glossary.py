@@ -1,0 +1,178 @@
+"""Domain glossaries: predicate-to-natural-language data dictionaries.
+
+A domain glossary (paper, Section 4.2, Figures 7 and 11) maps every
+predicate of the schema to a natural-language description with one
+``<token>`` placeholder per argument position, e.g.::
+
+    HasCapital(f, p)  ->  "<f> is a financial institution with capital of <p>"
+
+The glossary is the Datalog counterpart of a corporate data dictionary;
+the verbalizer instantiates its entries against rule atoms, renaming the
+entry's formal parameters to the rule's (path-qualified) tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..datalog.atoms import Atom
+from ..datalog.errors import GlossaryError
+from ..datalog.program import Program
+
+_TOKEN_RE = re.compile(r"<([A-Za-z_][A-Za-z0-9_]*)>")
+
+
+@dataclass(frozen=True)
+class GlossaryEntry:
+    """One data-dictionary row: a predicate's NL description.
+
+    ``params`` names the argument positions, in order; each must occur in
+    ``text`` as ``<param>`` (and every ``<token>`` in the text must be a
+    declared parameter).
+    """
+
+    predicate: str
+    params: tuple[str, ...]
+    text: str
+
+    def __post_init__(self) -> None:
+        declared = set(self.params)
+        mentioned = set(_TOKEN_RE.findall(self.text))
+        undeclared = mentioned - declared
+        if undeclared:
+            raise GlossaryError(
+                f"glossary entry for {self.predicate}: tokens "
+                f"{sorted(undeclared)} are not declared parameters"
+            )
+        unused = declared - mentioned
+        if unused:
+            raise GlossaryError(
+                f"glossary entry for {self.predicate}: parameters "
+                f"{sorted(unused)} never appear in the description"
+            )
+        if len(declared) != len(self.params):
+            raise GlossaryError(
+                f"glossary entry for {self.predicate}: duplicate parameters"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def render(self, replacements: Mapping[str, str]) -> str:
+        """Substitute each ``<param>`` with ``replacements[param]``.
+
+        Replacement values are typically themselves tokens (``<c2>``) at
+        template-generation time, or constants at instantiation time.
+        """
+        def substitute(match: re.Match[str]) -> str:
+            name = match.group(1)
+            if name not in replacements:
+                raise GlossaryError(
+                    f"no replacement for token <{name}> of {self.predicate}"
+                )
+            return replacements[name]
+
+        return _TOKEN_RE.sub(substitute, self.text)
+
+    def render_atom(self, atom: Atom, token_of: Mapping[int, str]) -> str:
+        """Render this entry for ``atom``: argument position ``i`` is
+        replaced by ``token_of[i]``."""
+        if atom.arity != self.arity:
+            raise GlossaryError(
+                f"glossary arity mismatch for {self.predicate}: entry has "
+                f"{self.arity} parameters, atom {atom} has arity {atom.arity}"
+            )
+        replacements = {
+            param: token_of[i] for i, param in enumerate(self.params)
+        }
+        return self.render(replacements)
+
+
+class DomainGlossary:
+    """A collection of glossary entries, validated against a program."""
+
+    def __init__(self, entries: Iterable[GlossaryEntry] = ()):
+        self._entries: dict[str, GlossaryEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: GlossaryEntry) -> None:
+        if entry.predicate in self._entries:
+            raise GlossaryError(f"duplicate glossary entry for {entry.predicate}")
+        self._entries[entry.predicate] = entry
+
+    def define(self, predicate: str, params: Iterable[str], text: str) -> None:
+        """Fluent helper: ``glossary.define("Shock", ["f", "s"], "...")``."""
+        self.add(GlossaryEntry(predicate, tuple(params), text))
+
+    def entry(self, predicate: str) -> GlossaryEntry:
+        found = self._entries.get(predicate)
+        if found is None:
+            raise GlossaryError(f"no glossary entry for predicate {predicate!r}")
+        return found
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self._entries)
+
+    def validate_against(self, program: Program) -> None:
+        """Check the glossary covers the program's schema with matching
+        arities; raises :class:`GlossaryError` otherwise."""
+        for predicate, arity in program.schema.items():
+            entry = self._entries.get(predicate)
+            if entry is None:
+                raise GlossaryError(
+                    f"glossary misses predicate {predicate!r} used by "
+                    f"program {program.name!r}"
+                )
+            if entry.arity != arity:
+                raise GlossaryError(
+                    f"glossary entry for {predicate!r} has {entry.arity} "
+                    f"parameters but the program uses arity {arity}"
+                )
+
+    def describe(self) -> str:
+        lines = ["Domain glossary:"]
+        for predicate in sorted(self._entries):
+            entry = self._entries[predicate]
+            args = ", ".join(entry.params)
+            lines.append(f"  {predicate}({args}): {entry.text}")
+        return "\n".join(lines)
+
+
+def _split_camel_case(name: str) -> str:
+    words = re.findall(r"[A-Z][a-z0-9]*|[a-z0-9]+", name)
+    return " ".join(word.lower() for word in words) or name.lower()
+
+
+def draft_glossary(program: Program) -> DomainGlossary:
+    """Draft a placeholder glossary from a program's schema.
+
+    The paper assumes a corporate data dictionary exists (§4.2); when one
+    does not — prototyping a new application — this drafts serviceable
+    entries from the predicate names ("LongTermDebts(d, c, v)" →
+    "<a1> is in relation 'long term debts' with <a2> and <a3>"), meant to
+    be reviewed and rewritten by a domain expert.
+    """
+    glossary = DomainGlossary()
+    for predicate in sorted(program.schema):
+        arity = program.schema[predicate]
+        params = [f"a{i + 1}" for i in range(arity)]
+        phrase = _split_camel_case(predicate)
+        if arity == 0:
+            continue
+        if arity == 1:
+            text = f"<{params[0]}> satisfies '{phrase}'"
+        else:
+            others = " and ".join(f"<{p}>" for p in params[1:])
+            text = f"<{params[0]}> is in relation '{phrase}' with {others}"
+        glossary.define(predicate, params, text)
+    return glossary

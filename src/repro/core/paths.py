@@ -1,0 +1,171 @@
+"""Reasoning paths: the symbolic skeletons of explanations.
+
+A *reasoning path* (paper, Definition 4.2) is a subgraph of the dependency
+graph D(Σ) that either
+
+* conducts from root nodes to the leaf or to a critical node — a **simple
+  reasoning path** Π; or
+* connects a critical node with itself or with another critical node — a
+  **reasoning cycle** Γ.
+
+We adopt the paper's compact rule-based notation: a path is represented by
+the set of rules labelling its edges, e.g. Π5 = {σ1, σ2, σ3}, kept in the
+topological order in which the rules fire.
+
+Aggregation analysis (Section 4.1) adds *variants*: for every rule of the
+path carrying an aggregation, the path exists in a version where that
+aggregation combines a single input (verbalized like a plain rule) and a
+"dashed" version where it combines several inputs (verbalized with the
+aggregator and multi-valued tokens).  A variant is identified by the set
+of rule labels flagged multi-contributor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import chain, combinations
+from typing import Iterator
+
+from ..datalog.rules import Rule, pretty_label
+from ..datalog.unify import unify_head_with_body_atom
+
+
+@dataclass(frozen=True)
+class ReasoningPath:
+    """A simple reasoning path or reasoning cycle in compact notation.
+
+    Attributes
+    ----------
+    kind:
+        ``"simple"`` or ``"cycle"``.
+    rules:
+        The path's rules in topological firing order.
+    multi_rules:
+        Labels of aggregate rules flagged as multi-contributor in this
+        variant (the "dashed" edges).
+    forced_multi:
+        Labels whose aggregation is *structurally* multi-input because the
+        path merges several derivation branches into it (e.g. σ7 in the
+        joint-channel path Π9); these are flagged in every variant.
+    name:
+        Display name (Π1, Γ2, ...) assigned by the structural analysis.
+    anchor:
+        For cycles: the critical node the cycle starts from.
+    target:
+        The predicate the path derives (leaf or critical node).
+    """
+
+    kind: str
+    rules: tuple[Rule, ...]
+    multi_rules: frozenset[str] = frozenset()
+    forced_multi: frozenset[str] = frozenset()
+    name: str = ""
+    anchor: str | None = None
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("simple", "cycle"):
+            raise ValueError(f"unknown reasoning-path kind {self.kind!r}")
+        if not self.rules:
+            raise ValueError("a reasoning path must contain at least one rule")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(rule.label for rule in self.rules)
+
+    @property
+    def label_set(self) -> frozenset[str]:
+        return frozenset(self.labels)
+
+    @property
+    def is_cycle(self) -> bool:
+        return self.kind == "cycle"
+
+    def aggregate_labels(self) -> tuple[str, ...]:
+        """Labels of the rules in this path that carry an aggregation."""
+        return tuple(rule.label for rule in self.rules if rule.has_aggregate)
+
+    @property
+    def has_aggregation_variants(self) -> bool:
+        """Whether a "dashed" alternative version exists (the * marker of
+        the paper's Figure 10)."""
+        return any(
+            label not in self.forced_multi for label in self.aggregate_labels()
+        )
+
+    def is_multi(self, label: str) -> bool:
+        return label in self.multi_rules
+
+    def rule(self, label: str) -> Rule:
+        for rule in self.rules:
+            if rule.label == label:
+                return rule
+        raise KeyError(f"rule {label!r} not in path {self.name or self.labels}")
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def variants(self) -> Iterator["ReasoningPath"]:
+        """Enumerate the aggregation variants of this path.
+
+        Yields one path per subset of optional aggregate rules flagged
+        multi (always including the structurally forced ones).  The first
+        yielded variant is the base (only forced flags).
+        """
+        optional = [
+            label for label in self.aggregate_labels()
+            if label not in self.forced_multi
+        ]
+        subsets = chain.from_iterable(
+            combinations(optional, size) for size in range(len(optional) + 1)
+        )
+        for subset in subsets:
+            yield ReasoningPath(
+                kind=self.kind,
+                rules=self.rules,
+                multi_rules=self.forced_multi | frozenset(subset),
+                forced_multi=self.forced_multi,
+                name=self.name,
+                anchor=self.anchor,
+                target=self.target,
+            )
+
+    def base_variant(self) -> "ReasoningPath":
+        """The variant with only the structurally forced multi flags."""
+        return next(self.variants())
+
+    # ------------------------------------------------------------------
+    # Identity & rendering
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple[str, frozenset[str], frozenset[str]]:
+        """Structural identity ignoring the display name."""
+        return (self.kind, self.label_set, self.multi_rules)
+
+    def is_adjacent_to(self, other: "ReasoningPath") -> bool:
+        """Path adjacency (paper, Section 4.1): ``other`` can extend this
+        path when there is a homomorphism from the head of this path's
+        last rule to a body atom of one of ``other``'s rules.
+
+        Every chase path decomposes into a simple reasoning path followed
+        by pairwise-adjacent reasoning cycles; the mapper's compositions
+        satisfy this by construction (asserted in tests).
+        """
+        head = self.rules[-1].head
+        for rule in other.rules:
+            for atom in rule.body:
+                if unify_head_with_body_atom(head, atom):
+                    return True
+        return False
+
+    def notation(self) -> str:
+        """The paper's compact notation, e.g. ``Π5 = {σ1, σ2, σ3}``."""
+        labels = ", ".join(pretty_label(l) for l in self.labels)
+        marker = "*" if self.multi_rules else ""
+        name = self.name or ("Γ" if self.is_cycle else "Π")
+        return f"{name}{marker} = {{{labels}}}"
+
+    def __str__(self) -> str:
+        return self.notation()

@@ -1,0 +1,139 @@
+"""Business-report generation: many explanations, one document.
+
+The paper motivates "natural language business reports" for analysts
+(Sections 1 and 5).  A single explanation query covers one fact; this
+module assembles whole reports: every derived goal fact (or a chosen
+subset) explained in order of derivation, plus a section for negative-
+constraint violations — rendered as plain text or Markdown.
+
+The privacy property is inherited: reports are composed exclusively from
+token-guarded templates instantiated locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Fact
+from .explain import Explainer, Explanation
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One explained fact within a report."""
+
+    target: Fact
+    explanation: Explanation
+
+    @property
+    def heading(self) -> str:
+        return str(self.target)
+
+
+@dataclass(frozen=True)
+class BusinessReport:
+    """A complete analyst-facing document."""
+
+    title: str
+    sections: tuple[ReportSection, ...]
+    violation_texts: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def constants(self) -> frozenset[str]:
+        mentioned: frozenset[str] = frozenset()
+        for section in self.sections:
+            mentioned |= section.explanation.constants()
+        return mentioned
+
+    def __len__(self) -> int:
+        return len(self.sections)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        lines = [self.title, "=" * len(self.title), ""]
+        for index, section in enumerate(self.sections, start=1):
+            lines.append(f"{index}. {section.heading}")
+            lines.append(f"   {section.explanation.text}")
+            lines.append("")
+        if self.violation_texts:
+            lines.append("Constraint violations")
+            lines.append("-" * len("Constraint violations"))
+            for text in self.violation_texts:
+                lines.append(f"  ! {text}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_markdown(self) -> str:
+        lines = [f"# {self.title}", ""]
+        for section in self.sections:
+            lines.append(f"## {section.heading}")
+            lines.append("")
+            paths = ", ".join(section.explanation.paths_used())
+            lines.append(f"*Reasoning paths: {paths}*")
+            lines.append("")
+            lines.append(section.explanation.text)
+            lines.append("")
+        if self.violation_texts:
+            lines.append("## Constraint violations")
+            lines.append("")
+            for text in self.violation_texts:
+                lines.append(f"- ⚠ {text}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+class ReportBuilder:
+    """Assembles business reports from an :class:`Explainer`."""
+
+    def __init__(self, explainer: Explainer):
+        self.explainer = explainer
+
+    def build(
+        self,
+        targets: Iterable[Fact] | None = None,
+        title: str | None = None,
+        prefer_enhanced: bool = True,
+        include_violations: bool = True,
+        rotate_template_versions: bool = False,
+    ) -> BusinessReport:
+        """Explain ``targets`` (default: every derived goal fact).
+
+        ``rotate_template_versions`` cycles through the interchangeable
+        enhanced template versions section by section, so long reports do
+        not repeat the same phrasing (paper, Section 4.2: "different but
+        interchangeable enriched versions").
+        """
+        result = self.explainer.result
+        if targets is None:
+            targets = [
+                current for current in result.answers()
+                if result.chase_result.is_derived(current)
+            ]
+        chosen: Sequence[Fact] = list(targets)
+        sections = []
+        for index, target in enumerate(chosen):
+            explanation = self.explainer.explain(
+                target,
+                prefer_enhanced=prefer_enhanced,
+                variant_index=index if rotate_template_versions else 0,
+            )
+            sections.append(ReportSection(target=target, explanation=explanation))
+        violation_texts: tuple[str, ...] = ()
+        if include_violations:
+            violation_texts = tuple(
+                self.explainer.explain_violation(
+                    violation, prefer_enhanced=prefer_enhanced
+                )
+                for violation in result.chase_result.violations
+            )
+        program_name = result.program.name
+        return BusinessReport(
+            title=title or f"Reasoning report — {program_name}",
+            sections=tuple(sections),
+            violation_texts=violation_texts,
+        )

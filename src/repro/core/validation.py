@@ -1,0 +1,74 @@
+"""Completeness and token-presence checks.
+
+Two guards from the paper live here:
+
+* the **token-presence check** of Section 4.4: after an LLM enhances a
+  template, every token of the original must survive in the output —
+  otherwise the enhanced version is rejected (omissions are a special case
+  of hallucination the system must prevent);
+* the **completeness measurement** of Section 6.3: the ratio between the
+  constants an explanation text actually mentions and the constants the
+  proof used — the metric of Figure 17.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .templates import extract_tokens
+
+
+def missing_tokens(original: str, candidate: str) -> frozenset[str]:
+    """Tokens of ``original`` that do not appear in ``candidate``.
+
+    An empty result means the candidate passes the preventive check of
+    Section 4.4 and may be stored as an enhanced template.
+    """
+    return extract_tokens(original) - extract_tokens(candidate)
+
+
+def tokens_preserved(original: str, candidate: str) -> bool:
+    return not missing_tokens(original, candidate)
+
+
+def _constant_pattern(constant: str) -> re.Pattern[str]:
+    """Word-boundary-aware pattern for one constant value.
+
+    Numeric constants must not match inside longer numbers (``7`` must not
+    match ``17`` or ``7.5``); symbolic constants must not match inside
+    longer identifiers.
+    """
+    return re.compile(rf"(?<![\w.]){re.escape(constant)}(?!\w|\.\d)")
+
+
+def constants_present(text: str, constants: Iterable[str]) -> frozenset[str]:
+    """The subset of ``constants`` that the text mentions."""
+    return frozenset(
+        constant for constant in constants
+        if _constant_pattern(constant).search(text)
+    )
+
+
+def constants_omitted(text: str, constants: Iterable[str]) -> frozenset[str]:
+    """The subset of ``constants`` missing from the text."""
+    wanted = frozenset(constants)
+    return wanted - constants_present(text, wanted)
+
+
+def completeness_ratio(text: str, constants: Iterable[str]) -> float:
+    """Fraction of the proof's constants that the explanation mentions.
+
+    This is the measurement plotted (as its complement, the omission
+    ratio) in the paper's Figure 17.  Returns 1.0 for an empty constant
+    set: nothing to omit.
+    """
+    wanted = frozenset(constants)
+    if not wanted:
+        return 1.0
+    return len(constants_present(text, wanted)) / len(wanted)
+
+
+def omission_ratio(text: str, constants: Iterable[str]) -> float:
+    """Fraction of proof constants the explanation omits (Figure 17 y axis)."""
+    return 1.0 - completeness_ratio(text, constants)

@@ -1,0 +1,103 @@
+"""Datalog/Vadalog language substrate.
+
+This subpackage implements the language fragment the paper's knowledge-graph
+applications are written in: function-free Horn rules (TGDs) extended with
+comparison conditions, arithmetic expressions and monotonic aggregations,
+plus the dependency-graph machinery the structural analysis is built on.
+
+Public surface::
+
+    from repro.datalog import (
+        Atom, fact, Constant, Variable, Null,
+        Comparison, AggregateSpec, Rule, Program,
+        parse_rule, parse_program, DependencyGraph,
+    )
+"""
+
+from .aggregates import AGGREGATE_FUNCTIONS, AggregateSpec
+from .analysis import (
+    TerminationVerdict,
+    WardednessReport,
+    affected_positions,
+    check_wardedness,
+    is_guarded,
+    is_linear,
+    termination_guarantee,
+)
+from .atoms import Atom, Fact, Predicate, check_consistent_arities, fact
+from .conditions import BinaryOp, Comparison, Expression, evaluate_expression
+from .depgraph import DependencyEdge, DependencyGraph
+from .errors import (
+    ArityError,
+    DatalogError,
+    EvaluationError,
+    GlossaryError,
+    ParseError,
+    SafetyError,
+)
+from .parser import iter_rules, parse_constraint, parse_program, parse_rule
+from .program import Program, make_program
+from .rules import Constraint, Rule, pretty_label
+from .stratification import Stratification, StratificationError, stratify
+from .terms import Constant, Null, NullFactory, Term, Variable, make_term
+from .unify import (
+    Substitution,
+    apply_substitution,
+    exists_homomorphism,
+    find_homomorphisms,
+    match_atom,
+    unify_head_with_body_atom,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "AggregateSpec",
+    "ArityError",
+    "Atom",
+    "BinaryOp",
+    "Comparison",
+    "Constant",
+    "Constraint",
+    "DatalogError",
+    "DependencyEdge",
+    "DependencyGraph",
+    "EvaluationError",
+    "Expression",
+    "Fact",
+    "GlossaryError",
+    "Null",
+    "NullFactory",
+    "ParseError",
+    "Predicate",
+    "Program",
+    "Rule",
+    "SafetyError",
+    "Stratification",
+    "StratificationError",
+    "Substitution",
+    "Term",
+    "TerminationVerdict",
+    "Variable",
+    "WardednessReport",
+    "affected_positions",
+    "apply_substitution",
+    "check_consistent_arities",
+    "evaluate_expression",
+    "exists_homomorphism",
+    "fact",
+    "check_wardedness",
+    "find_homomorphisms",
+    "is_guarded",
+    "is_linear",
+    "iter_rules",
+    "make_program",
+    "make_term",
+    "match_atom",
+    "parse_constraint",
+    "parse_program",
+    "parse_rule",
+    "pretty_label",
+    "stratify",
+    "termination_guarantee",
+    "unify_head_with_body_atom",
+]

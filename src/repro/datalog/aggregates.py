@@ -1,0 +1,124 @@
+"""Monotonic aggregation specifications.
+
+Vadalog supports the aggregate functions ``sum``, ``prod``, ``min``, ``max``
+and ``count`` together with SQL-like grouping, realized as *monotonic
+aggregations* (paper, Section 3, citing [61]).  In a rule such as
+
+    Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e)
+
+the aggregate assignment ``e = sum(v)`` introduces the *result variable*
+``e``, aggregating the *contribution expression* ``v`` over all body
+homomorphisms that agree on the *group-by variables* — by default, every
+body variable that also appears in the head other than the result variable
+(here: ``c``).
+
+The explanation machinery cares about one extra piece of information the
+engine records per application: the list of *contributors* (the individual
+homomorphisms and their values), because a single-contributor aggregation is
+verbalized like a plain rule, while a multi-contributor one activates the
+"dashed" reasoning-path variants (paper, Section 4.1, "Analysis of
+Aggregations").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .conditions import Expression, expression_variables
+from .errors import EvaluationError
+from .terms import Variable
+
+#: Names of the supported aggregation functions.
+AGGREGATE_FUNCTIONS = ("sum", "prod", "min", "max", "count")
+
+
+def _aggregate_sum(values: Sequence[float]) -> float:
+    return math.fsum(values)
+
+
+def _aggregate_prod(values: Sequence[float]) -> float:
+    result = 1.0
+    for value in values:
+        result *= value
+    return result
+
+
+def _aggregate_min(values: Sequence[float]) -> float:
+    return min(values)
+
+
+def _aggregate_max(values: Sequence[float]) -> float:
+    return max(values)
+
+
+def _aggregate_count(values: Sequence[float]) -> int:
+    return len(values)
+
+
+_EVALUATORS: dict[str, Callable[[Sequence[float]], float | int]] = {
+    "sum": _aggregate_sum,
+    "prod": _aggregate_prod,
+    "min": _aggregate_min,
+    "max": _aggregate_max,
+    "count": _aggregate_count,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateSpec:
+    """The aggregate assignment of a rule: ``result = func(argument)``.
+
+    ``group_by`` may be left empty at construction time; the rule
+    constructor fills it in with the default grouping (head variables minus
+    the result variable) when the rule is assembled.
+    """
+
+    result: Variable
+    function: str
+    argument: Expression
+    group_by: tuple[Variable, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.function not in _EVALUATORS:
+            raise EvaluationError(
+                f"unknown aggregate function {self.function!r}; "
+                f"supported: {', '.join(AGGREGATE_FUNCTIONS)}"
+            )
+
+    def argument_variables(self) -> frozenset[Variable]:
+        return frozenset(expression_variables(self.argument))
+
+    def evaluate(self, values: Iterable[object]) -> float | int:
+        """Apply the aggregate function to the collected contribution values.
+
+        ``count`` accepts values of any type (it only counts them); the
+        numeric aggregates require numeric contributions.
+        """
+        collected = list(values)
+        if not collected:
+            raise EvaluationError(f"aggregate {self.function} over empty group")
+        if self.function == "count":
+            return len(collected)
+        numeric: list[float] = []
+        for value in collected:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise EvaluationError(
+                    f"aggregate {self.function} over non-numeric value {value!r}"
+                )
+            numeric.append(value)
+        result = _EVALUATORS[self.function](numeric)
+        # Kill float noise (0.57 must not verbalize as 0.5700000000000001)
+        # and keep integers integral, for clean verbalizations.
+        if isinstance(result, float):
+            result = round(result, 9)
+            if result.is_integer():
+                return int(result)
+        return result
+
+    def with_group_by(self, group_by: Sequence[Variable]) -> "AggregateSpec":
+        return AggregateSpec(self.result, self.function, self.argument, tuple(group_by))
+
+    def __str__(self) -> str:
+        return f"{self.result} = {self.function}({self.argument})"

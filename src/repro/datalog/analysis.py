@@ -1,0 +1,208 @@
+"""Static program analysis: linearity, guardedness, wardedness.
+
+The paper restricts itself to "Vadalog programs involved in reasoning
+tasks whose termination is guaranteed" (Section 3), pointing to the warded
+Datalog± results behind the Vadalog system [6, 11].  This module provides
+the corresponding static checks so that a deployed application can be
+vetted before activation:
+
+* **linear** — every rule has at most one intensional body atom;
+* **guarded** — every rule has a body atom containing all of the rule's
+  universally quantified variables;
+* **warded** — the classical wardedness condition on *dangerous*
+  variables: positions that may carry invented nulls are computed as the
+  **affected positions** fixpoint, a variable is *harmful* in a rule when
+  all its body occurrences sit in affected positions, *dangerous* when it
+  is harmful and propagated to the head; a program is warded iff in every
+  rule all dangerous variables occur together in a single body atom (the
+  ward) that shares only harmless variables with the rest of the body.
+
+:func:`termination_guarantee` combines the checks into the verdict the
+reasoning engine's restricted chase relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .atoms import Atom
+from .program import Program
+from .rules import Rule
+from .terms import Variable
+
+#: A position: (predicate name, argument index).
+Position = tuple[str, int]
+
+
+def affected_positions(program: Program) -> frozenset[Position]:
+    """The positions that may carry labelled nulls during the chase.
+
+    Base case: head positions holding existentially quantified variables.
+    Induction: a head position holding a universally quantified variable
+    all of whose body occurrences are in affected positions.
+    """
+    affected: set[Position] = set()
+    for rule in program.rules:
+        for index, term in enumerate(rule.head.terms):
+            if isinstance(term, Variable) and term in rule.existentials:
+                affected.add((rule.head_predicate, index))
+
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            for index, term in enumerate(rule.head.terms):
+                if not isinstance(term, Variable):
+                    continue
+                if (rule.head_predicate, index) in affected:
+                    continue
+                if term in rule.existentials:
+                    continue
+                occurrences = _body_positions_of(rule, term)
+                if occurrences and all(
+                    position in affected for position in occurrences
+                ):
+                    affected.add((rule.head_predicate, index))
+                    changed = True
+    return frozenset(affected)
+
+
+def _body_positions_of(rule: Rule, variable: Variable) -> list[Position]:
+    positions = []
+    for atom in rule.body:
+        for index, term in enumerate(atom.terms):
+            if term == variable:
+                positions.append((atom.predicate, index))
+    return positions
+
+
+def harmful_variables(
+    rule: Rule, affected: frozenset[Position]
+) -> frozenset[Variable]:
+    """Variables of ``rule`` whose every body occurrence is affected."""
+    harmful = set()
+    for variable in rule.body_variables():
+        occurrences = _body_positions_of(rule, variable)
+        if occurrences and all(position in affected for position in occurrences):
+            harmful.add(variable)
+    return frozenset(harmful)
+
+
+def dangerous_variables(
+    rule: Rule, affected: frozenset[Position]
+) -> frozenset[Variable]:
+    """Harmful variables that the rule propagates into its head."""
+    head_variables = rule.head.variable_set()
+    return frozenset(
+        v for v in harmful_variables(rule, affected) if v in head_variables
+    )
+
+
+# ----------------------------------------------------------------------
+# Fragment checks
+# ----------------------------------------------------------------------
+
+def is_linear(program: Program) -> bool:
+    """At most one intensional atom per body (linear Datalog±)."""
+    intensional = program.intensional_predicates()
+    for rule in program.rules:
+        count = sum(1 for atom in rule.body if atom.predicate in intensional)
+        if count > 1:
+            return False
+    return True
+
+
+def is_guarded_rule(rule: Rule) -> bool:
+    """Some body atom contains every universally quantified variable."""
+    body_variables = rule.body_variables()
+    return any(
+        body_variables <= atom.variable_set() for atom in rule.body
+    )
+
+
+def is_guarded(program: Program) -> bool:
+    return all(is_guarded_rule(rule) for rule in program.rules)
+
+
+@dataclass(frozen=True)
+class WardednessReport:
+    """Outcome of the wardedness check, with the offending rules."""
+
+    warded: bool
+    affected: frozenset[Position]
+    offending_rules: tuple[str, ...]
+
+    def describe(self) -> str:
+        status = "warded" if self.warded else "NOT warded"
+        lines = [f"Program is {status}."]
+        if self.affected:
+            rendered = ", ".join(
+                f"{predicate}[{index}]"
+                for predicate, index in sorted(self.affected)
+            )
+            lines.append(f"affected positions: {rendered}")
+        if self.offending_rules:
+            lines.append(f"offending rules: {', '.join(self.offending_rules)}")
+        return "\n".join(lines)
+
+
+def check_wardedness(program: Program) -> WardednessReport:
+    """The wardedness condition of Vadalog's core fragment."""
+    affected = affected_positions(program)
+    offending: list[str] = []
+    for rule in program.rules:
+        dangerous = dangerous_variables(rule, affected)
+        if not dangerous:
+            continue
+        ward = _find_ward(rule, dangerous, affected)
+        if ward is None:
+            offending.append(rule.label)
+    return WardednessReport(
+        warded=not offending,
+        affected=affected,
+        offending_rules=tuple(offending),
+    )
+
+
+def _find_ward(
+    rule: Rule,
+    dangerous: frozenset[Variable],
+    affected: frozenset[Position],
+) -> Atom | None:
+    """An atom containing all dangerous variables and sharing only
+    harmless variables with the rest of the body."""
+    harmful = harmful_variables(rule, affected)
+    for candidate in rule.body:
+        if not dangerous <= candidate.variable_set():
+            continue
+        others: set[Variable] = set()
+        for atom in rule.body:
+            if atom is candidate:
+                continue
+            others.update(atom.variables())
+        shared = candidate.variable_set() & others
+        if all(variable not in harmful for variable in shared):
+            return candidate
+    return None
+
+
+# ----------------------------------------------------------------------
+# Termination verdict
+# ----------------------------------------------------------------------
+
+class TerminationVerdict(Enum):
+    """Why (or whether) the restricted chase is guaranteed to terminate."""
+
+    NO_EXISTENTIALS = "terminates: no existential quantification"
+    WARDED = "terminates: warded (restricted chase)"
+    UNKNOWN = "unknown: outside the checked terminating fragments"
+
+
+def termination_guarantee(program: Program) -> TerminationVerdict:
+    """The engine-facing verdict used to vet new applications."""
+    if not any(rule.is_existential for rule in program.rules):
+        return TerminationVerdict.NO_EXISTENTIALS
+    if check_wardedness(program).warded:
+        return TerminationVerdict.WARDED
+    return TerminationVerdict.UNKNOWN

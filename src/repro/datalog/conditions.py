@@ -1,0 +1,154 @@
+"""Comparison conditions and arithmetic expressions in rule bodies.
+
+Vadalog extends plain Datalog with *expressions* in rule bodies, modelled
+with comparison operators (``>``, ``<``, ``>=``, ``<=``, ``!=``, ``==``)
+and algebraic operators (``+``, ``-``, ``*``, ``/``) over terms (paper,
+Section 3, "Vadalog Extensions").
+
+An expression is a tree whose leaves are terms (constants or variables) and
+whose internal nodes are arithmetic operations.  A condition compares two
+expressions.  Both are evaluated under a substitution that grounds every
+variable they mention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Union
+
+from .errors import EvaluationError
+from .terms import Constant, Term, Variable, term_syntax
+
+
+def expression_syntax(expr: "Expression") -> str:
+    """Rule-syntax rendering of an expression (quotes string constants)."""
+    if isinstance(expr, BinaryOp):
+        return str(expr)
+    return term_syntax(expr)
+
+# ----------------------------------------------------------------------
+# Arithmetic expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp:
+    """An arithmetic node: ``left <op> right`` with op in ``+ - * /``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return (
+            f"({expression_syntax(self.left)} {self.op} "
+            f"{expression_syntax(self.right)})"
+        )
+
+
+#: An expression is a term leaf or an arithmetic node.
+Expression = Union[Term, BinaryOp]
+
+_ARITHMETIC: dict[str, Callable[[float, float], float]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def expression_variables(expr: Expression) -> Iterator[Variable]:
+    """Yield every variable occurring in ``expr`` (with repeats)."""
+    if isinstance(expr, Variable):
+        yield expr
+    elif isinstance(expr, BinaryOp):
+        yield from expression_variables(expr.left)
+        yield from expression_variables(expr.right)
+
+
+def evaluate_expression(expr: Expression, binding: Mapping[Variable, Term]) -> object:
+    """Evaluate ``expr`` under ``binding`` to a raw Python value.
+
+    Raises :class:`EvaluationError` when a variable is unbound, a null is
+    used arithmetically, or operand types are incompatible.
+    """
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, Variable):
+        bound = binding.get(expr)
+        if bound is None:
+            raise EvaluationError(f"variable {expr} is unbound in expression")
+        if not isinstance(bound, Constant):
+            raise EvaluationError(f"variable {expr} bound to non-constant {bound}")
+        return bound.value
+    if isinstance(expr, BinaryOp):
+        left = evaluate_expression(expr.left, binding)
+        right = evaluate_expression(expr.right, binding)
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise EvaluationError(
+                f"arithmetic on non-numeric operands: {left!r} {expr.op} {right!r}"
+            )
+        if expr.op == "/" and right == 0:
+            raise EvaluationError("division by zero in rule expression")
+        operation = _ARITHMETIC.get(expr.op)
+        if operation is None:
+            raise EvaluationError(f"unknown arithmetic operator {expr.op!r}")
+        return operation(left, right)
+    # Nulls and anything else cannot be evaluated arithmetically.
+    raise EvaluationError(f"cannot evaluate expression leaf {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Comparisons
+# ----------------------------------------------------------------------
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    ">": lambda a, b: a > b,        # type: ignore[operator]
+    "<": lambda a, b: a < b,        # type: ignore[operator]
+    ">=": lambda a, b: a >= b,      # type: ignore[operator]
+    "<=": lambda a, b: a <= b,      # type: ignore[operator]
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+#: Operators whose NL verbalization exists in the verbalizer.
+COMPARISON_OPERATORS = tuple(_COMPARATORS)
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A condition ``left <op> right`` between two expressions.
+
+    Example: in rule α of the paper's Example 4.3, ``s > p1`` is
+    ``Comparison(">", Variable("s"), Variable("p1"))``.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise EvaluationError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> frozenset[Variable]:
+        return frozenset(expression_variables(self.left)) | frozenset(
+            expression_variables(self.right)
+        )
+
+    def holds(self, binding: Mapping[Variable, Term]) -> bool:
+        """Evaluate the condition under a grounding substitution."""
+        left = evaluate_expression(self.left, binding)
+        right = evaluate_expression(self.right, binding)
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return (
+            f"{expression_syntax(self.left)} {self.op} "
+            f"{expression_syntax(self.right)}"
+        )

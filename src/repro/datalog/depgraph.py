@@ -1,0 +1,183 @@
+"""The dependency graph D(Σ) of a program.
+
+Following the paper (Section 3): the vertices are the predicates of Σ, and
+there is an edge from ``a'`` to ``a`` labelled with rule σ iff σ has ``a'``
+in its body and ``a`` in its head.  A program is *recursive* iff D(Σ) is
+cyclic.  A node ``a`` depends on ``a'`` (written ``a' ≺ a``) iff there is a
+path from ``a'`` to ``a``.
+
+The structural analysis of Section 4.1 is built on top of this class (see
+:mod:`repro.core.structural`); here we expose the raw topology: labelled
+edges, roots, the leaf/goal, reachability and cycle detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .program import Program
+
+
+@dataclass(frozen=True, slots=True)
+class DependencyEdge:
+    """A rule-labelled edge ``source -> target`` of D(Σ).
+
+    One rule with k distinct body predicates contributes k edges, all
+    sharing the rule's label.  ``negated`` marks edges arising from
+    negated body atoms (relevant for stratification, not for reasoning
+    paths).
+    """
+
+    source: str
+    target: str
+    rule_label: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        marker = "not " if self.negated else ""
+        return f"{self.source} --[{marker}{self.rule_label}]--> {self.target}"
+
+
+class DependencyGraph:
+    """The dependency graph of a :class:`~repro.datalog.program.Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._edges: list[DependencyEdge] = []
+        self._outgoing: dict[str, list[DependencyEdge]] = {}
+        self._incoming: dict[str, list[DependencyEdge]] = {}
+        self._nodes: set[str] = set(program.schema)
+        for rule in program.rules:
+            for body_predicate in rule.body_predicates():
+                edge = DependencyEdge(body_predicate, rule.head_predicate, rule.label)
+                self._edges.append(edge)
+                self._outgoing.setdefault(body_predicate, []).append(edge)
+                self._incoming.setdefault(rule.head_predicate, []).append(edge)
+            negated_predicates: list[str] = []
+            for atom in rule.negated:
+                if atom.predicate not in negated_predicates:
+                    negated_predicates.append(atom.predicate)
+            for body_predicate in negated_predicates:
+                edge = DependencyEdge(
+                    body_predicate, rule.head_predicate, rule.label, negated=True
+                )
+                self._edges.append(edge)
+                self._outgoing.setdefault(body_predicate, []).append(edge)
+                self._incoming.setdefault(rule.head_predicate, []).append(edge)
+
+    # ------------------------------------------------------------------
+    # Basic topology
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> tuple[DependencyEdge, ...]:
+        return tuple(self._edges)
+
+    def outgoing(self, node: str) -> tuple[DependencyEdge, ...]:
+        return tuple(self._outgoing.get(node, ()))
+
+    def incoming(self, node: str) -> tuple[DependencyEdge, ...]:
+        return tuple(self._incoming.get(node, ()))
+
+    def out_degree(self, node: str) -> int:
+        return len(self._outgoing.get(node, ()))
+
+    def in_degree(self, node: str) -> int:
+        return len(self._incoming.get(node, ()))
+
+    def deriving_rules(self, node: str) -> tuple[str, ...]:
+        """Labels of the distinct rules with ``node`` in the head."""
+        labels: list[str] = []
+        for edge in self._incoming.get(node, ()):
+            if edge.rule_label not in labels:
+                labels.append(edge.rule_label)
+        return tuple(labels)
+
+    # ------------------------------------------------------------------
+    # Distinguished nodes
+    # ------------------------------------------------------------------
+    def roots(self) -> frozenset[str]:
+        """Nodes that do not depend on other nodes and appear in rules whose
+        bodies do not contain intensional predicates (paper, Section 4.1).
+
+        These are exactly the extensional predicates that feed at least one
+        rule; isolated predicates are excluded.
+        """
+        extensional = self.program.extensional_predicates()
+        return frozenset(
+            node for node in extensional if self._outgoing.get(node)
+        )
+
+    def leaf(self) -> str:
+        """The goal predicate of the program — the leaf of D(Σ)."""
+        if self.program.goal is None:
+            raise ValueError(
+                f"program {self.program.name!r} has no goal predicate; "
+                "set one to identify the dependency-graph leaf"
+            )
+        return self.program.goal
+
+    # ------------------------------------------------------------------
+    # Reachability and cycles
+    # ------------------------------------------------------------------
+    def depends_on(self, node: str, other: str) -> bool:
+        """Whether ``other ≺ node``: a path from ``other`` to ``node`` exists."""
+        return node in self._reachable_from(other)
+
+    def _reachable_from(self, start: str) -> set[str]:
+        seen: set[str] = set()
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for edge in self._outgoing.get(current, ()):
+                if edge.target not in seen:
+                    seen.add(edge.target)
+                    frontier.append(edge.target)
+        return seen
+
+    def is_recursive(self) -> bool:
+        """Whether D(Σ) is cyclic, i.e. the program is recursive."""
+        return any(node in self._reachable_from(node) for node in self._nodes)
+
+    def cycles(self) -> list[list[str]]:
+        """Enumerate the simple cycles of D(Σ) (node sequences).
+
+        Small graphs only — this is used for reporting, not for the
+        reasoning-path enumeration, which works at the rule level.
+        """
+        cycles: list[list[str]] = []
+        seen_signatures: set[tuple[str, ...]] = set()
+
+        def walk(start: str, current: str, path: list[str]) -> None:
+            for edge in self._outgoing.get(current, ()):
+                if edge.target == start:
+                    signature = tuple(sorted(path))
+                    if signature not in seen_signatures:
+                        seen_signatures.add(signature)
+                        cycles.append(list(path))
+                elif edge.target not in path:
+                    walk(start, edge.target, path + [edge.target])
+
+        for node in sorted(self._nodes):
+            walk(node, node, [node])
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Iteration / rendering
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[DependencyEdge]:
+        return iter(self._edges)
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering of the graph."""
+        lines = [f"Dependency graph of {self.program.name!r}:"]
+        lines.extend(f"  {edge}" for edge in self._edges)
+        lines.append(f"  roots: {', '.join(sorted(self.roots()))}")
+        if self.program.goal is not None:
+            lines.append(f"  leaf: {self.leaf()}")
+        lines.append(f"  recursive: {self.is_recursive()}")
+        return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Datalog/Vadalog substrate.
+
+All errors raised by :mod:`repro.datalog` derive from :class:`DatalogError`
+so that callers can catch substrate-level failures with a single handler
+while still discriminating parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+
+class DatalogError(Exception):
+    """Base class for all errors raised by the Datalog substrate."""
+
+
+class ParseError(DatalogError):
+    """Raised when a program or rule text cannot be parsed.
+
+    Carries the offending ``text`` and, when available, the ``position``
+    (character offset) at which parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None and text:
+            context = text[max(0, position - 20):position + 20]
+            message = f"{message} (near ...{context!r}... at offset {position})"
+        super().__init__(message)
+
+
+class SafetyError(DatalogError):
+    """Raised when a rule violates the Datalog safety condition.
+
+    Every variable appearing in the head (or in a condition) must appear in
+    a positive body atom or be defined by an aggregate.
+    """
+
+
+class ArityError(DatalogError):
+    """Raised when a predicate is used with inconsistent arities."""
+
+
+class EvaluationError(DatalogError):
+    """Raised when a condition or arithmetic expression cannot be evaluated,
+    e.g. comparing a string with a number or dividing by zero."""
+
+
+class GlossaryError(DatalogError):
+    """Raised when a domain glossary is inconsistent with the program schema
+    (missing predicate entries, wrong token counts, unknown tokens)."""

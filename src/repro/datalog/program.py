@@ -1,0 +1,129 @@
+"""Programs: rule collections with EDB/IDB classification and a goal.
+
+A reasoning task in the paper is a pair Q = (Σ, Ans): a set of rules and a
+distinguished answer predicate.  :class:`Program` bundles the rule set with
+the goal predicate (the *leaf* of the dependency graph, e.g. ``Control`` or
+``Default``) and derives the intensional/extensional split:
+
+* a predicate is **intensional** (IDB) iff it occurs in at least one head;
+* otherwise it is **extensional** (EDB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .atoms import check_consistent_arities
+from .errors import ArityError, DatalogError
+from .rules import Constraint, Rule
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable Vadalog program Σ with an optional goal predicate."""
+
+    name: str
+    rules: tuple[Rule, ...]
+    goal: str | None = None
+    #: Negative constraints checked after materialization.
+    constraints: tuple[Constraint, ...] = ()
+    #: predicate -> arity, inferred from the rules (computed).
+    schema: dict[str, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise DatalogError(f"program {self.name!r} has no rules")
+        labels = [rule.label for rule in self.rules] + [
+            constraint.label for constraint in self.constraints
+        ]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({l for l in labels if labels.count(l) > 1})
+            raise DatalogError(
+                f"program {self.name!r} has duplicate rule labels: {duplicates}"
+            )
+        atoms = [
+            atom for rule in self.rules
+            for atom in (*rule.body, *rule.negated, rule.head)
+        ]
+        atoms.extend(
+            atom for constraint in self.constraints
+            for atom in (*constraint.body, *constraint.negated)
+        )
+        object.__setattr__(self, "schema", check_consistent_arities(atoms))
+        if self.goal is not None and self.goal not in self.schema:
+            raise ArityError(
+                f"goal predicate {self.goal!r} does not occur in program "
+                f"{self.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def intensional_predicates(self) -> frozenset[str]:
+        """Predicates occurring in at least one rule head (IDB)."""
+        return frozenset(rule.head_predicate for rule in self.rules)
+
+    def extensional_predicates(self) -> frozenset[str]:
+        """Predicates never occurring in a head (EDB)."""
+        return frozenset(self.schema) - self.intensional_predicates()
+
+    def is_intensional(self, predicate: str) -> bool:
+        return predicate in self.intensional_predicates()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def rule(self, label: str) -> Rule:
+        """Look up a rule by its label, raising ``KeyError`` when absent."""
+        for rule in self.rules:
+            if rule.label == label:
+                return rule
+        raise KeyError(f"no rule labelled {label!r} in program {self.name!r}")
+
+    def rules_deriving(self, predicate: str) -> tuple[Rule, ...]:
+        """All rules whose head predicate is ``predicate``."""
+        return tuple(r for r in self.rules if r.head_predicate == predicate)
+
+    def rules_consuming(self, predicate: str) -> tuple[Rule, ...]:
+        """All rules with ``predicate`` among their body predicates."""
+        return tuple(r for r in self.rules if predicate in r.body_predicates())
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # ------------------------------------------------------------------
+    # Derived programs
+    # ------------------------------------------------------------------
+    def with_goal(self, goal: str) -> "Program":
+        """Return a copy of this program with a different goal predicate."""
+        return Program(self.name, self.rules, goal, self.constraints)
+
+    @property
+    def has_negation(self) -> bool:
+        """Whether any rule uses negated body atoms."""
+        return any(rule.has_negation for rule in self.rules)
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing of the program."""
+        lines = [f"Program {self.name!r} (goal: {self.goal or 'unset'})"]
+        lines.extend(f"  {rule.pretty()}" for rule in self.rules)
+        lines.extend(f"  ({c.label}) {c}" for c in self.constraints)
+        edb = ", ".join(sorted(self.extensional_predicates()))
+        idb = ", ".join(sorted(self.intensional_predicates()))
+        lines.append(f"  EDB: {edb}")
+        lines.append(f"  IDB: {idb}")
+        return "\n".join(lines)
+
+
+def make_program(
+    name: str,
+    rules: Iterable[Rule],
+    goal: str | None = None,
+    constraints: Iterable[Constraint] = (),
+) -> Program:
+    """Convenience constructor accepting any iterable of rules."""
+    return Program(name, tuple(rules), goal, tuple(constraints))

@@ -1,0 +1,131 @@
+"""Substitutions, matching and homomorphisms.
+
+The chase and the structural analysis both rest on a small kernel of
+operations over substitutions (finite maps from variables to terms):
+
+* :func:`match_atom` — extend a substitution so that a (possibly
+  non-ground) atom maps onto a ground fact;
+* :func:`apply_substitution` — ground an atom under a substitution;
+* :func:`find_homomorphisms` — enumerate the homomorphisms from a
+  conjunction of atoms into a set of facts (used for the restricted-chase
+  satisfaction check and for reasoning-path adjacency, paper Section 4.1).
+
+Homomorphisms here follow the paper's definition: constants map to
+themselves, nulls may map to constants or nulls, variables map anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .terms import Constant, Null, Term, Variable
+
+#: A substitution: variables (and nulls, for homomorphism checks) to terms.
+Substitution = Mapping[Variable, Term]
+MutableSubstitution = dict[Variable, Term]
+
+
+def match_atom(
+    pattern: Atom,
+    target: Atom,
+    binding: Substitution | None = None,
+) -> MutableSubstitution | None:
+    """Try to extend ``binding`` so that ``pattern`` maps exactly to ``target``.
+
+    ``target`` must be ground.  Returns the extended substitution, or
+    ``None`` when the atoms are incompatible.  The input binding is never
+    mutated.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    result: MutableSubstitution = dict(binding) if binding else {}
+    for pattern_term, target_term in zip(pattern.terms, target.terms):
+        if isinstance(pattern_term, Variable):
+            bound = result.get(pattern_term)
+            if bound is None:
+                result[pattern_term] = target_term
+            elif bound != target_term:
+                return None
+        elif isinstance(pattern_term, (Constant, Null)):
+            if pattern_term != target_term:
+                return None
+    return result
+
+
+def apply_substitution(atom: Atom, binding: Substitution) -> Atom:
+    """Replace every bound variable of ``atom`` by its image under ``binding``."""
+    terms: list[Term] = []
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            terms.append(binding.get(term, term))
+        else:
+            terms.append(term)
+    return atom.with_terms(terms)
+
+
+def is_ground_under(atom: Atom, binding: Substitution) -> bool:
+    """Whether applying ``binding`` grounds ``atom`` completely."""
+    return all(
+        not isinstance(term, Variable) or term in binding for term in atom.terms
+    )
+
+
+def find_homomorphisms(
+    patterns: Sequence[Atom],
+    facts: Iterable[Atom],
+    binding: Substitution | None = None,
+) -> Iterator[MutableSubstitution]:
+    """Enumerate all homomorphisms from the conjunction ``patterns`` into
+    the fact set ``facts``, extending the optional initial ``binding``.
+
+    This is a simple backtracking join; the engine proper uses indexed
+    matching (:mod:`repro.engine.database`) for performance, while this
+    generic version serves the structural analysis and the tests.
+    """
+    facts_by_predicate: dict[str, list[Atom]] = {}
+    for current in facts:
+        facts_by_predicate.setdefault(current.predicate, []).append(current)
+
+    def recurse(
+        index: int, current: MutableSubstitution
+    ) -> Iterator[MutableSubstitution]:
+        if index == len(patterns):
+            yield dict(current)
+            return
+        pattern = patterns[index]
+        for candidate in facts_by_predicate.get(pattern.predicate, ()):
+            extended = match_atom(pattern, candidate, current)
+            if extended is not None:
+                yield from recurse(index + 1, extended)
+
+    initial: MutableSubstitution = dict(binding) if binding else {}
+    yield from recurse(0, initial)
+
+
+def exists_homomorphism(
+    patterns: Sequence[Atom],
+    facts: Iterable[Atom],
+    binding: Substitution | None = None,
+) -> bool:
+    """Whether at least one homomorphism exists (see
+    :func:`find_homomorphisms`); used by the restricted-chase check."""
+    return next(find_homomorphisms(patterns, facts, binding), None) is not None
+
+
+def unify_head_with_body_atom(head: Atom, body_atom: Atom) -> bool:
+    """Predicate-level adjacency test between reasoning paths.
+
+    Two reasoning paths are *adjacent* when there is a homomorphism from the
+    head of the first path's last rule to a body atom of the second path's
+    first rule (paper, Section 4.1).  At the symbolic level this reduces to
+    a unification test: same predicate/arity and no constant clash.
+    """
+    if head.predicate != body_atom.predicate or head.arity != body_atom.arity:
+        return False
+    for head_term, body_term in zip(head.terms, body_atom.terms):
+        head_is_const = isinstance(head_term, Constant)
+        body_is_const = isinstance(body_term, Constant)
+        if head_is_const and body_is_const and head_term != body_term:
+            return False
+    return True

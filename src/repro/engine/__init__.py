@@ -1,0 +1,39 @@
+"""Chase-based reasoning engine with full provenance.
+
+This subpackage is the reproduction's stand-in for the Vadalog system: it
+materializes Vadalog programs over fact databases with the chase procedure,
+recording per-step provenance from which chase graphs, proof DAGs and
+derivation spines are extracted.
+"""
+
+from .chase import (
+    ChaseEngine,
+    ChaseError,
+    ChaseResult,
+    ChaseStepRecord,
+    ConstraintViolation,
+    Contribution,
+    chase,
+)
+from .chase_graph import ChaseEdge, ChaseGraph
+from .database import Database
+from .provenance import DerivationSpine, ProvenanceTracker, SpineStep
+from .reasoning import ReasoningResult, reason
+
+__all__ = [
+    "ChaseEdge",
+    "ChaseEngine",
+    "ChaseError",
+    "ChaseGraph",
+    "ChaseResult",
+    "ChaseStepRecord",
+    "ConstraintViolation",
+    "Contribution",
+    "Database",
+    "DerivationSpine",
+    "ProvenanceTracker",
+    "ReasoningResult",
+    "SpineStep",
+    "chase",
+    "reason",
+]

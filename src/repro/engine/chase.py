@@ -1,0 +1,527 @@
+"""The chase procedure with provenance recording.
+
+The chase enforces a rule set Σ over a database D, incrementally adding the
+facts entailed by rule applications until fixpoint (paper, Section 3).  Our
+implementation:
+
+* evaluates rules round-by-round (naive evaluation) in program order, which
+  makes runs fully deterministic;
+* supports **monotonic aggregations**: an aggregate rule is evaluated
+  set-at-a-time per group; when recursion lets a group's aggregate grow, a
+  new fact with the larger value is derived and the previous fact from the
+  same rule and group is *superseded* — it remains part of the chase graph
+  (monotonicity: derived knowledge is never retracted) but no longer feeds
+  further rule applications, mirroring the final-value semantics of
+  Vadalog's monotonic aggregations;
+* handles existential head variables with fresh labelled nulls under the
+  **restricted chase**: a rule is not fired when its head is already
+  satisfied by a homomorphism extending the body match, which guarantees
+  termination for the (warded) programs considered in the paper;
+* records one :class:`ChaseStepRecord` per derived fact — rule, matched
+  body facts, variable binding and, for aggregates, the individual
+  contributors — from which the chase graph and all proofs are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from ..datalog.atoms import Atom, Fact
+from ..datalog.conditions import Comparison, evaluate_expression
+from ..datalog.errors import DatalogError, EvaluationError
+from ..datalog.program import Program
+from ..datalog.rules import Constraint, Rule
+from ..datalog.stratification import stratify
+from ..datalog.terms import Constant, NullFactory, Term, Variable
+from ..datalog.unify import (
+    MutableSubstitution,
+    apply_substitution,
+    exists_homomorphism,
+)
+from .database import Database
+
+
+class ChaseError(DatalogError):
+    """Raised when the chase cannot proceed (e.g. round limit exceeded)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Contribution:
+    """One body homomorphism feeding an aggregate application.
+
+    ``facts`` are the matched body facts for this homomorphism and ``value``
+    is the evaluated aggregate argument (e.g. one loan amount feeding a
+    ``sum``).
+    """
+
+    facts: tuple[Fact, ...]
+    value: object
+    binding: Mapping[Variable, Term]
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A satisfied negative constraint body: φ(x̄, ȳ) → ⊥ fired.
+
+    The engine reports violations instead of aborting: supervisory
+    applications want the full list, each explainable from its witnesses.
+    """
+
+    constraint: Constraint
+    binding: Mapping[Variable, Term]
+    witnesses: tuple[Fact, ...]
+
+    def __str__(self) -> str:
+        facts = ", ".join(str(w) for w in self.witnesses)
+        return f"constraint {self.constraint.label} violated by {facts}"
+
+
+@dataclass(frozen=True)
+class ChaseStepRecord:
+    """Provenance of a single chase step.
+
+    ``parents`` lists every body fact the step consumed (for aggregates:
+    the union over all contributors).  ``contributors`` is non-empty exactly
+    for aggregate rules; its length is the number of inputs the aggregation
+    combined — the signal that drives the selection between plain and
+    "dashed" reasoning paths (paper, Sections 4.1 and 4.3).
+    """
+
+    index: int
+    round: int
+    rule: Rule
+    fact: Fact
+    parents: tuple[Fact, ...]
+    binding: Mapping[Variable, Term]
+    contributors: tuple[Contribution, ...] = ()
+    aggregate_value: object | None = None
+
+    @property
+    def rule_label(self) -> str:
+        return self.rule.label
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.contributors)
+
+    @property
+    def multi_contributor(self) -> bool:
+        """Whether the aggregation combined more than one input fact."""
+        return len(self.contributors) > 1
+
+    def __str__(self) -> str:
+        parents = ", ".join(str(p) for p in self.parents)
+        return f"[{self.rule_label}] {parents} => {self.fact}"
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run: the materialized instance plus provenance."""
+
+    program: Program
+    database: Database
+    records: list[ChaseStepRecord] = field(default_factory=list)
+    derivation: dict[Fact, ChaseStepRecord] = field(default_factory=dict)
+    superseded: set[Fact] = field(default_factory=set)
+    violations: list[ConstraintViolation] = field(default_factory=list)
+    rounds: int = 0
+
+    # ------------------------------------------------------------------
+    # Queries over the materialized instance
+    # ------------------------------------------------------------------
+    def facts(self, predicate: str, include_superseded: bool = False) -> tuple[Fact, ...]:
+        """The (active) facts of a predicate in the final instance."""
+        all_facts = self.database.facts(predicate)
+        if include_superseded:
+            return all_facts
+        return tuple(f for f in all_facts if f not in self.superseded)
+
+    def is_derived(self, current: Fact) -> bool:
+        """Whether the fact was produced by a chase step (vs. extensional)."""
+        return current in self.derivation
+
+    def record_for(self, current: Fact) -> ChaseStepRecord:
+        """The chase step that derived ``current``; raises for EDB facts."""
+        record = self.derivation.get(current)
+        if record is None:
+            raise KeyError(f"{current} was not derived by the chase")
+        return record
+
+    def derived_facts(self) -> tuple[Fact, ...]:
+        return tuple(record.fact for record in self.records)
+
+    def step_count(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ChaseStepRecord]:
+        return iter(self.records)
+
+
+class ChaseEngine:
+    """Runs the chase for a program over a database.
+
+    The engine is stateless between runs; construct once and reuse.
+
+    Parameters
+    ----------
+    max_rounds:
+        Safety valve against non-terminating programs; the paper only
+        considers programs whose termination is guaranteed, so hitting the
+        limit raises :class:`ChaseError` rather than truncating silently.
+    strategy:
+        ``"naive"`` re-evaluates every rule against the whole instance in
+        every round; ``"semi-naive"`` restricts plain-rule joins to
+        homomorphisms touching the previous round's delta — same facts and
+        provenance, less join work on recursive workloads.
+    """
+
+    #: Supported evaluation strategies.
+    STRATEGIES = ("naive", "semi-naive")
+
+    def __init__(self, max_rounds: int = 10_000, strategy: str = "naive"):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown chase strategy {strategy!r}; "
+                f"choose from {self.STRATEGIES}"
+            )
+        self.max_rounds = max_rounds
+        self.strategy = strategy
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, program: Program, database: Database) -> ChaseResult:
+        """Chase ``database`` with ``program`` until fixpoint.
+
+        The input database is not modified; the result holds a copy that
+        includes all derived facts.  Programs with negation are evaluated
+        stratum by stratum (stratified semantics); negative constraints
+        are checked against the final instance and reported as
+        ``result.violations``.
+        """
+        working = database.copy()
+        result = ChaseResult(program=program, database=working)
+        nulls = NullFactory()
+        # Latest fact per (aggregate rule, group key), for supersession.
+        aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact] = {}
+
+        if program.has_negation:
+            rule_groups = stratify(program).strata
+        else:
+            rule_groups = (program.rules,)
+
+        total_rounds = 0
+        for rules in rule_groups:
+            total_rounds += self._run_stratum(
+                rules, result, nulls, aggregate_state, total_rounds
+            )
+        result.rounds = total_rounds
+        self._check_constraints(program, result)
+        return result
+
+    def _run_stratum(
+        self,
+        rules,
+        result: ChaseResult,
+        nulls: NullFactory,
+        aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
+        rounds_so_far: int,
+    ) -> int:
+        if self.strategy == "semi-naive":
+            return self._run_stratum_semi_naive(
+                rules, result, nulls, aggregate_state, rounds_so_far
+            )
+        for round_number in range(1, self.max_rounds + 1):
+            changed = False
+            for rule in rules:
+                if rule.has_aggregate:
+                    changed |= self._apply_aggregate_rule(
+                        rule, result, aggregate_state,
+                        rounds_so_far + round_number,
+                    )
+                else:
+                    changed |= self._apply_plain_rule(
+                        rule, result, nulls, rounds_so_far + round_number
+                    )
+            if not changed:
+                return round_number
+        raise ChaseError(
+            f"chase did not reach fixpoint within {self.max_rounds} rounds "
+            f"for program {result.program.name!r}"
+        )
+
+    def _run_stratum_semi_naive(
+        self,
+        rules,
+        result: ChaseResult,
+        nulls: NullFactory,
+        aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
+        rounds_so_far: int,
+    ) -> int:
+        """Semi-naive evaluation: after the first round, a plain rule only
+        re-joins homomorphisms that touch at least one fact derived in the
+        previous round (the delta).  Aggregate rules are re-evaluated only
+        when the delta intersects their body predicates (their set-at-a-
+        time semantics needs the whole group anyway)."""
+        delta: frozenset[Fact] = frozenset(result.database.facts())
+        for round_number in range(1, self.max_rounds + 1):
+            before = len(result.records)
+            delta_predicates = {current.predicate for current in delta}
+            for rule in rules:
+                touched = any(
+                    predicate in delta_predicates
+                    for predicate in rule.body_predicates()
+                )
+                if not touched and round_number > 1:
+                    continue
+                if rule.has_aggregate:
+                    self._apply_aggregate_rule(
+                        rule, result, aggregate_state,
+                        rounds_so_far + round_number,
+                    )
+                else:
+                    self._apply_plain_rule(
+                        rule, result, nulls, rounds_so_far + round_number,
+                        delta=None if round_number == 1 else delta,
+                    )
+            new_records = result.records[before:]
+            if not new_records:
+                return round_number
+            delta = frozenset(record.fact for record in new_records)
+        raise ChaseError(
+            f"chase did not reach fixpoint within {self.max_rounds} rounds "
+            f"for program {result.program.name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Negative constraints
+    # ------------------------------------------------------------------
+    def _check_constraints(self, program: Program, result: ChaseResult) -> None:
+        exclude = frozenset(result.superseded)
+        for constraint in program.constraints:
+            for binding, used in self._match_conjunction(
+                constraint.body, constraint.conditions, constraint.negated,
+                result, exclude,
+            ):
+                result.violations.append(
+                    ConstraintViolation(
+                        constraint=constraint,
+                        binding=dict(binding),
+                        witnesses=used,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Body matching
+    # ------------------------------------------------------------------
+    def _body_matches(
+        self,
+        rule: Rule,
+        result: ChaseResult,
+        conditions: tuple[Comparison, ...],
+        delta: frozenset[Fact] | None = None,
+    ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
+        """Enumerate homomorphisms of the rule body into the active facts,
+        filtered by the given (pre-aggregation) conditions and by the
+        rule's negated atoms (no matching active fact may exist).
+
+        With ``delta``, only homomorphisms using at least one delta fact
+        are produced (semi-naive evaluation), each exactly once.
+        """
+        exclude = frozenset(result.superseded)
+        if delta is None:
+            yield from self._match_conjunction(
+                rule.body, conditions, rule.negated, result, exclude,
+                assignments=rule.assignments,
+            )
+            return
+        seen: set[tuple[Fact, ...]] = set()
+        for pivot in range(len(rule.body)):
+            if not any(f.predicate == rule.body[pivot].predicate for f in delta):
+                continue
+            for binding, used in self._match_conjunction(
+                rule.body, conditions, rule.negated, result, exclude,
+                delta=delta, pivot=pivot, assignments=rule.assignments,
+            ):
+                if used not in seen:
+                    seen.add(used)
+                    yield binding, used
+
+    def _match_conjunction(
+        self,
+        atoms: tuple[Atom, ...],
+        conditions: tuple[Comparison, ...],
+        negated: tuple[Atom, ...],
+        result: ChaseResult,
+        exclude: frozenset[Fact],
+        delta: frozenset[Fact] | None = None,
+        pivot: int | None = None,
+        assignments: tuple = (),
+    ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
+        database = result.database
+
+        def negation_holds(binding: MutableSubstitution) -> bool:
+            for pattern in negated:
+                if next(database.match(pattern, binding, exclude), None) is not None:
+                    return False
+            return True
+
+        def recurse(
+            index: int, binding: MutableSubstitution, used: tuple[Fact, ...]
+        ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
+            if index == len(atoms):
+                for variable, expression in assignments:
+                    value = evaluate_expression(expression, binding)
+                    if isinstance(value, float):
+                        value = round(value, 9)
+                        if value.is_integer():
+                            value = int(value)
+                    binding[variable] = Constant(value)
+                if all(condition.holds(binding) for condition in conditions):
+                    if negation_holds(binding):
+                        yield binding, used
+                return
+            pattern = atoms[index]
+            for matched, extended in database.match(pattern, binding, exclude):
+                if index == pivot and delta is not None and matched not in delta:
+                    continue
+                yield from recurse(index + 1, extended, used + (matched,))
+
+        yield from recurse(0, {}, ())
+
+    # ------------------------------------------------------------------
+    # Plain (non-aggregate) rules
+    # ------------------------------------------------------------------
+    def _apply_plain_rule(
+        self,
+        rule: Rule,
+        result: ChaseResult,
+        nulls: NullFactory,
+        round_number: int,
+        delta: frozenset[Fact] | None = None,
+    ) -> bool:
+        changed = False
+        # Materialize matches first: firing must not see this round's output.
+        matches = list(self._body_matches(rule, result, rule.conditions, delta))
+        for binding, used in matches:
+            if rule.is_existential:
+                # Restricted chase: skip when the head is already satisfied.
+                head_pattern = apply_substitution(rule.head, binding)
+                if exists_homomorphism([head_pattern], result.database, None):
+                    continue
+                for variable in rule.existentials:
+                    binding[variable] = nulls.fresh()
+            derived = apply_substitution(rule.head, binding)
+            if not derived.is_fact():
+                raise EvaluationError(
+                    f"rule {rule.label} produced non-ground head {derived}"
+                )
+            if result.database.add(derived):
+                changed = True
+                record = ChaseStepRecord(
+                    index=len(result.records),
+                    round=round_number,
+                    rule=rule,
+                    fact=derived,
+                    parents=used,
+                    binding=dict(binding),
+                )
+                result.records.append(record)
+                result.derivation[derived] = record
+        return changed
+
+    # ------------------------------------------------------------------
+    # Aggregate rules
+    # ------------------------------------------------------------------
+    def _apply_aggregate_rule(
+        self,
+        rule: Rule,
+        result: ChaseResult,
+        aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
+        round_number: int,
+    ) -> bool:
+        aggregate = rule.aggregate
+        assert aggregate is not None
+        pre = tuple(
+            c for c in rule.conditions if aggregate.result not in c.variables()
+        )
+        post = tuple(
+            c for c in rule.conditions if aggregate.result in c.variables()
+        )
+        # Group by the head variables plus any body variable a
+        # post-aggregation condition needs (e.g. the creditor's capital p2
+        # in σ7's "l > p2") — those must be fixed within a group for the
+        # condition to be evaluable.
+        key_vars = list(aggregate.group_by)
+        for condition in post:
+            for variable in sorted(condition.variables(), key=lambda v: v.name):
+                if variable != aggregate.result and variable not in key_vars:
+                    key_vars.append(variable)
+
+        groups: dict[tuple[Term, ...], list[Contribution]] = {}
+        for binding, used in self._body_matches(rule, result, pre):
+            key = tuple(binding[v] for v in key_vars)
+            value = evaluate_expression(aggregate.argument, binding)
+            groups.setdefault(key, []).append(
+                Contribution(facts=used, value=value, binding=dict(binding))
+            )
+
+        changed = False
+        for key, contributions in groups.items():
+            value = aggregate.evaluate(c.value for c in contributions)
+            group_binding: MutableSubstitution = dict(zip(key_vars, key))
+            group_binding[aggregate.result] = Constant(value)
+            if not all(condition.holds(group_binding) for condition in post):
+                continue
+            derived = apply_substitution(rule.head, group_binding)
+            if not derived.is_fact():
+                raise EvaluationError(
+                    f"aggregate rule {rule.label} produced non-ground head "
+                    f"{derived}; check that all head variables are grouped"
+                )
+            state_key = (rule.label, key)
+            previous = aggregate_state.get(state_key)
+            if derived == previous:
+                continue
+            if result.database.add(derived):
+                changed = True
+                parents = self._dedupe_parents(contributions)
+                record = ChaseStepRecord(
+                    index=len(result.records),
+                    round=round_number,
+                    rule=rule,
+                    fact=derived,
+                    parents=parents,
+                    binding=group_binding,
+                    contributors=tuple(contributions),
+                    aggregate_value=value,
+                )
+                result.records.append(record)
+                result.derivation[derived] = record
+                # Monotonic supersession: the refreshed aggregate replaces
+                # the stale value for future rule applications.
+                if previous is not None and previous != derived:
+                    result.superseded.add(previous)
+                aggregate_state[state_key] = derived
+        return changed
+
+    @staticmethod
+    def _dedupe_parents(contributions: list[Contribution]) -> tuple[Fact, ...]:
+        seen: dict[Fact, None] = {}
+        for contribution in contributions:
+            for parent in contribution.facts:
+                seen.setdefault(parent, None)
+        return tuple(seen)
+
+
+def chase(
+    program: Program,
+    database: Database,
+    max_rounds: int = 10_000,
+    strategy: str = "naive",
+) -> ChaseResult:
+    """Convenience wrapper: run the chase with a fresh engine."""
+    return ChaseEngine(max_rounds=max_rounds, strategy=strategy).run(
+        program, database
+    )

@@ -1,0 +1,139 @@
+"""Fact store with per-predicate indexing.
+
+A :class:`Database` is the extensional component of an EKG: a set of facts
+over the schema.  During the chase it also accumulates the derived
+(intensional) facts.  Facts are kept in insertion order — the chase relies
+on this for deterministic rule application — and indexed by predicate and
+by (predicate, position, constant) for fast matching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..datalog.atoms import Atom, Fact
+from ..datalog.errors import ArityError
+from ..datalog.terms import Constant, Null, Variable
+from ..datalog.unify import MutableSubstitution, Substitution, match_atom
+
+
+class Database:
+    """A mutable set of facts with predicate and constant-position indexes."""
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        # dict used as an insertion-ordered set.
+        self._facts: dict[Fact, None] = {}
+        self._by_predicate: dict[str, list[Fact]] = {}
+        self._by_position: dict[tuple[str, int, object], list[Fact]] = {}
+        self._arities: dict[str, int] = {}
+        for current in facts:
+            self.add(current)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, new_fact: Fact) -> bool:
+        """Insert a fact; returns ``True`` iff it was not already present."""
+        if not new_fact.is_fact():
+            raise ArityError(f"cannot store non-ground atom {new_fact}")
+        known_arity = self._arities.get(new_fact.predicate)
+        if known_arity is None:
+            self._arities[new_fact.predicate] = new_fact.arity
+        elif known_arity != new_fact.arity:
+            raise ArityError(
+                f"predicate {new_fact.predicate} used with arity "
+                f"{new_fact.arity}, expected {known_arity}"
+            )
+        if new_fact in self._facts:
+            return False
+        self._facts[new_fact] = None
+        self._by_predicate.setdefault(new_fact.predicate, []).append(new_fact)
+        for position, term in enumerate(new_fact.terms):
+            if isinstance(term, (Constant, Null)):
+                key = (new_fact.predicate, position, term)
+                self._by_position.setdefault(key, []).append(new_fact)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Insert many facts; returns how many were new."""
+        return sum(1 for current in facts if self.add(current))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, item: Fact) -> bool:
+        return item in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def predicates(self) -> frozenset[str]:
+        return frozenset(self._by_predicate)
+
+    def facts(self, predicate: str | None = None) -> tuple[Fact, ...]:
+        """All facts, or the facts of one predicate, in insertion order."""
+        if predicate is None:
+            return tuple(self._facts)
+        return tuple(self._by_predicate.get(predicate, ()))
+
+    def count(self, predicate: str) -> int:
+        return len(self._by_predicate.get(predicate, ()))
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def candidates(self, pattern: Atom, binding: Substitution) -> tuple[Fact, ...]:
+        """Facts that could match ``pattern`` under ``binding``.
+
+        Uses the most selective constant-position index available; falls
+        back to the predicate index.
+        """
+        best: tuple[Fact, ...] | None = None
+        for position, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                term = binding.get(term, term)
+            if isinstance(term, (Constant, Null)):
+                key = (pattern.predicate, position, term)
+                indexed = tuple(self._by_position.get(key, ()))
+                if best is None or len(indexed) < len(best):
+                    best = indexed
+        if best is not None:
+            return best
+        return tuple(self._by_predicate.get(pattern.predicate, ()))
+
+    def match(
+        self,
+        pattern: Atom,
+        binding: Substitution | None = None,
+        exclude: frozenset[Fact] | None = None,
+    ) -> Iterator[tuple[Fact, MutableSubstitution]]:
+        """Yield ``(fact, extended_binding)`` for every fact matching
+        ``pattern`` under ``binding``, skipping facts in ``exclude``."""
+        base: Substitution = binding if binding is not None else {}
+        for candidate in self.candidates(pattern, base):
+            if exclude is not None and candidate in exclude:
+                continue
+            extended = match_atom(pattern, candidate, base)
+            if extended is not None:
+                yield candidate, extended
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def copy(self) -> "Database":
+        return Database(self._facts)
+
+    def describe(self, limit: int | None = None) -> str:
+        """Human-readable listing, optionally truncated to ``limit`` facts."""
+        listed = list(self._facts)
+        truncated = limit is not None and len(listed) > limit
+        if truncated:
+            listed = listed[:limit]
+        lines = [f"Database with {len(self._facts)} facts:"]
+        lines.extend(f"  {current}" for current in listed)
+        if truncated:
+            lines.append(f"  ... ({len(self._facts) - len(listed)} more)")
+        return "\n".join(lines)

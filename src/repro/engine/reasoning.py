@@ -1,0 +1,106 @@
+"""Reasoning tasks: the user-facing query API over program + database.
+
+A reasoning task is a pair Q = (Σ, Ans) evaluated over a database D (paper,
+Section 3).  :func:`reason` runs the chase and returns a
+:class:`ReasoningResult` bundling the materialized instance with its chase
+graph and provenance tracker — everything the explanation pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable
+
+from ..datalog.atoms import Atom, Fact
+from ..datalog.program import Program
+from ..datalog.unify import match_atom
+from .chase import ChaseResult, chase
+from .chase_graph import ChaseGraph
+from .database import Database
+from .provenance import DerivationSpine, ProvenanceTracker
+
+
+@dataclass
+class ReasoningResult:
+    """A materialized reasoning task with provenance attached."""
+
+    program: Program
+    chase_result: ChaseResult
+
+    # ------------------------------------------------------------------
+    # Derived views (built lazily, cached)
+    # ------------------------------------------------------------------
+    @cached_property
+    def graph(self) -> ChaseGraph:
+        return ChaseGraph(self.chase_result)
+
+    @cached_property
+    def provenance(self) -> ProvenanceTracker:
+        return ProvenanceTracker(self.chase_result)
+
+    @property
+    def database(self) -> Database:
+        return self.chase_result.database
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+    def answers(self, predicate: str | None = None) -> tuple[Fact, ...]:
+        """The facts of the goal predicate (or of ``predicate`` if given),
+        excluding superseded partial aggregates."""
+        target = predicate or self.program.goal
+        if target is None:
+            raise ValueError("no goal predicate set and none supplied")
+        return self.chase_result.facts(target)
+
+    def query(self, pattern: Atom) -> tuple[Fact, ...]:
+        """All active facts matching a (possibly non-ground) atom pattern."""
+        matches = []
+        for candidate in self.chase_result.facts(pattern.predicate):
+            if match_atom(pattern, candidate) is not None:
+                matches.append(candidate)
+        return tuple(matches)
+
+    def derived(self) -> tuple[Fact, ...]:
+        """Every fact produced by a chase step, in derivation order."""
+        return self.chase_result.derived_facts()
+
+    @property
+    def violations(self):
+        """Negative-constraint violations found in the final instance."""
+        return tuple(self.chase_result.violations)
+
+    def spine(self, target: Fact) -> DerivationSpine:
+        """Root-to-leaf derivation path for ``target`` (see provenance)."""
+        return self.provenance.spine(target)
+
+    def proof_size(self, target: Fact) -> int:
+        return self.provenance.proof_size(target)
+
+    def describe(self) -> str:
+        derived = self.derived()
+        lines = [
+            f"Reasoning task over {self.program.name!r}: "
+            f"{len(derived)} derived facts in {self.chase_result.rounds} rounds"
+        ]
+        lines.extend(f"  {fact}" for fact in derived)
+        return "\n".join(lines)
+
+
+def reason(
+    program: Program,
+    database: Database | Iterable[Fact],
+    max_rounds: int = 10_000,
+    strategy: str = "naive",
+) -> ReasoningResult:
+    """Run the reasoning task (Σ, goal) over ``database``.
+
+    Accepts either a :class:`Database` or any iterable of facts.
+    ``strategy`` selects naive or semi-naive chase evaluation (same
+    result, different join work; see :class:`~repro.engine.chase.ChaseEngine`).
+    """
+    if not isinstance(database, Database):
+        database = Database(database)
+    result = chase(program, database, max_rounds=max_rounds, strategy=strategy)
+    return ReasoningResult(program=program, chase_result=result)

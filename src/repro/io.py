@@ -1,0 +1,150 @@
+"""File formats: programs, fact bases and glossaries on disk.
+
+Three simple formats make the system usable as a tool rather than a
+library:
+
+* **program files** (``.vada``) — the textual rule syntax of
+  :mod:`repro.datalog.parser`, plus two pragmas in comments::
+
+      % @name company_control
+      % @goal Control
+      sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+
+* **fact files** (``.facts``) — one ground atom per line, same term
+  syntax, ``%``/``#`` comments::
+
+      Own(AlphaHolding, VehicleOne, 0.7).
+      Company(AlphaHolding).
+
+* **glossary files** (``.json``) — the data dictionary::
+
+      {"Own": {"params": ["x", "y", "s"],
+               "text": "<x> owns <s> shares of <y>"}}
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .core.glossary import DomainGlossary
+from .datalog.atoms import Fact
+from .datalog.errors import ParseError
+from .datalog.parser import _TokenStream, _parse_atom, _tokenize
+from .datalog.program import Program
+from .datalog.parser import parse_program
+from .engine.database import Database
+
+_PRAGMA_RE = re.compile(r"^[%#]\s*@(name|goal)\s+(\S+)\s*$", re.MULTILINE)
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+
+def loads_program(
+    text: str, name: str | None = None, goal: str | None = None
+) -> Program:
+    """Parse program text honouring ``@name``/``@goal`` pragmas.
+
+    Explicit arguments override pragmas.
+    """
+    pragmas = dict(_PRAGMA_RE.findall(text))
+    return parse_program(
+        text,
+        name=name or pragmas.get("name", "program"),
+        goal=goal or pragmas.get("goal"),
+    )
+
+
+def load_program(
+    path: str | Path, name: str | None = None, goal: str | None = None
+) -> Program:
+    """Load a program file (see :func:`loads_program`)."""
+    return loads_program(Path(path).read_text(encoding="utf-8"), name, goal)
+
+
+# ----------------------------------------------------------------------
+# Facts
+# ----------------------------------------------------------------------
+
+def parse_fact(text: str) -> Fact:
+    """Parse one ground atom, e.g. ``Own(A, B, 0.6)`` (trailing dot ok)."""
+    stream = _TokenStream(_tokenize(text), text)
+    atom = _parse_atom(stream)
+    if stream.peek() is not None and stream.peek().kind == "DOT":  # type: ignore[union-attr]
+        stream.next()
+    if not stream.at_end():
+        raise ParseError("trailing input after fact", text, 0)
+    if not atom.is_fact():
+        raise ParseError(f"fact {atom} contains variables", text, 0)
+    return atom
+
+
+def loads_facts(text: str) -> Database:
+    """Parse a fact file body into a database."""
+    database = Database()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(("%", "#")):
+            continue
+        try:
+            database.add(parse_fact(line))
+        except ParseError as error:
+            raise ParseError(
+                f"line {line_number}: {error}", text, None
+            ) from error
+    return database
+
+
+def load_facts(path: str | Path) -> Database:
+    """Load a fact file into a database."""
+    return loads_facts(Path(path).read_text(encoding="utf-8"))
+
+
+def save_facts(database: Database | Iterable[Fact], path: str | Path) -> None:
+    """Write a database (or any fact iterable) as a fact file."""
+    lines = [f"{fact}." for fact in database]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Glossaries
+# ----------------------------------------------------------------------
+
+def loads_glossary(text: str) -> DomainGlossary:
+    """Parse a JSON data dictionary into a glossary."""
+    raw = json.loads(text)
+    if not isinstance(raw, dict):
+        raise ParseError("glossary JSON must be an object", text, 0)
+    glossary = DomainGlossary()
+    for predicate, entry in raw.items():
+        if not isinstance(entry, dict) or "params" not in entry or "text" not in entry:
+            raise ParseError(
+                f"glossary entry for {predicate!r} needs 'params' and 'text'",
+                text, 0,
+            )
+        glossary.define(predicate, list(entry["params"]), str(entry["text"]))
+    return glossary
+
+
+def load_glossary(path: str | Path) -> DomainGlossary:
+    """Load a JSON glossary file."""
+    return loads_glossary(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_glossary(glossary: DomainGlossary, path: str | Path) -> None:
+    """Write a glossary as a JSON data dictionary."""
+    payload = {
+        predicate: {
+            "params": list(glossary.entry(predicate).params),
+            "text": glossary.entry(predicate).text,
+        }
+        for predicate in sorted(glossary.predicates())
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, ensure_ascii=False) + "\n",
+        encoding="utf-8",
+    )

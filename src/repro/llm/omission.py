@@ -1,0 +1,132 @@
+"""The calibrated omission model.
+
+Section 6.3 of the paper measures how ChatGPT, asked to paraphrase or
+summarize deterministic proof verbalizations, *omits* information — and
+how the omission ratio grows with proof length, with summaries worse than
+paraphrases and, for company control, share amounts dropped most often.
+
+Running the real model offline is impossible, so the simulated LLM
+reproduces the *behaviour*: after rewriting, each distinct constant of the
+input may be dropped with a probability that grows with the input length
+(sentence count ≈ chase steps).  Numeric constants (amounts, shares) are
+dropped more readily than entity names, matching the paper's qualitative
+finding; a dropped number is replaced by a vague phrase ("a certain
+amount" — exactly the "owns a majority stake" failure visible in the
+paper's Figure 15 GPT summary), a dropped entity by an anaphoric one.
+
+The profiles below are calibrated to the trends of Figure 17, not to its
+absolute values (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+_NUMBER_RE = re.compile(r"(?<![\w.<])(\d+(?:\.\d+)?)(?!\w|[.>]\d|>)")
+_ENTITY_RE = re.compile(r"(?<![\w<])([A-Z][A-Za-z0-9_]*)(?!\w|>)")
+
+#: Replacement phrases, in rotation, for dropped constants.
+_NUMBER_FILLERS = ("a certain amount", "a significant amount", "some amount")
+_ENTITY_FILLERS = ("one of the entities involved", "another company", "the counterparty")
+
+#: Capitalized words that are prose, not entity constants.
+_ENTITY_STOPWORDS = frozenset({
+    "A", "An", "The", "As", "Because", "Given", "Since", "Consequently",
+    "Hence", "Thus", "Therefore", "With", "Despite", "This", "That", "It",
+    "And", "But", "So", "If", "When", "Then", "Result", "Moreover",
+})
+
+
+@dataclass(frozen=True)
+class OmissionProfile:
+    """Length-dependent drop probabilities for one prompt kind.
+
+    ``p(number) = min(cap, base + slope * max(0, sentences - 1))`` and
+    entities are dropped at ``entity_factor`` times that rate.
+    """
+
+    base: float
+    slope: float
+    cap: float
+    entity_factor: float
+
+    def number_probability(self, sentences: int) -> float:
+        return min(self.cap, self.base + self.slope * max(0, sentences - 1))
+
+    def entity_probability(self, sentences: int) -> float:
+        return self.number_probability(sentences) * self.entity_factor
+
+
+#: Paraphrasing loses less information than summarizing (paper, §6.3).
+PARAPHRASE_PROFILE = OmissionProfile(base=0.0, slope=0.030, cap=0.80, entity_factor=0.35)
+SUMMARY_PROFILE = OmissionProfile(base=0.05, slope=0.045, cap=0.90, entity_factor=0.50)
+
+#: Template enhancement operates on short rule-level texts; a small flat
+#: rate models the rare token drops the Section 4.4 guard exists to catch.
+REPHRASE_PROFILE = OmissionProfile(base=0.02, slope=0.0, cap=0.02, entity_factor=1.0)
+
+
+class OmissionModel:
+    """Applies length-calibrated constant drops to rewritten text."""
+
+    def __init__(self, profile: OmissionProfile, rng: random.Random):
+        self.profile = profile
+        self._rng = rng
+
+    def apply(self, text: str, sentences: int) -> str:
+        """Drop constants from ``text`` given the input length.
+
+        All mentions of a dropped constant disappear together — the model
+        "forgot" that piece of information, it did not merely skip one
+        mention.
+        """
+        p_number = self.profile.number_probability(sentences)
+        p_entity = self.profile.entity_probability(sentences)
+        text = self._drop(text, _NUMBER_RE, p_number, _NUMBER_FILLERS)
+        text = self._drop(
+            text, _ENTITY_RE, p_entity, _ENTITY_FILLERS, skip=_ENTITY_STOPWORDS
+        )
+        return text
+
+    def apply_to_tokens(self, text: str, probability: float | None = None) -> str:
+        """Drop ``<token>`` placeholders (template-enhancement failure
+        mode: variables deleted from the template, paper §4.4)."""
+        p = self.profile.base if probability is None else probability
+        dropped: dict[str, str] = {}
+
+        def substitute(match: re.Match[str]) -> str:
+            token = match.group(0)
+            if token not in dropped:
+                drop = self._rng.random() < p
+                dropped[token] = "" if drop else token
+            return dropped[token]
+
+        collapsed = re.sub(r"<[A-Za-z_][A-Za-z0-9_]*>", substitute, text)
+        return re.sub(r"  +", " ", collapsed)
+
+    def _drop(
+        self,
+        text: str,
+        pattern: re.Pattern[str],
+        probability: float,
+        fillers: tuple[str, ...],
+        skip: frozenset[str] = frozenset(),
+    ) -> str:
+        distinct = [
+            value for value in dict.fromkeys(pattern.findall(text))
+            if value not in skip
+        ]
+        decisions: dict[str, str | None] = {}
+        for index, constant in enumerate(distinct):
+            if self._rng.random() < probability:
+                decisions[constant] = fillers[index % len(fillers)]
+            else:
+                decisions[constant] = None
+
+        def substitute(match: re.Match[str]) -> str:
+            replacement = decisions.get(match.group(1))
+            return match.group(0) if replacement is None else replacement
+
+        return pattern.sub(substitute, text)

@@ -1,0 +1,199 @@
+"""Deterministic sentence-rewriting engine.
+
+This module is the linguistic heart of the simulated LLM: a rule-based
+rewriter that turns the verbalizer's rigid *"Since ..., then ..."* prose
+into the kind of fluent text an instruction-tuned model produces when asked
+to rephrase, paraphrase or summarize.
+
+It understands the verbalizer's sentence shape (body clauses joined by
+", and ", an optional aggregation clause introduced by ", with ", a head
+introduced by ", then ") and rewrites at three levels:
+
+* **sentence patterns** — varied connective frames ("Because ..., ...",
+  "..., as ...", "...; as a result, ...") chosen pseudo-randomly but
+  deterministically from a seeded RNG;
+* **lexical variation** — operator phrases and domain verbs swapped for
+  synonyms ("is higher than" → "exceeds");
+* **discourse compression** (summaries) — clauses already stated verbatim
+  earlier in the text are dropped, head restatements removed.
+
+By construction the reliable rewriter never deletes a ``<token>`` or a
+constant that is not a verbatim repetition — omissions are injected
+separately by :mod:`repro.llm.omission`, which models the LLM failure mode
+the paper studies.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+#: Synonym pools for lexical variation.  Every alternative preserves the
+#: surrounding tokens, so rewriting is always guard-safe.
+_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "is higher than": ("is higher than", "exceeds", "is above", "is greater than"),
+    "is lower than": ("is lower than", "falls below", "is under", "does not reach"),
+    "is at least": ("is at least", "is no less than"),
+    "is at most": ("is at most", "is no more than"),
+    "is in default": ("is in default", "defaults", "goes into default"),
+    "is given by the sum of": (
+        "is given by the sum of",
+        "results from adding up",
+        "is the total of",
+    ),
+    "amounting to": ("amounting to", "of", "worth"),
+}
+
+_PARAPHRASE_FRAMES = (
+    "Because {body}, {head}.",
+    "Given that {body}, {head}.",
+    "{Body}; as a result, {head}.",
+    "{Body}, and therefore {head}.",
+    "As {body}, {head}.",
+)
+
+_SUMMARY_FRAMES = (
+    "{body}, so {head}.",
+    "{body}; hence {head}.",
+    "{body} — thus {head}.",
+)
+
+
+@dataclass(frozen=True)
+class ParsedSentence:
+    """A verbalizer sentence decomposed into body clauses and head."""
+
+    clauses: tuple[str, ...]
+    head: str
+    raw: str
+
+    @property
+    def is_canonical(self) -> bool:
+        """Whether the sentence had the 'Since ..., then ...' shape."""
+        return bool(self.head)
+
+
+def split_sentences(text: str) -> list[str]:
+    return [part for part in _SENTENCE_RE.split(text.strip()) if part]
+
+
+def parse_sentence(sentence: str) -> ParsedSentence:
+    """Decompose one sentence produced by the verbalizer.
+
+    Sentences not matching the canonical shape are passed through whole
+    (clauses empty, head empty) — the rewriter leaves them untouched.
+    """
+    stripped = sentence.strip().rstrip(".")
+    if not stripped.lower().startswith("since "):
+        return ParsedSentence((), "", sentence.strip())
+    remainder = stripped[len("since "):]
+    if ", then " not in remainder:
+        return ParsedSentence((), "", sentence.strip())
+    body, head = remainder.rsplit(", then ", 1)
+    clauses: list[str] = []
+    for part in body.split(", and "):
+        for index, sub in enumerate(part.split(", with ")):
+            sub = sub.strip()
+            if not sub:
+                continue
+            if index > 0 and " given by " in sub and " is given by " not in sub:
+                # ", with <e> given by ..." loses its "with" when the
+                # clause is re-framed; restore grammaticality.
+                sub = sub.replace(" given by ", " is given by ", 1)
+            clauses.append(sub)
+    return ParsedSentence(tuple(clauses), head.strip(), sentence.strip())
+
+
+def _capitalize(text: str) -> str:
+    for index, char in enumerate(text):
+        if char.isalpha():
+            return text[:index] + char.upper() + text[index + 1:]
+        if char == "<":
+            return text  # token-initial: leave casing to the token value
+    return text
+
+
+class RewritingEngine:
+    """Seeded, deterministic paraphrase/summary rewriter."""
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Lexical layer
+    # ------------------------------------------------------------------
+    def _vary_lexicon(self, text: str) -> str:
+        for phrase, alternatives in _SYNONYMS.items():
+            while phrase in text:
+                text = text.replace(phrase, self._rng.choice(alternatives), 1)
+        return text
+
+    # ------------------------------------------------------------------
+    # Sentence layer
+    # ------------------------------------------------------------------
+    def _frame(self, parsed: ParsedSentence, frames: tuple[str, ...]) -> str:
+        # Independent clauses are joined with semicolons (a comma here
+        # would be a comma splice — and would also blur the boundary with
+        # the comma-separated value enumerations inside clauses).
+        if len(parsed.clauses) > 1:
+            body = "; ".join(parsed.clauses[:-1]) + f"; and {parsed.clauses[-1]}"
+        else:
+            body = parsed.clauses[-1]
+        frame = self._rng.choice(frames)
+        return frame.format(
+            body=body, Body=_capitalize(body), head=parsed.head
+        )
+
+    def paraphrase(self, text: str) -> str:
+        """A fluent restatement keeping every clause of every sentence."""
+        output: list[str] = []
+        for sentence in split_sentences(text):
+            parsed = parse_sentence(sentence)
+            if not parsed.is_canonical:
+                output.append(parsed.raw)
+                continue
+            framed = self._frame(parsed, _PARAPHRASE_FRAMES)
+            output.append(self._vary_lexicon(framed))
+        return " ".join(output)
+
+    def summarize(self, text: str) -> str:
+        """A compressed restatement.
+
+        Clauses already stated verbatim earlier in the text are dropped
+        (they carry no new information), as are body clauses restating the
+        previous sentence's head — the discourse-level redundancy the
+        verbalizer introduces between chained rules.
+        """
+        output: list[str] = []
+        seen_clauses: set[str] = set()
+        previous_head = ""
+        for sentence in split_sentences(text):
+            parsed = parse_sentence(sentence)
+            if not parsed.is_canonical:
+                output.append(parsed.raw)
+                continue
+            kept = []
+            for clause in parsed.clauses:
+                if clause in seen_clauses or clause == previous_head:
+                    continue
+                kept.append(clause)
+                seen_clauses.add(clause)
+            previous_head = parsed.head
+            if not kept:
+                # Everything was already said: restate only the conclusion.
+                output.append(f"Consequently, {parsed.head}.")
+                continue
+            framed = self._frame(
+                ParsedSentence(tuple(kept), parsed.head, parsed.raw),
+                _SUMMARY_FRAMES,
+            )
+            output.append(self._vary_lexicon(_capitalize(framed)))
+        return " ".join(output)
+
+    def rephrase(self, text: str) -> str:
+        """Template enhancement: like a paraphrase, with the first
+        sentence framed for a smoother opening."""
+        return self.paraphrase(text)

@@ -1,0 +1,118 @@
+"""The simulated LLM: an offline, deterministic stand-in for ChatGPT.
+
+:class:`SimulatedLLM` implements the :class:`~repro.llm.client.LLMClient`
+protocol by dispatching on the paper's three prompts (rephrase /
+paraphrase / summarize) to the rule-based rewriting engine, then applying
+the calibrated omission model for the corresponding task.
+
+Behavioural properties, mirroring the real-model observations the paper
+reports:
+
+* **fluency** — rigid "Since ..., then ..." prose is reframed with varied
+  connectives and synonyms;
+* **variability** — repeated calls on the same input give different (but
+  deterministic, given the seed) outputs, like resampling a model;
+* **omissions** — information loss grows with input length, summaries
+  lose more than paraphrases, numbers are dropped more often than entity
+  names (§6.3); ``faithful=True`` disables this for ablations.
+
+Everything is local: no data ever leaves the process, which is precisely
+the confidentiality property the paper's template approach is designed
+around — the simulator exists so that the *baselines* can be run offline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .client import PromptKind, classify_prompt
+from .omission import (
+    OmissionModel,
+    OmissionProfile,
+    PARAPHRASE_PROFILE,
+    REPHRASE_PROFILE,
+    SUMMARY_PROFILE,
+)
+from .rewriting import RewritingEngine, split_sentences
+
+
+@dataclass
+class LLMUsage:
+    """Bookkeeping of simulator calls (handy in tests and benchmarks)."""
+
+    calls: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: PromptKind) -> None:
+        self.calls += 1
+        self.by_kind[kind.value] = self.by_kind.get(kind.value, 0) + 1
+
+
+class SimulatedLLM:
+    """Deterministic, seedable ChatGPT stand-in.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; two simulators with the same seed produce identical
+        call-for-call outputs.
+    faithful:
+        When ``True``, the omission model is disabled entirely — the
+        simulator never loses information (useful as a "perfect LLM"
+        ablation and for tests of the rewriting layer alone).
+    profiles:
+        Optional per-task override of the omission profiles.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        faithful: bool = False,
+        profiles: dict[PromptKind, OmissionProfile] | None = None,
+    ):
+        self.seed = seed
+        self.faithful = faithful
+        self.usage = LLMUsage()
+        self._call_counter = 0
+        self._profiles = {
+            PromptKind.REPHRASE: REPHRASE_PROFILE,
+            PromptKind.PARAPHRASE: PARAPHRASE_PROFILE,
+            PromptKind.SUMMARY: SUMMARY_PROFILE,
+        }
+        if profiles:
+            self._profiles.update(profiles)
+
+    # ------------------------------------------------------------------
+    # LLMClient protocol
+    # ------------------------------------------------------------------
+    def complete(self, prompt: str) -> str:
+        """Answer one prompt; unknown prompts are echoed unchanged, like a
+        model politely returning the text it cannot act on."""
+        kind, payload = classify_prompt(prompt)
+        self.usage.record(kind)
+        self._call_counter += 1
+        rng = random.Random(f"{self.seed}:{self._call_counter}")
+        engine = RewritingEngine(rng)
+
+        if kind is PromptKind.UNKNOWN:
+            return payload
+
+        if kind is PromptKind.REPHRASE:
+            rewritten = engine.rephrase(payload)
+        elif kind is PromptKind.PARAPHRASE:
+            rewritten = engine.paraphrase(payload)
+        else:
+            rewritten = engine.summarize(payload)
+
+        if self.faithful:
+            return rewritten
+
+        profile = self._profiles[kind]
+        omission = OmissionModel(profile, rng)
+        length = len(split_sentences(payload))
+        if kind is PromptKind.REPHRASE:
+            # Enhancement operates on templates: the failure mode is a
+            # dropped <token>, which the §4.4 guard must catch.
+            return omission.apply_to_tokens(rewritten)
+        return omission.apply(rewritten, length)

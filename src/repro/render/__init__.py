@@ -1,0 +1,13 @@
+"""Presentation helpers: DOT export and terminal tables/boxplots."""
+
+from .ascii import format_boxplot_series, format_percent, format_table
+from .dot import chase_graph_dot, dependency_graph_dot, financial_network_dot
+
+__all__ = [
+    "chase_graph_dot",
+    "dependency_graph_dot",
+    "financial_network_dot",
+    "format_boxplot_series",
+    "format_percent",
+    "format_table",
+]

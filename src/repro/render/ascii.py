@@ -1,0 +1,79 @@
+"""Plain-text tables and trees for examples and benchmark reports.
+
+The benchmark harness prints the paper's tables (Figures 10, 14, 16) and
+boxplot series (Figures 17, 18) through these helpers, so every experiment
+regenerates a readable artifact directly in the terminal / log file.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxed, column-aligned table.
+
+    >>> print(format_table(["a", "b"], [[1, 2]]))
+    | a | b |
+    |---|---|
+    | 1 | 2 |
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+        return "| " + " | ".join(padded) + " |"
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    """0.9583 → '96%' (the paper's Figure 14 formatting)."""
+    return f"{round(value * 100)}%"
+
+
+def format_boxplot_series(
+    label: str,
+    points: Sequence[tuple[int, tuple[float, float, float]]],
+    width: int = 40,
+    maximum: float | None = None,
+) -> str:
+    """A textual boxplot series: one ``x: [q1 | median | q3]`` bar per
+    point, scaled to ``width`` characters (Figures 17/18 in the log)."""
+    if maximum is None:
+        maximum = max((q3 for _, (_, _, q3) in points), default=1.0) or 1.0
+
+    def position(value: float) -> int:
+        return min(width - 1, max(0, int(round(value / maximum * (width - 1)))))
+
+    lines = [f"{label} (scale: 0 .. {maximum:.3g})"]
+    for x, (q1, median, q3) in points:
+        bar = [" "] * width
+        low, mid, high = position(q1), position(median), position(q3)
+        for index in range(low, high + 1):
+            bar[index] = "-"
+        bar[low] = "["
+        bar[high] = "]"
+        bar[mid] = "|"
+        lines.append(f"  {x:>4} {''.join(bar)} (median {median:.3f})")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""DOT (Graphviz) export of the repository's graph structures.
+
+Produces the pictures of the paper's Figures 3, 8, 9, 12 and 13 as DOT
+source: dependency graphs (predicates with rule-labelled edges, dashed for
+aggregation variants), chase graphs (facts with derivation edges) and plain
+financial-network views of fact databases.  No Graphviz binary is needed —
+the output is plain text for any renderer.
+"""
+
+from __future__ import annotations
+
+from ..datalog.depgraph import DependencyGraph
+from ..datalog.rules import pretty_label
+from ..engine.chase_graph import ChaseGraph
+from ..engine.database import Database
+
+
+def _quote(value: str) -> str:
+    escaped = value.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def dependency_graph_dot(graph: DependencyGraph, name: str = "dependency") -> str:
+    """Render D(Σ): round nodes for predicates, edges labelled by rule."""
+    program = graph.program
+    extensional = program.extensional_predicates()
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in sorted(graph.nodes):
+        shape = "box" if node in extensional else "ellipse"
+        lines.append(f"  {_quote(node)} [shape={shape}];")
+    for edge in graph.edges:
+        label = pretty_label(edge.rule_label)
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"[label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chase_graph_dot(graph: ChaseGraph, name: str = "chase") -> str:
+    """Render G(D, Σ): fact nodes, rule-labelled derivation edges
+    (the paper's Figure 8)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    derivation = graph.result.derivation
+    for fact in graph.nodes():
+        shape = "ellipse" if fact in derivation else "box"
+        lines.append(f"  {_quote(str(fact))} [shape={shape}];")
+    for edge in graph.edges:
+        label = pretty_label(edge.rule_label)
+        lines.append(
+            f"  {_quote(str(edge.source))} -> {_quote(str(edge.target))} "
+            f"[label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def financial_network_dot(database: Database, name: str = "network") -> str:
+    """Render a fact database as a financial network (Figures 12/13 style):
+    binary/ternary facts become labelled edges, unary and property facts
+    become node annotations."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    annotations: dict[str, list[str]] = {}
+    edges: list[str] = []
+    for fact in database:
+        strings = [
+            str(term.value) for term in fact.terms
+            if hasattr(term, "value") and isinstance(term.value, str)
+        ]
+        others = [
+            str(term) for term in fact.terms
+            if not (hasattr(term, "value") and isinstance(term.value, str))
+        ]
+        if len(strings) >= 2:
+            label = fact.predicate
+            if others:
+                label += f" {', '.join(others)}"
+            edges.append(
+                f"  {_quote(strings[0])} -> {_quote(strings[1])} "
+                f"[label={_quote(label)}];"
+            )
+        elif len(strings) == 1:
+            note = fact.predicate
+            if others:
+                note += f"={', '.join(others)}"
+            annotations.setdefault(strings[0], []).append(note)
+    for entity in sorted(annotations):
+        label = entity + "\\n" + "\\n".join(annotations[entity])
+        lines.append(f"  {_quote(entity)} [shape=box, label={_quote(label)}];")
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""User-study simulation harness (paper, Section 6).
+
+Simulated replacements for the paper's two human studies — comprehension
+(Section 6.1, Figure 14) and expert quality grading (Section 6.2, Figure
+16) — plus the statistical machinery (Wilcoxon tests, omission sweeps)
+used across the evaluation.
+"""
+
+from .archetypes import (
+    ALL_ARCHETYPES,
+    CorruptionError,
+    ErrorArchetype,
+    GraphVisualization,
+    corrupt,
+)
+from .comprehension import (
+    CaseResult,
+    ComprehensionQuestion,
+    ComprehensionStudyResult,
+    SimulatedParticipant,
+    build_question,
+    fact_support,
+    run_comprehension_study,
+    study_cases,
+)
+from .experts import (
+    METHODS,
+    ExpertStudyResult,
+    SimulatedExpert,
+    TextFeatures,
+    base_quality,
+    build_method_texts,
+    expert_scenarios,
+    run_expert_study,
+    text_features,
+)
+from .stats import (
+    LikertSummary,
+    OmissionDistribution,
+    likert_summary,
+    measure_omissions,
+    measure_template_omissions,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "ALL_ARCHETYPES",
+    "CaseResult",
+    "ComprehensionQuestion",
+    "ComprehensionStudyResult",
+    "CorruptionError",
+    "ErrorArchetype",
+    "ExpertStudyResult",
+    "GraphVisualization",
+    "LikertSummary",
+    "METHODS",
+    "OmissionDistribution",
+    "SimulatedExpert",
+    "SimulatedParticipant",
+    "TextFeatures",
+    "base_quality",
+    "build_method_texts",
+    "build_question",
+    "corrupt",
+    "expert_scenarios",
+    "fact_support",
+    "likert_summary",
+    "measure_omissions",
+    "measure_template_omissions",
+    "run_comprehension_study",
+    "run_expert_study",
+    "study_cases",
+    "text_features",
+    "wilcoxon_signed_rank",
+]

@@ -1,0 +1,282 @@
+"""Error archetypes for the comprehension study (paper, Section 6.1).
+
+The study presents each explanation next to three KG visualizations: the
+correct one and two corrupted by one of four error archetypes:
+
+* **(I) false edge** — an edge is redirected to the wrong entity;
+* **(II) incorrect value** — a numeric property (share, capital, amount)
+  is altered;
+* **(III) incorrect aggregation order** — two contribution values feeding
+  the same aggregate are swapped between their edges;
+* **(IV) incorrect chain** — the order of a recursion chain is perturbed.
+
+A visualization is modelled as the set of facts a drawn graph encodes (the
+relevant EDB portion plus the derived edges); corruptions are fact-set
+rewrites, so the simulated participants can compare what they read against
+what they see exactly as human subjects compare text and picture.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from ..datalog.atoms import Fact
+from ..datalog.terms import Constant
+
+
+class ErrorArchetype(Enum):
+    """The four corruption archetypes of Section 6.1."""
+
+    WRONG_EDGE = "wrong edge"
+    WRONG_VALUE = "wrong value"
+    WRONG_AGGREGATION = "incorrect aggregation"
+    WRONG_CHAIN = "incorrect chain"
+
+
+@dataclass(frozen=True)
+class GraphVisualization:
+    """One candidate picture: a set of facts, with corruption metadata."""
+
+    facts: frozenset[Fact]
+    archetype: ErrorArchetype | None = None
+    note: str = ""
+
+    @property
+    def is_correct(self) -> bool:
+        return self.archetype is None
+
+
+class CorruptionError(ValueError):
+    """Raised when a fact set offers no site for the requested archetype."""
+
+
+def _is_entity(term: object) -> bool:
+    """Entity names are capitalized string constants; lowercase strings
+    (channel labels such as ``"long"``/``"short"``) are property values."""
+    return (
+        isinstance(term, Constant)
+        and isinstance(term.value, str)
+        and bool(term.value)
+        and term.value[0].isupper()
+    )
+
+
+def _iter_sorted(facts: frozenset[Fact]) -> list[Fact]:
+    """Deterministic iteration order over a fact set (frozenset order
+    depends on the process hash seed)."""
+    return sorted(facts, key=str)
+
+
+def _entities(facts: frozenset[Fact]) -> list[str]:
+    names: dict[str, None] = {}
+    for current in _iter_sorted(facts):
+        for term in current.terms:
+            if _is_entity(term):
+                names.setdefault(term.value, None)  # type: ignore[union-attr]
+    return list(names)
+
+
+def _numeric_positions(current: Fact) -> list[int]:
+    return [
+        index for index, term in enumerate(current.terms)
+        if isinstance(term, Constant) and term.is_numeric
+    ]
+
+
+def _replace_term(current: Fact, position: int, value: object) -> Fact:
+    terms = list(current.terms)
+    terms[position] = Constant(value)  # type: ignore[arg-type]
+    return Fact(current.predicate, tuple(terms))
+
+
+def _edge_facts(facts: frozenset[Fact]) -> list[Fact]:
+    """Facts with at least two entity arguments — drawable as edges."""
+    edges = []
+    for current in _iter_sorted(facts):
+        if sum(1 for term in current.terms if _is_entity(term)) >= 2:
+            edges.append(current)
+    return edges
+
+
+def corrupt(
+    visualization: frozenset[Fact],
+    archetype: ErrorArchetype,
+    rng: random.Random,
+) -> GraphVisualization:
+    """Apply one archetype to a correct visualization.
+
+    Raises :class:`CorruptionError` when the graph offers no suitable
+    corruption site (e.g. no aggregation to reorder).
+    """
+    if archetype is ErrorArchetype.WRONG_EDGE:
+        return _corrupt_edge(visualization, rng)
+    if archetype is ErrorArchetype.WRONG_VALUE:
+        return _corrupt_value(visualization, rng)
+    if archetype is ErrorArchetype.WRONG_AGGREGATION:
+        return _corrupt_aggregation(visualization, rng)
+    return _corrupt_chain(visualization, rng)
+
+
+def _corrupt_edge(facts: frozenset[Fact], rng: random.Random) -> GraphVisualization:
+    edges = _edge_facts(facts)
+    entities = _entities(facts)
+    rng.shuffle(edges)
+    for edge in edges:
+        entity_positions = [
+            index for index, term in enumerate(edge.terms)
+            if _is_entity(term)
+        ]
+        position = rng.choice(entity_positions)
+        current_value = edge.terms[position]
+        candidates = [
+            name for name in entities
+            if Constant(name) not in edge.terms
+        ]
+        if not candidates:
+            continue
+        replacement = rng.choice(candidates)
+        corrupted = _replace_term(edge, position, replacement)
+        if corrupted in facts:
+            continue
+        new_facts = (facts - {edge}) | {corrupted}
+        return GraphVisualization(
+            frozenset(new_facts),
+            ErrorArchetype.WRONG_EDGE,
+            note=f"{edge} redirected to {replacement} (was {current_value})",
+        )
+    raise CorruptionError("no edge can be redirected in this visualization")
+
+
+def _corrupt_value(facts: frozenset[Fact], rng: random.Random) -> GraphVisualization:
+    numeric = [f for f in _iter_sorted(facts) if _numeric_positions(f)]
+    if not numeric:
+        raise CorruptionError("no numeric property to alter")
+    target = rng.choice(numeric)
+    position = rng.choice(_numeric_positions(target))
+    old_value = target.terms[position].value  # type: ignore[union-attr]
+    assert isinstance(old_value, (int, float))
+    if isinstance(old_value, int):
+        delta = rng.choice([d for d in range(-4, 7) if d != 0])
+        new_value = max(1, old_value + delta)
+        if new_value == old_value:
+            new_value = old_value + 1
+    else:
+        new_value = round(min(0.99, max(0.01, old_value + rng.choice([-0.17, 0.13, 0.21]))), 2)
+        if new_value == old_value:
+            new_value = round(old_value / 2, 2)
+    corrupted = _replace_term(target, position, new_value)
+    if corrupted in facts:
+        # The altered fact collides with an existing one: nudge further.
+        assert isinstance(new_value, (int, float))
+        bumped = new_value + (1 if isinstance(new_value, int) else 0.01)
+        corrupted = _replace_term(target, position, round(bumped, 2))
+    if corrupted in facts:
+        raise CorruptionError("could not find a collision-free value change")
+    new_facts = (facts - {target}) | {corrupted}
+    return GraphVisualization(
+        frozenset(new_facts),
+        ErrorArchetype.WRONG_VALUE,
+        note=f"{target}: {old_value} -> {new_value}",
+    )
+
+
+def _corrupt_aggregation(
+    facts: frozenset[Fact], rng: random.Random
+) -> GraphVisualization:
+    """Swap two numeric values between same-predicate facts that share a
+    target entity — the classic mixed-up contribution amounts."""
+    by_group: dict[tuple[str, object], list[Fact]] = {}
+    for current in _iter_sorted(facts):
+        positions = _numeric_positions(current)
+        if not positions:
+            continue
+        entity_args = [
+            term.value for term in current.terms if _is_entity(term)
+        ]
+        for entity in entity_args:
+            by_group.setdefault((current.predicate, entity), []).append(current)
+    groups = [
+        members for members in by_group.values()
+        if len(members) >= 2
+    ]
+    rng.shuffle(groups)
+    for members in groups:
+        ordered = sorted(members, key=str)
+        rng.shuffle(ordered)
+        for first_index in range(len(ordered)):
+            for second_index in range(first_index + 1, len(ordered)):
+                first, second = ordered[first_index], ordered[second_index]
+                position_first = _numeric_positions(first)[-1]
+                position_second = _numeric_positions(second)[-1]
+                value_first = first.terms[position_first]
+                value_second = second.terms[position_second]
+                if value_first == value_second:
+                    continue
+                swapped_first = _replace_term(first, position_first, value_second.value)  # type: ignore[union-attr]
+                swapped_second = _replace_term(second, position_second, value_first.value)  # type: ignore[union-attr]
+                new_facts = frozenset(
+                    (facts - {first, second}) | {swapped_first, swapped_second}
+                )
+                # Reject swaps that collapse onto existing facts or are
+                # no-ops (the two facts sharing both entity arguments).
+                if new_facts == facts or len(new_facts) != len(facts):
+                    continue
+                return GraphVisualization(
+                    new_facts,
+                    ErrorArchetype.WRONG_AGGREGATION,
+                    note=(
+                        f"swapped {value_first} and {value_second} "
+                        "between contributions"
+                    ),
+                )
+    raise CorruptionError("no aggregation contributions to reorder")
+
+
+def _corrupt_chain(facts: frozenset[Fact], rng: random.Random) -> GraphVisualization:
+    """Perturb a recursion chain: where x→y and y→z edges of the same
+    predicate exist, rewire them as x→z and z→y."""
+    edges = _edge_facts(facts)
+    by_predicate: dict[str, list[Fact]] = {}
+    for edge in edges:
+        by_predicate.setdefault(edge.predicate, []).append(edge)
+    shuffled = list(by_predicate.values())
+    rng.shuffle(shuffled)
+    for members in shuffled:
+        for first in members:
+            for second in members:
+                if first == second:
+                    continue
+                # first = P(x, y, ...), second = P(y, z, ...): a chain.
+                if first.terms[1] != second.terms[0]:
+                    continue
+                x, y = first.terms[0], first.terms[1]
+                z = second.terms[1]
+                if z in (x, y):
+                    continue
+                rewired_first = _replace_term(first, 1, z.value)  # type: ignore[union-attr]
+                rewired_second = _replace_term(
+                    _replace_term(second, 0, z.value), 1, y.value  # type: ignore[union-attr]
+                )
+                new_facts = frozenset(
+                    (facts - {first, second}) | {rewired_first, rewired_second}
+                )
+                if new_facts == facts or len(new_facts) != len(facts):
+                    continue
+                return GraphVisualization(
+                    new_facts,
+                    ErrorArchetype.WRONG_CHAIN,
+                    note=f"chain {x}->{y}->{z} rewired as {x}->{z}->{y}",
+                )
+    raise CorruptionError("no two-hop chain to rewire")
+
+
+#: Archetypes in a deterministic application-preference order: the first
+#: applicable ones are used when a scenario cannot host all four.
+ALL_ARCHETYPES = (
+    ErrorArchetype.WRONG_EDGE,
+    ErrorArchetype.WRONG_VALUE,
+    ErrorArchetype.WRONG_AGGREGATION,
+    ErrorArchetype.WRONG_CHAIN,
+)

@@ -1,0 +1,415 @@
+"""The comprehension user study (paper, Section 6.1, Figure 14).
+
+Five multi-choice questions over the financial applications: each presents
+a textual business report (a generated explanation) and three KG
+visualizations — one correct, two corrupted with error archetypes.  A
+participant is *comprehending* when they pick the visualization matching
+the text.
+
+The 24 human non-experts are replaced by :class:`SimulatedParticipant`s: a
+participant reads the text sentence by sentence and scores each candidate
+graph by how well its facts are supported by what the text says (constants
+co-occurring within a sentence, in argument order).  Perception noise and
+an attention-lapse rate make the model err occasionally, the way real
+subjects do — chain rewirings, whose constants still co-occur in the text,
+are the hardest to spot, matching the paper's observed error pattern.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+
+from ..apps import generators
+from ..apps.base import ScenarioInstance
+from ..core.explain import Explainer
+from ..datalog.atoms import Fact
+from ..datalog.terms import Constant
+from ..llm.client import LLMClient
+from .archetypes import (
+    ALL_ARCHETYPES,
+    CorruptionError,
+    ErrorArchetype,
+    GraphVisualization,
+    corrupt,
+)
+
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+# ----------------------------------------------------------------------
+# The five study cases (Section 6.1)
+# ----------------------------------------------------------------------
+
+def study_cases(seed: int = 0) -> list[ScenarioInstance]:
+    """The paper's five comprehension cases, in order:
+
+    1. control through aggregation over multiple entities;
+    2. a simple stress-test scenario;
+    3. control via recursion;
+    4. a complex stress test involving recursion and aggregation;
+    5. control combining recursion and aggregation.
+    """
+    return [
+        generators.control_aggregation(branches=3, seed=seed),
+        generators.stress_cascade(hops=2, seed=seed),
+        generators.control_chain(length=4, seed=seed),
+        generators.stress_cascade(hops=3, seed=seed, dual_final=True),
+        generators.control_chain_with_aggregation(length=2, branches=2, seed=seed),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Question construction
+# ----------------------------------------------------------------------
+
+def predicate_cue(entry_text: str) -> str:
+    """The characteristic phrase of a glossary entry: its longest literal
+    fragment once tokens are stripped ("<x> owns <s> shares of <y>" →
+    "shares of").  Participants know what each drawn edge type means, so
+    they look for the right *relation wording*, not just the constants."""
+    fragments = [
+        fragment.strip(" ,.").lower()
+        for fragment in re.split(r"<[^>]+>", entry_text)
+    ]
+    fragments = [fragment for fragment in fragments if fragment]
+    return max(fragments, key=len) if fragments else ""
+
+
+@dataclass(frozen=True)
+class ComprehensionQuestion:
+    """One study item: a report plus three candidate visualizations.
+
+    ``cues`` maps each predicate to its glossary phrase, modelling the
+    legend of the KG visualization (what an edge of each type *means*).
+    """
+
+    case_id: int
+    text: str
+    choices: tuple[GraphVisualization, ...]
+    correct_index: int
+    cues: dict[str, str] = field(default_factory=dict)
+
+    def archetype_of(self, choice_index: int) -> ErrorArchetype | None:
+        return self.choices[choice_index].archetype
+
+
+def build_question(
+    case_id: int,
+    scenario: ScenarioInstance,
+    rng: random.Random,
+    llm: LLMClient | None = None,
+) -> ComprehensionQuestion:
+    """Materialize the scenario, explain its target, and corrupt the
+    visualization twice with distinct applicable archetypes."""
+    result = scenario.run()
+    explainer = Explainer(result, scenario.application.glossary, llm=llm)
+    explanation = explainer.explain(scenario.target)
+    correct_facts = frozenset(result.graph.proof_facts(scenario.target))
+
+    corrupted: list[GraphVisualization] = []
+    archetypes = list(ALL_ARCHETYPES)
+    rng.shuffle(archetypes)
+    # First pass: distinct archetypes; second pass: allow a repeated
+    # archetype at a different corruption site (small scenarios may not
+    # host all four archetypes).
+    for candidates in (archetypes, archetypes * 3):
+        for archetype in candidates:
+            if len(corrupted) == 2:
+                break
+            try:
+                candidate = corrupt(correct_facts, archetype, rng)
+            except CorruptionError:
+                continue
+            if any(candidate.facts == existing.facts for existing in corrupted):
+                continue
+            corrupted.append(candidate)
+        if len(corrupted) == 2:
+            break
+    if len(corrupted) < 2:
+        raise CorruptionError(
+            f"case {case_id}: could not build two corrupted visualizations"
+        )
+    choices: list[GraphVisualization] = [
+        GraphVisualization(correct_facts),
+        *corrupted,
+    ]
+    rng.shuffle(choices)
+    correct_index = next(
+        index for index, choice in enumerate(choices) if choice.is_correct
+    )
+    glossary = scenario.application.glossary
+    cues = {
+        predicate: predicate_cue(glossary.entry(predicate).text)
+        for predicate in glossary.predicates()
+    }
+    return ComprehensionQuestion(
+        case_id=case_id,
+        text=explanation.text,
+        choices=tuple(choices),
+        correct_index=correct_index,
+        cues=cues,
+    )
+
+
+# ----------------------------------------------------------------------
+# Simulated participants
+# ----------------------------------------------------------------------
+
+def _fact_constants(current: Fact) -> list[str]:
+    return [
+        str(term) for term in current.terms if isinstance(term, Constant)
+    ]
+
+
+def _constant_in(clause: str, constant: str) -> int:
+    """Position of ``constant`` in ``clause`` (word-boundary aware), or -1."""
+    match = re.search(
+        rf"(?<![\w.]){re.escape(constant)}(?!\w|\.\d)", clause
+    )
+    return match.start() if match else -1
+
+
+_NUMBER_IN_CLAUSE = re.compile(r"(?<![\w.])\d+(?:\.\d+)?(?!\w|\.\d)")
+_ENTITY_IN_CLAUSE = re.compile(r"(?<![\w<])[A-Z][A-Za-z0-9_]*(?![\w>])")
+# "and" is the enumeration separator, not a label candidate.
+_LABEL_IN_CLAUSE = re.compile(r"(?<![\w<])(?!and\b)[a-z][a-z0-9_]*(?![\w>])")
+
+
+_CLAUSE_SEPARATOR_RE = re.compile(
+    r", and therefore |; as a result, |; and |; hence | — thus |, so "
+    r"|, and |, with |, then |; "
+)
+_CLAUSE_PREFIX_RE = re.compile(
+    r"^(?:Since |Because |Given that |As |Consequently, )", re.IGNORECASE
+)
+
+
+def split_clauses(text: str) -> list[str]:
+    """Sentence fragments a reader checks one at a time.
+
+    Splits at the verbalizer's structural separators (", and " between
+    conjuncts, ", with " before aggregations, ", then " before heads) and
+    at the enhanced-text connectives the rewriting engine uses ("; as a
+    result, ", ", and therefore ", …) — while value enumerations like
+    "0.74, 0.81 and 0.68" stay intact.  Leading discourse markers are
+    stripped so clause text starts at the content."""
+    clauses: list[str] = []
+    for sentence in _SENTENCE_RE.split(text):
+        for part in _CLAUSE_SEPARATOR_RE.split(sentence):
+            part = _CLAUSE_PREFIX_RE.sub("", part.strip()).strip()
+            if part:
+                clauses.append(part)
+    return clauses
+
+
+_ENUM_SEPARATORS = (", ", " and ", ", and ")
+
+
+def _enumeration_groups(clause: str, pattern: re.Pattern[str]) -> list[list[str]]:
+    """Maximal runs of pattern matches separated only by ", "/" and "."""
+    matches = list(pattern.finditer(clause))
+    groups: list[list[str]] = []
+    current: list[str] = []
+    previous_end: int | None = None
+    for match in matches:
+        gap = clause[previous_end:match.start()] if previous_end is not None else None
+        if gap in _ENUM_SEPARATORS:
+            current.append(match.group(0))
+        else:
+            if current:
+                groups.append(current)
+            current = [match.group(0)]
+        previous_end = match.end()
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _enumeration_aligned(clause: str, current: Fact) -> bool:
+    """The "respectively" reading: when a clause enumerates entities and
+    values in parallel runs ("B and C own 0.3 and 0.25..."), a fact is
+    supported only when one of its entities and its value sit at the same
+    rank of same-length runs."""
+    constants = _fact_constants(current)
+    entities = [c for c in constants if not c.replace(".", "", 1).isdigit()]
+    value = next(
+        (c for c in reversed(constants) if c.replace(".", "", 1).isdigit()), None
+    )
+    if not entities or value is None:
+        return True
+    entity_groups = _enumeration_groups(clause, _ENTITY_IN_CLAUSE)
+    # Lowercase property labels ("long and short") enumerate in parallel
+    # with values too; only runs of length >= 2 are kept, so ordinary
+    # prose words (each its own run) never interfere.
+    entity_groups += [
+        group
+        for group in _enumeration_groups(clause, _LABEL_IN_CLAUSE)
+        if len(group) >= 2
+    ]
+    number_groups = _enumeration_groups(clause, _NUMBER_IN_CLAUSE)
+    pairing_found = False
+    for entity in entities:
+        for entity_group in entity_groups:
+            if len(entity_group) < 2 or entity not in entity_group:
+                continue
+            for number_group in number_groups:
+                if len(number_group) != len(entity_group):
+                    continue
+                if value not in number_group:
+                    continue
+                pairing_found = True
+                if entity_group.index(entity) == number_group.index(value):
+                    return True
+    return not pairing_found
+
+
+def fact_support(
+    current: Fact, clauses: list[str], cue: str | None = None
+) -> float:
+    """How strongly the text supports one drawn fact.
+
+    1.2 — all constants co-occur in one clause stating the right relation
+          (the predicate's glossary ``cue``), in argument order;
+    1.0 — co-occur in such a clause (aligned enumeration);
+    0.75 — co-occur but the enumeration pairs them up differently;
+    otherwise the best per-clause fraction of constants found.  Clauses
+    that merely mention the constants without the relation wording count
+    at half strength — "B owns shares of C" does not support a drawn
+    "B controls C" edge.
+    """
+    constants = _fact_constants(current)
+    if not constants:
+        return 1.0
+    best = 0.0
+    for clause in clauses:
+        positions = [_constant_in(clause, constant) for constant in constants]
+        found = [p for p in positions if p >= 0]
+        fraction = len(found) / len(constants)
+        cue_present = not cue or cue in clause.lower()
+        if fraction == 1.0 and cue_present:
+            if not _enumeration_aligned(clause, current):
+                score = 0.75
+            elif all(
+                earlier <= later for earlier, later in zip(positions, positions[1:])
+            ):
+                score = 1.2
+            else:
+                score = 1.0
+        elif fraction == 1.0:
+            score = 0.5
+        else:
+            score = fraction * 0.8 * (1.0 if cue_present else 0.625)
+        best = max(best, score)
+        if best >= 1.2:
+            break
+    return best
+
+
+@dataclass
+class SimulatedParticipant:
+    """A noisy text-vs-graph consistency checker.
+
+    ``perception_noise`` jitters each graph's penalty score;
+    ``attention_lapse`` is the probability of answering at random.
+    """
+
+    rng: random.Random
+    perception_noise: float = 0.11
+    attention_lapse: float = 0.02
+
+    def answer(self, question: ComprehensionQuestion) -> int:
+        if self.rng.random() < self.attention_lapse:
+            return self.rng.randrange(len(question.choices))
+        clauses = split_clauses(question.text)
+        scores = []
+        for choice in question.choices:
+            penalty = sum(
+                1.2 - fact_support(
+                    fact, clauses, question.cues.get(fact.predicate)
+                )
+                for fact in choice.facts
+            )
+            scores.append(penalty + self.rng.gauss(0.0, self.perception_noise))
+        return min(range(len(scores)), key=scores.__getitem__)
+
+
+# ----------------------------------------------------------------------
+# Study runner (Figure 14)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CaseResult:
+    """Aggregated answers for one of the five cases."""
+
+    case_id: int
+    answers: int = 0
+    correct: int = 0
+    errors: dict[ErrorArchetype, int] = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.answers if self.answers else 0.0
+
+    def error_rate(self, archetype: ErrorArchetype) -> float:
+        if not self.answers:
+            return 0.0
+        return self.errors.get(archetype, 0) / self.answers
+
+
+@dataclass
+class ComprehensionStudyResult:
+    """The full Figure 14 table."""
+
+    cases: list[CaseResult]
+
+    @property
+    def overall_accuracy(self) -> float:
+        total = sum(case.answers for case in self.cases)
+        correct = sum(case.correct for case in self.cases)
+        return correct / total if total else 0.0
+
+    def table_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for case in self.cases:
+            rows.append({
+                "case": case.case_id,
+                "wrong edge": case.error_rate(ErrorArchetype.WRONG_EDGE),
+                "wrong value": case.error_rate(ErrorArchetype.WRONG_VALUE),
+                "incorrect aggregation": case.error_rate(
+                    ErrorArchetype.WRONG_AGGREGATION
+                ),
+                "incorrect chain": case.error_rate(ErrorArchetype.WRONG_CHAIN),
+                "correct answers": case.accuracy,
+            })
+        return rows
+
+
+def run_comprehension_study(
+    participants: int = 24,
+    seed: int = 0,
+    llm: LLMClient | None = None,
+) -> ComprehensionStudyResult:
+    """Reproduce the Section 6.1 experiment: ``participants`` simulated
+    non-experts each answer the five case questions."""
+    rng = random.Random(f"comprehension:{seed}")
+    questions = [
+        build_question(case_id, scenario, rng, llm=llm)
+        for case_id, scenario in enumerate(study_cases(seed), start=1)
+    ]
+    cases = [CaseResult(case_id=question.case_id) for question in questions]
+    for participant_index in range(participants):
+        participant = SimulatedParticipant(
+            rng=random.Random(f"participant:{seed}:{participant_index}")
+        )
+        for question, case in zip(questions, cases):
+            chosen = participant.answer(question)
+            case.answers += 1
+            if chosen == question.correct_index:
+                case.correct += 1
+            else:
+                archetype = question.archetype_of(chosen)
+                if archetype is not None:
+                    case.errors[archetype] = case.errors.get(archetype, 0) + 1
+    return ComprehensionStudyResult(cases)

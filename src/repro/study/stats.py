@@ -1,0 +1,158 @@
+"""Statistical analysis utilities for the experiments.
+
+Covers the paper's statistical apparatus: Likert summaries (Figure 16),
+pairwise two-sided Wilcoxon signed-rank tests between explanation methods
+(following [25, 27], as in Section 6.2), and the omission-ratio sweeps of
+Figure 17.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from scipy import stats as scipy_stats
+
+from ..apps.base import ScenarioInstance
+from ..core.explain import Explainer
+from ..core.validation import omission_ratio
+from ..llm.client import LLMClient, PARAPHRASE_PROMPT, SUMMARY_PROMPT
+
+
+# ----------------------------------------------------------------------
+# Likert summaries and Wilcoxon tests (Figure 16)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LikertSummary:
+    """Mean and sample standard deviation of a rating set."""
+
+    mean: float
+    std: float
+    count: int
+
+
+def likert_summary(values: Sequence[int | float]) -> LikertSummary:
+    if not values:
+        raise ValueError("cannot summarize an empty rating set")
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return LikertSummary(mean=mean, std=0.0, count=len(values))
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return LikertSummary(mean=mean, std=math.sqrt(variance), count=len(values))
+
+
+def wilcoxon_signed_rank(
+    first: Sequence[int | float], second: Sequence[int | float]
+) -> float:
+    """Two-sided p-value of the paired Wilcoxon signed-rank test.
+
+    Zero differences are handled with the zero-split method so that the
+    heavily tied Likert data does not abort the test.  Identical samples
+    (no information either way) return p = 1.0.
+    """
+    if len(first) != len(second):
+        raise ValueError("Wilcoxon signed-rank test requires paired samples")
+    if all(a == b for a, b in zip(first, second)):
+        return 1.0
+    result = scipy_stats.wilcoxon(
+        list(first), list(second), zero_method="zsplit", alternative="two-sided"
+    )
+    return float(result.pvalue)
+
+
+# ----------------------------------------------------------------------
+# Omission sweeps (Figure 17)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OmissionDistribution:
+    """The omission ratios of several sampled proofs of one length."""
+
+    steps: int
+    ratios: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ratios) / len(self.ratios)
+
+    def quartiles(self) -> tuple[float, float, float]:
+        """(q1, median, q3) — the boxplot statistics of Figure 17."""
+        ordered = sorted(self.ratios)
+
+        def percentile(fraction: float) -> float:
+            position = fraction * (len(ordered) - 1)
+            low = int(position)
+            high = min(low + 1, len(ordered) - 1)
+            weight = position - low
+            return ordered[low] * (1 - weight) + ordered[high] * weight
+
+        return percentile(0.25), percentile(0.5), percentile(0.75)
+
+
+def measure_omissions(
+    scenario_builder: Callable[[int, int], ScenarioInstance],
+    steps_list: Iterable[int],
+    llm: LLMClient,
+    prompt: str,
+    samples: int = 10,
+) -> list[OmissionDistribution]:
+    """Reproduce one Figure 17 panel series.
+
+    For each proof length, ``samples`` distinct scenarios are generated;
+    each proof is deterministically verbalized, rewritten by the LLM under
+    ``prompt`` (:data:`PARAPHRASE_PROMPT` or :data:`SUMMARY_PROMPT`), and
+    the omitted-constant ratio against the proof's ground truth measured.
+    """
+    distributions: list[OmissionDistribution] = []
+    for steps in steps_list:
+        ratios: list[float] = []
+        for sample in range(samples):
+            scenario = scenario_builder(steps, sample)
+            result = scenario.run()
+            explainer = Explainer(result, scenario.application.glossary)
+            deterministic = explainer.deterministic_explanation(scenario.target)
+            constants = explainer.proof_constants(scenario.target)
+            output = llm.complete(prompt + deterministic)
+            ratios.append(omission_ratio(output, constants))
+        distributions.append(
+            OmissionDistribution(steps=steps, ratios=tuple(ratios))
+        )
+    return distributions
+
+
+def measure_template_omissions(
+    scenario_builder: Callable[[int, int], ScenarioInstance],
+    steps_list: Iterable[int],
+    samples: int = 10,
+) -> list[OmissionDistribution]:
+    """The template-based counterpart: by construction the explanations
+    carry every proof constant, so these distributions should be all-zero
+    (the claim the benchmarks assert)."""
+    distributions: list[OmissionDistribution] = []
+    for steps in steps_list:
+        ratios: list[float] = []
+        for sample in range(samples):
+            scenario = scenario_builder(steps, sample)
+            result = scenario.run()
+            explainer = Explainer(result, scenario.application.glossary)
+            explanation = explainer.explain(scenario.target)
+            constants = explainer.proof_constants(scenario.target)
+            ratios.append(omission_ratio(explanation.text, constants))
+        distributions.append(
+            OmissionDistribution(steps=steps, ratios=tuple(ratios))
+        )
+    return distributions
+
+
+__all__ = [
+    "LikertSummary",
+    "OmissionDistribution",
+    "PARAPHRASE_PROMPT",
+    "SUMMARY_PROMPT",
+    "likert_summary",
+    "measure_omissions",
+    "measure_template_omissions",
+    "wilcoxon_signed_rank",
+]

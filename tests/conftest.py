@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's programs, glossaries and worked instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import close_links, company_control, figures, stress_test
+from repro.core import Explainer, StructuralAnalysis, TemplateStore
+from repro.engine import reason
+from repro.llm import SimulatedLLM
+
+
+@pytest.fixture(scope="session")
+def control_app():
+    return company_control.build()
+
+
+@pytest.fixture(scope="session")
+def stress_app():
+    return stress_test.build()
+
+
+@pytest.fixture(scope="session")
+def stress_simple_app():
+    return stress_test.build_simple()
+
+
+@pytest.fixture(scope="session")
+def close_links_app():
+    return close_links.build()
+
+
+@pytest.fixture(scope="session")
+def figure8():
+    """Example 4.3 / Figure 8 scenario, already materialized."""
+    scenario = figures.figure8_instance()
+    return scenario, scenario.run()
+
+
+@pytest.fixture(scope="session")
+def figure15():
+    scenario = figures.figure15_instance()
+    return scenario, scenario.run()
+
+
+@pytest.fixture(scope="session")
+def figure12_stress():
+    scenario = figures.figure12_stress_instance()
+    return scenario, scenario.run()
+
+
+@pytest.fixture(scope="session")
+def figure8_explainer(figure8):
+    scenario, result = figure8
+    return Explainer(result, scenario.application.glossary)
+
+
+@pytest.fixture(scope="session")
+def stress_simple_analysis(stress_simple_app):
+    return StructuralAnalysis(stress_simple_app.program)
+
+
+@pytest.fixture(scope="session")
+def control_analysis(control_app):
+    return StructuralAnalysis(control_app.program)
+
+
+@pytest.fixture(scope="session")
+def stress_analysis(stress_app):
+    return StructuralAnalysis(stress_app.program)
+
+
+@pytest.fixture(scope="session")
+def stress_simple_store(stress_simple_analysis, stress_simple_app):
+    return TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+
+
+@pytest.fixture()
+def faithful_llm():
+    return SimulatedLLM(seed=11, faithful=True)
+
+
+@pytest.fixture()
+def lossy_llm():
+    return SimulatedLLM(seed=11, faithful=False)

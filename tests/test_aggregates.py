@@ -1,0 +1,74 @@
+"""Unit tests for repro.datalog.aggregates."""
+
+import pytest
+
+from repro.datalog.aggregates import AGGREGATE_FUNCTIONS, AggregateSpec
+from repro.datalog.errors import EvaluationError
+from repro.datalog.terms import Variable
+
+
+def spec(function="sum"):
+    return AggregateSpec(Variable("e"), function, Variable("v"))
+
+
+class TestConstruction:
+    def test_known_functions(self):
+        for function in AGGREGATE_FUNCTIONS:
+            assert spec(function).function == function
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(EvaluationError):
+            spec("median")
+
+    def test_argument_variables(self):
+        assert spec().argument_variables() == frozenset({Variable("v")})
+
+    def test_with_group_by(self):
+        grouped = spec().with_group_by([Variable("c")])
+        assert grouped.group_by == (Variable("c"),)
+
+    def test_str(self):
+        assert str(spec()) == "e = sum(v)"
+
+
+class TestEvaluation:
+    def test_sum(self):
+        assert spec("sum").evaluate([2, 9]) == 11
+
+    def test_sum_keeps_fractions(self):
+        assert spec("sum").evaluate([0.36, 0.21]) == pytest.approx(0.57)
+
+    def test_sum_rounds_float_noise(self):
+        # 0.275 + 0.295 must not verbalize as 0.5700000000000001
+        result = spec("sum").evaluate([0.275, 0.295])
+        assert str(result) == "0.57"
+
+    def test_sum_integral_float_becomes_int(self):
+        assert spec("sum").evaluate([2.5, 2.5]) == 5
+        assert isinstance(spec("sum").evaluate([2.5, 2.5]), int)
+
+    def test_prod(self):
+        assert spec("prod").evaluate([2, 3, 4]) == 24
+
+    def test_min_max(self):
+        assert spec("min").evaluate([5, 2, 9]) == 2
+        assert spec("max").evaluate([5, 2, 9]) == 9
+
+    def test_count(self):
+        assert spec("count").evaluate([10, 20, 30]) == 3
+
+    def test_single_contributor(self):
+        """One contributor behaves like no aggregation (paper, §4.1)."""
+        assert spec("sum").evaluate([7]) == 7
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(EvaluationError):
+            spec("sum").evaluate([])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(EvaluationError):
+            spec("sum").evaluate(["a"])
+
+    def test_bool_rejected(self):
+        with pytest.raises(EvaluationError):
+            spec("sum").evaluate([True, 1])

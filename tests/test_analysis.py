@@ -1,0 +1,147 @@
+"""Tests for the static program analysis (linearity, guardedness,
+wardedness, termination verdicts)."""
+
+from repro.datalog import parse_program
+from repro.datalog.analysis import (
+    TerminationVerdict,
+    affected_positions,
+    check_wardedness,
+    dangerous_variables,
+    is_guarded,
+    is_linear,
+    termination_guarantee,
+)
+
+
+class TestLinearity:
+    def test_company_control_is_linear(self, control_app):
+        assert is_linear(control_app.program)
+
+    def test_stress_test_is_linear(self, stress_app):
+        assert is_linear(stress_app.program)
+
+    def test_close_links_is_not_linear(self, close_links_app):
+        """λ3 joins two intensional Control atoms."""
+        assert not is_linear(close_links_app.program)
+
+
+class TestGuardedness:
+    def test_single_atom_bodies_are_guarded(self):
+        program = parse_program("P(x, y) -> Q(x).", name="g")
+        assert is_guarded(program)
+
+    def test_join_without_guard(self):
+        program = parse_program("P(x), R(y) -> Q(x, y).", name="ug")
+        assert not is_guarded(program)
+
+    def test_join_with_covering_atom(self):
+        program = parse_program("Big(x, y, z), P(x), R(y) -> Q(x, y, z).", name="g2")
+        assert is_guarded(program)
+
+
+class TestAffectedPositions:
+    def test_no_existentials_no_affected_positions(self, control_app):
+        assert affected_positions(control_app.program) == frozenset()
+
+    def test_existential_head_position_affected(self):
+        program = parse_program("Person(x) -> HasParent(x, z).", name="p")
+        assert affected_positions(program) == frozenset({("HasParent", 1)})
+
+    def test_propagation_through_rules(self):
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: HasParent(x, z) -> Ancestor(z).
+            """,
+            name="p",
+        )
+        affected = affected_positions(program)
+        assert ("Ancestor", 0) in affected
+
+    def test_mixed_occurrence_not_affected(self):
+        """A variable also bound at an unaffected position is safe."""
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: HasParent(x, z), Named(z) -> Known(z).
+            """,
+            name="p",
+        )
+        assert ("Known", 0) not in affected_positions(program)
+
+
+class TestDangerousVariables:
+    def test_dangerous_variable_detected(self):
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: HasParent(x, z) -> Ancestor(z).
+            """,
+            name="p",
+        )
+        affected = affected_positions(program)
+        rule = program.rule("r2")
+        dangerous = dangerous_variables(rule, affected)
+        assert {v.name for v in dangerous} == {"z"}
+
+
+class TestWardedness:
+    def test_paper_applications_are_warded(self, control_app, stress_app,
+                                           close_links_app):
+        for application in (control_app, stress_app, close_links_app):
+            assert check_wardedness(application.program).warded
+
+    def test_classic_warded_program(self):
+        """The standard warded example: dangerous z confined to one atom."""
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: HasParent(x, z), Person(x) -> KnowsAncestor(x, z).
+            """,
+            name="w",
+        )
+        report = check_wardedness(program)
+        assert report.warded
+
+    def test_unwarded_join_on_dangerous_variable(self):
+        """Joining two atoms on a harmful variable breaks wardedness."""
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: Person(y) -> HasParent(y, z).
+            r3: HasParent(x, z), HasParent(y, z), x != y -> Siblingish(x, y, z).
+            """,
+            name="uw",
+        )
+        report = check_wardedness(program)
+        assert not report.warded
+        assert "r3" in report.offending_rules
+        assert "NOT warded" in report.describe()
+
+
+class TestTerminationVerdicts:
+    def test_existential_free_programs(self, control_app, stress_app):
+        for application in (control_app, stress_app):
+            assert termination_guarantee(application.program) is \
+                TerminationVerdict.NO_EXISTENTIALS
+
+    def test_warded_existential_program(self):
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: HasParent(x, z), Person(x) -> KnowsAncestor(x, z).
+            """,
+            name="w",
+        )
+        assert termination_guarantee(program) is TerminationVerdict.WARDED
+
+    def test_unknown_fragment(self):
+        program = parse_program(
+            """
+            r1: Person(x) -> HasParent(x, z).
+            r2: Person(y) -> HasParent(y, z).
+            r3: HasParent(x, z), HasParent(y, z), x != y -> Siblingish(x, y, z).
+            """,
+            name="uw",
+        )
+        assert termination_guarantee(program) is TerminationVerdict.UNKNOWN

@@ -1,0 +1,196 @@
+"""Tests for the financial KG applications — paper Section 5."""
+
+import pytest
+
+from repro.apps import close_links, company_control, stress_test
+from repro.datalog.atoms import fact
+from repro.engine import reason
+
+
+class TestCompanyControl:
+    def test_direct_majority_control(self, control_app):
+        result = control_app.reason([company_control.own("A", "B", 0.6)])
+        assert fact("Control", "A", "B") in result.answers()
+
+    def test_minority_stake_no_control(self, control_app):
+        result = control_app.reason([company_control.own("A", "B", 0.4)])
+        assert fact("Control", "A", "B") not in result.answers()
+
+    def test_exactly_half_is_not_control(self, control_app):
+        result = control_app.reason([company_control.own("A", "B", 0.5)])
+        assert result.answers() == ()
+
+    def test_auto_control_for_companies(self, control_app):
+        result = control_app.reason([company_control.company("A")])
+        assert result.answers() == (fact("Control", "A", "A"),)
+
+    def test_indirect_control_chain(self, control_app):
+        result = control_app.reason([
+            company_control.own("A", "B", 0.7),
+            company_control.own("B", "C", 0.6),
+        ])
+        assert fact("Control", "A", "C") in result.answers()
+
+    def test_joint_control_through_subsidiaries(self, control_app):
+        """The official definition's clause (ii): jointly summed shares."""
+        result = control_app.reason([
+            company_control.own("H", "S1", 0.8),
+            company_control.own("H", "S2", 0.9),
+            company_control.own("S1", "T", 0.3),
+            company_control.own("S2", "T", 0.25),
+        ])
+        assert fact("Control", "H", "T") in result.answers()
+
+    def test_joint_control_with_own_direct_stake(self, control_app):
+        """'possibly together with x': the controller's own shares count
+        through the σ2 auto-control."""
+        result = control_app.reason([
+            company_control.company("H"),
+            company_control.own("H", "S", 0.6),
+            company_control.own("H", "T", 0.3),
+            company_control.own("S", "T", 0.25),
+        ])
+        assert fact("Control", "H", "T") in result.answers()
+
+    def test_jointly_insufficient_shares(self, control_app):
+        result = control_app.reason([
+            company_control.own("H", "S1", 0.8),
+            company_control.own("S1", "T", 0.3),
+        ])
+        assert fact("Control", "H", "T") not in result.answers()
+
+    def test_share_bounds_validated(self):
+        with pytest.raises(ValueError):
+            company_control.own("A", "B", 1.5)
+        with pytest.raises(ValueError):
+            company_control.own("A", "B", 0)
+
+
+class TestStressTestSimple:
+    def test_shock_below_capital_no_default(self, stress_simple_app):
+        result = stress_simple_app.reason([
+            stress_test.shock("A", 3), stress_test.has_capital("A", 5),
+        ])
+        assert result.answers() == ()
+
+    def test_shock_above_capital_defaults(self, stress_simple_app):
+        result = stress_simple_app.reason([
+            stress_test.shock("A", 6), stress_test.has_capital("A", 5),
+        ])
+        assert result.answers() == (fact("Default", "A"),)
+
+    def test_cascade_stops_at_sufficient_capital(self, stress_simple_app):
+        result = stress_simple_app.reason([
+            stress_test.shock("A", 6), stress_test.has_capital("A", 5),
+            stress_test.debt("A", "B", 7), stress_test.has_capital("B", 9),
+        ])
+        assert fact("Default", "B") not in result.answers()
+        assert fact("Risk", "B", 7) in result.database
+
+    def test_figure8_defaults(self, figure8):
+        __, result = figure8
+        assert set(result.answers()) == {
+            fact("Default", "A"), fact("Default", "B"), fact("Default", "C"),
+        }
+
+
+class TestStressTestFull:
+    def test_two_channels_accumulate(self, stress_app):
+        """Neither channel alone sinks F; both together do (σ7 sums over
+        the channel dimension)."""
+        result = stress_app.reason([
+            stress_test.shock("A", 10), stress_test.has_capital("A", 5),
+            stress_test.has_capital("F", 9),
+            stress_test.long_term_debt("A", "F", 6),
+            stress_test.short_term_debt("A", "F", 5),
+        ])
+        assert fact("Default", "F") in result.answers()
+        assert fact("Risk", "F", 6, "long") in result.database
+        assert fact("Risk", "F", 5, "short") in result.database
+
+    def test_single_channel_insufficient(self, stress_app):
+        result = stress_app.reason([
+            stress_test.shock("A", 10), stress_test.has_capital("A", 5),
+            stress_test.has_capital("F", 9),
+            stress_test.long_term_debt("A", "F", 6),
+        ])
+        assert fact("Default", "F") not in result.answers()
+
+    def test_figure12_cascade(self, figure12_stress):
+        """Figures 12/13: A, B, C and F all default."""
+        __, result = figure12_stress
+        assert set(result.answers()) == {
+            fact("Default", "A"), fact("Default", "B"),
+            fact("Default", "C"), fact("Default", "F"),
+        }
+
+    def test_exposure_equal_to_capital_survives(self, stress_app):
+        result = stress_app.reason([
+            stress_test.shock("A", 10), stress_test.has_capital("A", 5),
+            stress_test.has_capital("F", 6),
+            stress_test.long_term_debt("A", "F", 6),
+        ])
+        assert fact("Default", "F") not in result.answers()
+
+
+class TestCloseLinks:
+    def test_participation_link(self, close_links_app):
+        """CRR case (a): a 20% participation creates a close link."""
+        result = close_links_app.reason([close_links.own("A", "B", 0.2)])
+        assert fact("CloseLink", "A", "B") in result.answers()
+
+    def test_below_threshold_no_link(self, close_links_app):
+        result = close_links_app.reason([close_links.own("A", "B", 0.19)])
+        assert result.answers() == ()
+
+    def test_control_link(self, close_links_app):
+        """CRR case (b): control implies a close link."""
+        result = close_links_app.reason([
+            close_links.own("A", "B", 0.7), close_links.own("B", "C", 0.6),
+        ])
+        assert fact("CloseLink", "A", "C") in result.answers()
+
+    def test_common_controller_link(self, close_links_app):
+        """CRR case (c): both controlled by the same third party."""
+        result = close_links_app.reason([
+            close_links.own("H", "A", 0.7),
+            close_links.own("H", "B", 0.8),
+        ])
+        answers = set(result.answers())
+        assert fact("CloseLink", "A", "B") in answers
+        assert fact("CloseLink", "B", "A") in answers
+
+    def test_no_self_links(self, close_links_app):
+        result = close_links_app.reason([
+            close_links.own("H", "A", 0.7),
+            close_links.company("H"),
+        ])
+        assert fact("CloseLink", "A", "A") not in result.answers()
+        assert fact("CloseLink", "H", "H") not in result.answers()
+
+
+class TestApplicationBundles:
+    def test_glossaries_validated_at_build(self):
+        # KGApplication.__post_init__ validates; building must not raise.
+        for builder in (
+            company_control.build, stress_test.build,
+            stress_test.build_simple, close_links.build,
+        ):
+            application = builder()
+            assert application.program.goal is not None
+
+    def test_analyse_shortcut(self, control_app):
+        analysis = control_app.analyse()
+        assert analysis.program is control_app.program
+
+
+class TestApplicationExplainerShortcut:
+    def test_explainer_wired_to_glossary(self, stress_simple_app):
+        from repro.datalog.atoms import fact
+
+        result = stress_simple_app.reason([
+            fact("Shock", "A", 6), fact("HasCapital", "A", 5),
+        ])
+        explainer = stress_simple_app.explainer(result)
+        explanation = explainer.explain(fact("Default", "A"))
+        assert "A" in explanation.constants()

@@ -1,0 +1,133 @@
+"""Tests for the error-archetype corruptions (§6.1)."""
+
+import random
+
+import pytest
+
+from repro.datalog.atoms import fact
+from repro.study.archetypes import (
+    ALL_ARCHETYPES,
+    CorruptionError,
+    ErrorArchetype,
+    corrupt,
+)
+
+CONTROL_GRAPH = frozenset({
+    fact("Own", "A", "B", 0.6),
+    fact("Own", "B", "C", 0.55),
+    fact("Own", "B", "D", 0.3),
+    fact("Own", "E", "D", 0.25),
+    fact("Control", "A", "B"),
+    fact("Control", "A", "C"),
+})
+
+
+def rng(seed=0):
+    return random.Random(seed)
+
+
+class TestWrongEdge:
+    def test_exactly_one_fact_changes(self):
+        corrupted = corrupt(CONTROL_GRAPH, ErrorArchetype.WRONG_EDGE, rng())
+        assert len(corrupted.facts) == len(CONTROL_GRAPH)
+        assert len(CONTROL_GRAPH - corrupted.facts) == 1
+        assert len(corrupted.facts - CONTROL_GRAPH) == 1
+
+    def test_marks_archetype(self):
+        corrupted = corrupt(CONTROL_GRAPH, ErrorArchetype.WRONG_EDGE, rng())
+        assert corrupted.archetype is ErrorArchetype.WRONG_EDGE
+        assert not corrupted.is_correct
+
+    def test_redirection_targets_existing_entity(self):
+        corrupted = corrupt(CONTROL_GRAPH, ErrorArchetype.WRONG_EDGE, rng(3))
+        new_fact = next(iter(corrupted.facts - CONTROL_GRAPH))
+        entities = {"A", "B", "C", "D", "E"}
+        for term in new_fact.terms:
+            if isinstance(term.value, str):
+                assert term.value in entities
+
+    def test_channel_labels_never_treated_as_entities(self):
+        graph = frozenset({
+            fact("Risk", "F", 8, "short"),
+            fact("Risk", "F", 2, "long"),
+            fact("LongTermDebts", "A", "F", 2),
+            fact("ShortTermDebts", "B", "F", 8),
+        })
+        for seed in range(10):
+            corrupted = corrupt(graph, ErrorArchetype.WRONG_EDGE, rng(seed))
+            for changed in corrupted.facts - graph:
+                for term in changed.terms:
+                    if isinstance(term.value, str):
+                        assert term.value not in ("long", "short")
+
+
+class TestWrongValue:
+    def test_numeric_property_altered(self):
+        corrupted = corrupt(CONTROL_GRAPH, ErrorArchetype.WRONG_VALUE, rng())
+        removed = next(iter(CONTROL_GRAPH - corrupted.facts))
+        added = next(iter(corrupted.facts - CONTROL_GRAPH))
+        assert removed.predicate == added.predicate
+        # entity arguments unchanged, a number changed
+        assert removed.terms[0] == added.terms[0]
+        assert removed.terms[2] != added.terms[2]
+
+    def test_no_numeric_site_raises(self):
+        graph = frozenset({fact("Control", "A", "B")})
+        with pytest.raises(CorruptionError):
+            corrupt(graph, ErrorArchetype.WRONG_VALUE, rng())
+
+    def test_integer_values_stay_positive(self):
+        graph = frozenset({fact("HasCapital", "A", 1)})
+        for seed in range(10):
+            corrupted = corrupt(graph, ErrorArchetype.WRONG_VALUE, rng(seed))
+            added = next(iter(corrupted.facts))
+            assert added.terms[1].value >= 1
+
+
+class TestWrongAggregation:
+    def test_values_swapped_between_contributions(self):
+        corrupted = corrupt(
+            CONTROL_GRAPH, ErrorArchetype.WRONG_AGGREGATION, rng()
+        )
+        changed = corrupted.facts - CONTROL_GRAPH
+        assert len(changed) == 2
+        # the multiset of values is preserved — only the pairing changed
+        original_values = sorted(
+            f.terms[2].value for f in CONTROL_GRAPH if f.predicate == "Own"
+        )
+        new_values = sorted(
+            f.terms[2].value for f in corrupted.facts if f.predicate == "Own"
+        )
+        assert original_values == new_values
+
+    def test_no_shared_target_raises(self):
+        graph = frozenset({
+            fact("Own", "A", "B", 0.6),
+            fact("Own", "C", "D", 0.7),
+        })
+        with pytest.raises(CorruptionError):
+            corrupt(graph, ErrorArchetype.WRONG_AGGREGATION, rng())
+
+
+class TestWrongChain:
+    def test_chain_rewired(self):
+        corrupted = corrupt(CONTROL_GRAPH, ErrorArchetype.WRONG_CHAIN, rng())
+        assert corrupted.facts != CONTROL_GRAPH
+        assert len(corrupted.facts) == len(CONTROL_GRAPH)
+
+    def test_no_chain_raises(self):
+        graph = frozenset({fact("Own", "A", "B", 0.6)})
+        with pytest.raises(CorruptionError):
+            corrupt(graph, ErrorArchetype.WRONG_CHAIN, rng())
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("archetype", ALL_ARCHETYPES)
+    def test_corruption_always_differs(self, archetype):
+        for seed in range(5):
+            try:
+                corrupted = corrupt(CONTROL_GRAPH, archetype, rng(seed))
+            except CorruptionError:
+                continue
+            assert corrupted.facts != CONTROL_GRAPH
+            assert corrupted.note

@@ -1,0 +1,82 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Predicate, check_consistent_arities, fact
+from repro.datalog.errors import ArityError
+from repro.datalog.terms import Constant, Null, Variable
+
+
+class TestAtomBasics:
+    def test_of_coerces_values(self):
+        atom = Atom.of("Own", "A", "B", 0.6)
+        assert atom.terms == (Constant("A"), Constant("B"), Constant(0.6))
+
+    def test_arity(self):
+        assert Atom.of("Own", "A", "B", 0.6).arity == 3
+
+    def test_signature(self):
+        assert Atom.of("Own", "A", "B", 0.6).signature == Predicate("Own", 3)
+
+    def test_str(self):
+        assert str(Atom.of("Shock", "A", 6)) == "Shock(A, 6)"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ArityError):
+            Atom("", (Constant(1),))
+
+    def test_equality_and_hash(self):
+        assert Atom.of("P", 1) == Atom.of("P", 1)
+        assert len({Atom.of("P", 1), Atom.of("P", 1)}) == 1
+
+
+class TestAtomIntrospection:
+    def test_variables_in_order_with_repeats(self):
+        atom = Atom("P", (Variable("x"), Constant(1), Variable("x"), Variable("y")))
+        assert list(atom.variables()) == [Variable("x"), Variable("x"), Variable("y")]
+
+    def test_variable_set(self):
+        atom = Atom("P", (Variable("x"), Variable("x")))
+        assert atom.variable_set() == frozenset({Variable("x")})
+
+    def test_constants(self):
+        atom = Atom("P", (Constant("A"), Variable("x"), Constant(2)))
+        assert list(atom.constants()) == [Constant("A"), Constant(2)]
+
+    def test_nulls(self):
+        atom = Atom("P", (Null(1), Constant("A")))
+        assert list(atom.nulls()) == [Null(1)]
+
+    def test_is_fact_for_ground_atoms(self):
+        assert Atom.of("P", "A", 1).is_fact()
+        assert Atom("P", (Null(0),)).is_fact()
+
+    def test_is_fact_false_with_variables(self):
+        assert not Atom("P", (Variable("x"),)).is_fact()
+
+    def test_with_terms(self):
+        atom = Atom.of("P", "A")
+        replaced = atom.with_terms([Constant("B")])
+        assert replaced == Atom.of("P", "B")
+        assert atom == Atom.of("P", "A")
+
+
+class TestFactConstructor:
+    def test_builds_ground_atom(self):
+        assert fact("HasCapital", "A", 5).is_fact()
+
+    def test_rejects_variables(self):
+        with pytest.raises(ArityError):
+            fact("P", Variable("x"))
+
+
+class TestSchemaInference:
+    def test_consistent_schema(self):
+        schema = check_consistent_arities(
+            [Atom.of("P", 1), Atom.of("Q", 1, 2), Atom.of("P", 3)]
+        )
+        assert schema == {"P": 1, "Q": 2}
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(ArityError):
+            check_consistent_arities([Atom.of("P", 1), Atom.of("P", 1, 2)])

@@ -1,0 +1,80 @@
+"""Tests for the JSON audit record of explanations."""
+
+import json
+
+from repro.datalog.atoms import fact
+
+
+class TestAuditRecord:
+    def test_serializable(self, figure8_explainer):
+        explanation = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        )
+        payload = explanation.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_chase_path_recorded(self, figure8_explainer):
+        payload = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        ).to_dict()
+        assert payload["chase_path"] == [
+            "alpha", "beta", "gamma", "beta", "gamma",
+        ]
+
+    def test_segment_composition_recorded(self, figure8_explainer):
+        payload = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        ).to_dict()
+        assert [segment["path"] for segment in payload["segments"]] == [
+            "Pi2", "Gamma1",
+        ]
+        cycle = payload["segments"][1]
+        assert cycle["multi_rules"] == ["beta"]
+        assert cycle["steps"] == [4, 5]
+
+    def test_token_substitutions_recorded(self, figure8_explainer):
+        payload = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        ).to_dict()
+        all_values = [
+            tuple(values)
+            for token_map in payload["tokens"]
+            for values in token_map.values()
+        ]
+        assert ("2", "9") in all_values
+
+    def test_side_explanations_nested(self):
+        """An independent shock joining a cascade mid-way is not covered
+        by the main spine's cycle (its α is outside {β, γ}): the explainer
+        recursively prepends its story, and the audit record nests it."""
+        from repro.apps import stress_test
+        from repro.core import Explainer
+        from repro.engine import reason
+
+        application = stress_test.build_simple()
+        facts = [
+            # Main cascade: A -> B -> C.
+            fact("Shock", "A", 9), fact("HasCapital", "A", 5),
+            fact("Debts", "A", "B", 7), fact("HasCapital", "B", 2),
+            fact("Debts", "B", "C", 4), fact("HasCapital", "C", 6),
+            # Independent shock on D, also a debtor of C.
+            fact("Shock", "D", 9), fact("HasCapital", "D", 3),
+            fact("Debts", "D", "C", 5),
+        ]
+        result = reason(application.program, facts)
+        explainer = Explainer(result, application.glossary)
+        explanation = explainer.explain(fact("Default", "C"), prefer_enhanced=False)
+        payload = explanation.to_dict()
+        assert payload["side_explanations"]
+        side = payload["side_explanations"][0]
+        assert side["query"].startswith("Default(")
+        # Full completeness including the side shock's constants.
+        from repro.core import completeness_ratio
+
+        assert completeness_ratio(
+            explanation.text, explainer.proof_constants(fact("Default", "C"))
+        ) == 1.0
+
+    def test_text_matches_object(self, figure8_explainer):
+        explanation = figure8_explainer.explain(fact("Default", "C"))
+        assert explanation.to_dict()["text"] == explanation.text

@@ -1,0 +1,250 @@
+"""Unit tests for the chase procedure — paper Section 3 and Figure 8."""
+
+import pytest
+
+from repro.datalog.atoms import fact
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Null
+from repro.engine.chase import ChaseEngine, ChaseError, chase
+from repro.engine.database import Database
+
+
+def run(program_text, facts, goal=None, name="p"):
+    program = parse_program(program_text, name=name, goal=goal)
+    return chase(program, Database(facts))
+
+
+class TestPlainRules:
+    def test_single_application(self):
+        result = run("P(x) -> Q(x).", [fact("P", "A")])
+        assert fact("Q", "A") in result.database
+
+    def test_transitive_closure(self):
+        result = run(
+            """
+            base: E(x, y) -> T(x, y).
+            rec:  T(x, y), E(y, z) -> T(x, z).
+            """,
+            [fact("E", "A", "B"), fact("E", "B", "C"), fact("E", "C", "D")],
+        )
+        assert fact("T", "A", "D") in result.database
+        assert len(result.facts("T")) == 6
+
+    def test_conditions_filter(self):
+        result = run(
+            "Own(x, y, s), s > 0.5 -> Control(x, y).",
+            [fact("Own", "A", "B", 0.6), fact("Own", "A", "C", 0.3)],
+        )
+        assert result.facts("Control") == (fact("Control", "A", "B"),)
+
+    def test_no_duplicate_records(self):
+        result = run(
+            "P(x) -> Q(x). R(x) -> Q(x).",
+            [fact("P", "A"), fact("R", "A")],
+        )
+        # Q(A) derivable twice but only derived once.
+        assert len([r for r in result.records if r.fact == fact("Q", "A")]) == 1
+
+    def test_input_database_not_modified(self):
+        program = parse_program("P(x) -> Q(x).", name="p")
+        database = Database([fact("P", "A")])
+        chase(program, database)
+        assert len(database) == 1
+
+    def test_fixpoint_rounds_recorded(self):
+        result = run("P(x) -> Q(x).", [fact("P", "A")])
+        assert result.rounds == 2  # one productive round + one empty
+
+
+class TestProvenanceRecords:
+    def test_record_carries_rule_and_parents(self):
+        result = run("P(x), R(x) -> Q(x).", [fact("P", "A"), fact("R", "A")])
+        record = result.record_for(fact("Q", "A"))
+        assert record.rule_label == "r1"
+        assert set(record.parents) == {fact("P", "A"), fact("R", "A")}
+
+    def test_record_for_edb_fact_raises(self):
+        result = run("P(x) -> Q(x).", [fact("P", "A")])
+        with pytest.raises(KeyError):
+            result.record_for(fact("P", "A"))
+
+    def test_is_derived(self):
+        result = run("P(x) -> Q(x).", [fact("P", "A")])
+        assert result.is_derived(fact("Q", "A"))
+        assert not result.is_derived(fact("P", "A"))
+
+    def test_step_indices_are_sequential(self):
+        result = run(
+            "E(x, y) -> T(x, y). T(x, y), E(y, z) -> T(x, z).",
+            [fact("E", "A", "B"), fact("E", "B", "C")],
+        )
+        assert [record.index for record in result.records] == list(
+            range(len(result.records))
+        )
+
+
+class TestAggregates:
+    def test_sum_over_group(self):
+        result = run(
+            "beta: Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).",
+            [
+                fact("Default", "B"),
+                fact("Debts", "B", "C", 2),
+                fact("Debts", "B", "C", 9),
+            ],
+        )
+        assert result.facts("Risk") == (fact("Risk", "C", 11),)
+        record = result.record_for(fact("Risk", "C", 11))
+        assert record.multi_contributor
+        assert record.aggregate_value == 11
+
+    def test_single_contributor_not_multi(self):
+        result = run(
+            "beta: Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).",
+            [fact("Default", "B"), fact("Debts", "B", "C", 7)],
+        )
+        record = result.record_for(fact("Risk", "C", 7))
+        assert not record.multi_contributor
+
+    def test_groups_are_independent(self):
+        result = run(
+            "beta: Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).",
+            [
+                fact("Default", "B"),
+                fact("Debts", "B", "C", 2),
+                fact("Debts", "B", "D", 9),
+            ],
+        )
+        assert set(result.facts("Risk")) == {
+            fact("Risk", "C", 2), fact("Risk", "D", 9),
+        }
+
+    def test_post_condition_filters_groups(self):
+        result = run(
+            "sigma3h: Own(z, y, s), ts = sum(s), ts > 0.5 -> Majority(y).",
+            [
+                fact("Own", "A", "T", 0.3),
+                fact("Own", "B", "T", 0.3),
+                fact("Own", "A", "U", 0.2),
+            ],
+        )
+        assert result.facts("Majority") == (fact("Majority", "T"),)
+
+    def test_post_condition_with_body_variable(self):
+        """σ7's shape: the condition compares the aggregate against a body
+        variable (the capital), which must join the grouping key."""
+        result = run(
+            """
+            sigma7: Risk(c, e, t), HasCapital(c, p2), l = sum(e), l > p2
+                    -> Default(c).
+            """,
+            [
+                fact("Risk", "F", 8, "short"),
+                fact("Risk", "F", 2, "long"),
+                fact("HasCapital", "F", 9),
+                fact("Risk", "G", 3, "long"),
+                fact("HasCapital", "G", 9),
+            ],
+        )
+        assert result.facts("Default") == (fact("Default", "F"),)
+
+    def test_monotonic_supersession(self):
+        """When recursion grows an aggregate, the refreshed fact replaces
+        the stale one for further matching but both stay in the chase."""
+        result = run(
+            """
+            alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+            beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+            gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+            """,
+            [
+                fact("Shock", "A", 9), fact("HasCapital", "A", 5),
+                fact("Shock", "B", 9), fact("HasCapital", "B", 2),
+                fact("Debts", "A", "C", 3),
+                fact("Debts", "B", "C", 4),
+                fact("HasCapital", "C", 6),
+            ],
+        )
+        # Depending on rounds, Risk(C) may appear with partial sums; the
+        # final active fact must be the total.
+        active = result.facts("Risk")
+        assert fact("Risk", "C", 7) in active
+        assert all(r.terms[1].value == 7 for r in active)
+        assert fact("Default", "C") in result.database
+
+    def test_superseded_facts_remain_in_database(self):
+        result = run(
+            """
+            alpha: Seed(d) -> Default(d).
+            beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+            gamma: Risk(c, e), Threshold(c, p), e > p -> Default(c).
+            """,
+            [
+                fact("Seed", "A"),
+                fact("Debts", "A", "B", 5),
+                fact("Threshold", "B", 3),
+                fact("Debts", "B", "C", 2),
+                fact("Threshold", "C", 1),
+                fact("Debts", "C", "B", 4),
+            ],
+        )
+        # B's risk grows from 5 to 9 once C defaults back into B.
+        all_risks = result.facts("Risk", include_superseded=True)
+        active = result.facts("Risk")
+        assert fact("Risk", "B", 9) in active
+        assert fact("Risk", "B", 5) in all_risks
+        assert fact("Risk", "B", 5) not in active
+
+
+class TestExistentials:
+    def test_fresh_null_invented(self):
+        result = run("Person(x) -> HasParent(x, z).", [fact("Person", "A")])
+        derived = result.facts("HasParent")
+        assert len(derived) == 1
+        assert isinstance(derived[0].terms[1], Null)
+
+    def test_restricted_chase_skips_satisfied_heads(self):
+        result = run(
+            "Person(x) -> HasParent(x, z).",
+            [fact("Person", "A"), fact("HasParent", "A", "B")],
+        )
+        assert result.facts("HasParent") == (fact("HasParent", "A", "B"),)
+
+    def test_termination_with_recursive_existentials(self):
+        # Person -> HasParent(x, z); the parent is not a Person, so the
+        # restricted chase stops after one invention per person.
+        result = run(
+            "Person(x) -> HasParent(x, z).",
+            [fact("Person", "A"), fact("Person", "B")],
+        )
+        assert len(result.facts("HasParent")) == 2
+
+
+class TestTermination:
+    def test_round_limit_raises(self):
+        program = parse_program(
+            "N(x), Succ(x, y) -> N(y).", name="count"
+        )
+        database = Database(
+            [fact("N", 0)] + [fact("Succ", i, i + 1) for i in range(50)]
+        )
+        with pytest.raises(ChaseError):
+            ChaseEngine(max_rounds=5).run(program, database)
+
+    def test_figure8_instance_terminates_in_few_rounds(self):
+        result = run(
+            """
+            alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+            beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+            gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+            """,
+            [
+                fact("Shock", "A", 6), fact("HasCapital", "A", 5),
+                fact("HasCapital", "B", 2), fact("HasCapital", "C", 10),
+                fact("Debts", "A", "B", 7),
+                fact("Debts", "B", "C", 2), fact("Debts", "B", "C", 9),
+            ],
+        )
+        assert fact("Default", "C") in result.database
+        assert result.rounds <= 5
+        assert result.step_count() == 5

@@ -1,0 +1,81 @@
+"""Unit tests for the chase graph G(D, Σ) — paper Figure 8."""
+
+from repro.datalog.atoms import fact
+from repro.engine.chase_graph import ChaseGraph
+
+
+class TestFigure8Graph:
+    def test_nodes_include_all_facts(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        assert fact("Default", "C") in graph.nodes()
+        assert fact("Shock", "A", 6) in graph.nodes()
+
+    def test_roots_are_edb_facts(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        roots = set(graph.roots())
+        assert fact("Shock", "A", 6) in roots
+        assert fact("Default", "A") not in roots
+
+    def test_edges_labelled_with_rules(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        labels = {
+            (str(e.source), str(e.target)): e.rule_label for e in graph.edges
+        }
+        assert labels[("Shock(A, 6)", "Default(A)")] == "alpha"
+        assert labels[("Default(A)", "Risk(B, 7)")] == "beta"
+        assert labels[("Risk(C, 11)", "Default(C)")] == "gamma"
+
+    def test_aggregate_contributors_are_parents(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        parents = set(graph.parents(fact("Risk", "C", 11)))
+        assert fact("Debts", "B", "C", 2) in parents
+        assert fact("Debts", "B", "C", 9) in parents
+        assert fact("Default", "B") in parents
+
+    def test_children(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        children = graph.children(fact("Default", "A"))
+        assert fact("Risk", "B", 7) in children
+
+
+class TestProofExtraction:
+    def test_proof_size_matches_figure8(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        assert graph.proof_size(fact("Default", "C")) == 5
+
+    def test_proof_size_of_intermediate_fact(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        assert graph.proof_size(fact("Default", "A")) == 1
+        assert graph.proof_size(fact("Default", "B")) == 3
+
+    def test_proof_size_of_edb_fact_is_zero(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        assert graph.proof_size(fact("Shock", "A", 6)) == 0
+
+    def test_ancestor_records_in_derivation_order(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        records = graph.ancestor_records(fact("Default", "C"))
+        assert [r.rule_label for r in records] == [
+            "alpha", "beta", "gamma", "beta", "gamma",
+        ]
+
+    def test_proof_facts_include_edb_parents(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        proof = set(graph.proof_facts(fact("Default", "C")))
+        assert fact("Debts", "B", "C", 9) in proof
+        assert fact("HasCapital", "C", 10) in proof
+
+    def test_describe_lists_edges(self, figure8):
+        __, result = figure8
+        graph = ChaseGraph(result.chase_result)
+        assert "Default(C)" in graph.describe()

@@ -1,0 +1,55 @@
+"""Tests for the repro-explain command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyse:
+    def test_company_control_analysis(self, capsys):
+        assert main(["--analyse", "company_control"]) == 0
+        output = capsys.readouterr().out
+        assert "simple reasoning paths" in output
+        assert "σ3" in output
+
+    def test_analysis_dot_output(self, capsys):
+        assert main(["--analyse", "stress_test", "--dot"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--analyse", "nonexistent"])
+
+
+class TestDemos:
+    def test_figure8_demo(self, capsys):
+        assert main(["--demo", "figure8"]) == 0
+        output = capsys.readouterr().out
+        assert "Q_e = {Default(C)}" in output
+        assert "Reasoning paths used:" in output
+
+    def test_deterministic_flag(self, capsys):
+        assert main(["--demo", "figure8", "--deterministic"]) == 0
+        output = capsys.readouterr().out
+        assert "Since " in output
+
+    def test_chain_demo_with_steps(self, capsys):
+        assert main(["--demo", "chain", "--steps", "3", "--seed", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "control chain of 3" in output
+
+    def test_cascade_demo(self, capsys):
+        assert main(["--demo", "cascade", "--steps", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "Q_e" in output
+
+    def test_demo_dot_output(self, capsys):
+        assert main(["--demo", "figure8", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestHelp:
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "repro-explain" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Unit tests for repro.datalog.conditions."""
+
+import pytest
+
+from repro.datalog.conditions import (
+    BinaryOp,
+    Comparison,
+    evaluate_expression,
+    expression_variables,
+)
+from repro.datalog.errors import EvaluationError
+from repro.datalog.terms import Constant, Null, Variable
+
+
+def binding(**kwargs):
+    return {Variable(name): Constant(value) for name, value in kwargs.items()}
+
+
+class TestExpressionEvaluation:
+    def test_constant_leaf(self):
+        assert evaluate_expression(Constant(5), {}) == 5
+
+    def test_variable_leaf(self):
+        assert evaluate_expression(Variable("x"), binding(x=3)) == 3
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(Variable("x"), {})
+
+    def test_arithmetic_operations(self):
+        x = Variable("x")
+        b = binding(x=10)
+        assert evaluate_expression(BinaryOp("+", x, Constant(5)), b) == 15
+        assert evaluate_expression(BinaryOp("-", x, Constant(4)), b) == 6
+        assert evaluate_expression(BinaryOp("*", x, Constant(2)), b) == 20
+        assert evaluate_expression(BinaryOp("/", x, Constant(4)), b) == 2.5
+
+    def test_nested_expression(self):
+        expr = BinaryOp("*", BinaryOp("+", Constant(1), Constant(2)), Constant(4))
+        assert evaluate_expression(expr, {}) == 12
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(BinaryOp("/", Constant(1), Constant(0)), {})
+
+    def test_arithmetic_on_strings_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(BinaryOp("+", Constant("a"), Constant(1)), {})
+
+    def test_null_leaf_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(Null(0), {})
+
+    def test_variable_bound_to_null_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_expression(Variable("x"), {Variable("x"): Null(0)})
+
+
+class TestExpressionVariables:
+    def test_collects_nested_variables(self):
+        expr = BinaryOp("+", Variable("a"), BinaryOp("*", Variable("b"), Constant(2)))
+        assert set(expression_variables(expr)) == {Variable("a"), Variable("b")}
+
+    def test_constants_contribute_nothing(self):
+        assert list(expression_variables(Constant(1))) == []
+
+
+class TestComparison:
+    def test_all_operators(self):
+        b = binding(x=5, y=3)
+        x, y = Variable("x"), Variable("y")
+        assert Comparison(">", x, y).holds(b)
+        assert not Comparison("<", x, y).holds(b)
+        assert Comparison(">=", x, Constant(5)).holds(b)
+        assert Comparison("<=", y, Constant(3)).holds(b)
+        assert Comparison("==", x, Constant(5)).holds(b)
+        assert Comparison("!=", x, y).holds(b)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            Comparison("~", Variable("x"), Variable("y"))
+
+    def test_string_equality(self):
+        b = {Variable("t"): Constant("long")}
+        assert Comparison("==", Variable("t"), Constant("long")).holds(b)
+        assert Comparison("!=", Variable("t"), Constant("short")).holds(b)
+
+    def test_incomparable_types_raise(self):
+        b = {Variable("t"): Constant("long")}
+        with pytest.raises(EvaluationError):
+            Comparison(">", Variable("t"), Constant(1)).holds(b)
+
+    def test_variables_of_both_sides(self):
+        comparison = Comparison(
+            ">", BinaryOp("+", Variable("a"), Variable("b")), Variable("c")
+        )
+        assert comparison.variables() == frozenset(
+            {Variable("a"), Variable("b"), Variable("c")}
+        )
+
+    def test_str(self):
+        assert str(Comparison(">", Variable("s"), Variable("p1"))) == "s > p1"
+
+    def test_paper_alpha_condition(self):
+        """Rule α: s > p1 with the Figure 8 values (6 > 5)."""
+        assert Comparison(">", Variable("s"), Variable("p1")).holds(
+            binding(s=6, p1=5)
+        )

@@ -1,0 +1,113 @@
+"""Unit tests for the indexed fact store."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, fact
+from repro.datalog.errors import ArityError
+from repro.datalog.terms import Constant, Variable
+from repro.engine.database import Database
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_fact(self):
+        database = Database()
+        assert database.add(fact("P", "A"))
+
+    def test_add_returns_false_for_duplicate(self):
+        database = Database([fact("P", "A")])
+        assert not database.add(fact("P", "A"))
+        assert len(database) == 1
+
+    def test_add_all_counts_new(self):
+        database = Database([fact("P", "A")])
+        added = database.add_all([fact("P", "A"), fact("P", "B"), fact("P", "C")])
+        assert added == 2
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(ArityError):
+            Database().add(Atom("P", (v("x"),)))
+
+    def test_arity_conflict_rejected(self):
+        database = Database([fact("P", "A")])
+        with pytest.raises(ArityError):
+            database.add(fact("P", "A", "B"))
+
+
+class TestLookup:
+    def test_contains(self):
+        database = Database([fact("P", "A")])
+        assert fact("P", "A") in database
+        assert fact("P", "B") not in database
+
+    def test_facts_by_predicate_in_insertion_order(self):
+        database = Database([fact("P", "B"), fact("Q", "X"), fact("P", "A")])
+        assert database.facts("P") == (fact("P", "B"), fact("P", "A"))
+
+    def test_all_facts(self):
+        database = Database([fact("P", "A"), fact("Q", "B")])
+        assert len(database.facts()) == 2
+
+    def test_predicates(self):
+        database = Database([fact("P", "A"), fact("Q", "B")])
+        assert database.predicates() == frozenset({"P", "Q"})
+
+    def test_count(self):
+        database = Database([fact("P", "A"), fact("P", "B")])
+        assert database.count("P") == 2
+        assert database.count("Missing") == 0
+
+
+class TestMatching:
+    DB = Database([
+        fact("Own", "A", "B", 0.6),
+        fact("Own", "A", "C", 0.3),
+        fact("Own", "B", "C", 0.7),
+    ])
+
+    def test_match_unbound_pattern(self):
+        pattern = Atom("Own", (v("x"), v("y"), v("s")))
+        assert len(list(self.DB.match(pattern))) == 3
+
+    def test_match_with_constant(self):
+        pattern = Atom("Own", (Constant("A"), v("y"), v("s")))
+        matched = [m for m, _ in self.DB.match(pattern)]
+        assert matched == [fact("Own", "A", "B", 0.6), fact("Own", "A", "C", 0.3)]
+
+    def test_match_with_binding(self):
+        pattern = Atom("Own", (v("x"), v("y"), v("s")))
+        matched = list(self.DB.match(pattern, {v("y"): Constant("C")}))
+        assert len(matched) == 2
+
+    def test_match_excludes(self):
+        pattern = Atom("Own", (v("x"), v("y"), v("s")))
+        excluded = frozenset({fact("Own", "A", "B", 0.6)})
+        matched = [m for m, _ in self.DB.match(pattern, exclude=excluded)]
+        assert fact("Own", "A", "B", 0.6) not in matched
+
+    def test_candidates_use_most_selective_index(self):
+        pattern = Atom("Own", (Constant("B"), v("y"), v("s")))
+        candidates = self.DB.candidates(pattern, {})
+        assert candidates == (fact("Own", "B", "C", 0.7),)
+
+    def test_match_binding_extension(self):
+        pattern = Atom("Own", (v("x"), v("y"), v("s")))
+        __, binding = next(self.DB.match(pattern))
+        assert binding[v("x")] == Constant("A")
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        original = Database([fact("P", "A")])
+        clone = original.copy()
+        clone.add(fact("P", "B"))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_describe_truncation(self):
+        database = Database([fact("P", i) for i in range(10)])
+        text = database.describe(limit=3)
+        assert "more" in text

@@ -1,0 +1,97 @@
+"""Unit tests for the dependency graph D(Σ) — paper Figures 3 and 9."""
+
+import pytest
+
+from repro.datalog.depgraph import DependencyGraph
+from repro.datalog.parser import parse_program
+
+
+@pytest.fixture()
+def simple_stress():
+    """Example 4.3's program, whose D(Σ) is the paper's Figure 3."""
+    return parse_program(
+        """
+        alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+        beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+        gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+        """,
+        name="stress_simple",
+        goal="Default",
+    )
+
+
+@pytest.fixture()
+def graph(simple_stress):
+    return DependencyGraph(simple_stress)
+
+
+class TestFigure3Topology:
+    def test_nodes_are_all_predicates(self, graph):
+        assert graph.nodes == frozenset(
+            {"Shock", "HasCapital", "Default", "Debts", "Risk"}
+        )
+
+    def test_edge_set_matches_figure3(self, graph):
+        edges = {(e.source, e.target, e.rule_label) for e in graph.edges}
+        assert edges == {
+            ("Shock", "Default", "alpha"),
+            ("HasCapital", "Default", "alpha"),
+            ("Default", "Risk", "beta"),
+            ("Debts", "Risk", "beta"),
+            ("HasCapital", "Default", "gamma"),
+            ("Risk", "Default", "gamma"),
+        }
+
+    def test_roots_are_shock_hascapital_debts(self, graph):
+        assert graph.roots() == frozenset({"Shock", "HasCapital", "Debts"})
+
+    def test_leaf_is_goal(self, graph):
+        assert graph.leaf() == "Default"
+
+    def test_cyclic_because_of_recursion(self, graph):
+        assert graph.is_recursive()
+
+    def test_default_risk_cycle_found(self, graph):
+        cycles = graph.cycles()
+        assert any(set(cycle) == {"Default", "Risk"} for cycle in cycles)
+
+
+class TestDegreesAndRules:
+    def test_out_degree(self, graph):
+        assert graph.out_degree("Default") == 1
+        assert graph.out_degree("HasCapital") == 2
+        assert graph.out_degree("Risk") == 1
+
+    def test_in_degree(self, graph):
+        # alpha contributes Shock->Default and HasCapital->Default;
+        # gamma contributes HasCapital->Default and Risk->Default.
+        assert graph.in_degree("Default") == 4
+
+    def test_deriving_rules(self, graph):
+        assert graph.deriving_rules("Default") == ("alpha", "gamma")
+        assert graph.deriving_rules("Risk") == ("beta",)
+
+    def test_depends_on_transitively(self, graph):
+        assert graph.depends_on("Default", "Shock")
+        assert graph.depends_on("Risk", "Debts")
+        assert not graph.depends_on("Shock", "Default")
+
+
+class TestAcyclicProgram:
+    def test_non_recursive_program(self):
+        program = parse_program(
+            "P(x) -> Q(x). Q(x) -> R(x).", name="line", goal="R"
+        )
+        graph = DependencyGraph(program)
+        assert not graph.is_recursive()
+        assert graph.cycles() == []
+
+    def test_leaf_requires_goal(self):
+        program = parse_program("P(x) -> Q(x).", name="nogoal")
+        with pytest.raises(ValueError):
+            DependencyGraph(program).leaf()
+
+    def test_describe(self, graph):
+        text = graph.describe()
+        assert "recursive: True" in text
+        assert "leaf: Default" in text

@@ -1,0 +1,185 @@
+"""Deeper engine coverage: all aggregate functions end to end, arithmetic
+in rules, aggregate argument expressions, mixed workloads."""
+
+import pytest
+
+from repro.datalog import fact, parse_program
+from repro.engine import reason
+
+
+class TestAggregateFunctionsEndToEnd:
+    DATA = [
+        fact("Sale", "Store1", 10),
+        fact("Sale", "Store1", 25),
+        fact("Sale", "Store1", 5),
+        fact("Sale", "Store2", 7),
+    ]
+
+    def run(self, function):
+        program = parse_program(
+            f"agg: Sale(s, v), r = {function}(v) -> Result(s, r).",
+            name=function, goal="Result",
+        )
+        result = reason(program, self.DATA)
+        return {
+            str(f.terms[0]): f.terms[1].value for f in result.answers()
+        }
+
+    def test_sum(self):
+        assert self.run("sum") == {"Store1": 40, "Store2": 7}
+
+    def test_min(self):
+        assert self.run("min") == {"Store1": 5, "Store2": 7}
+
+    def test_max(self):
+        assert self.run("max") == {"Store1": 25, "Store2": 7}
+
+    def test_count(self):
+        assert self.run("count") == {"Store1": 3, "Store2": 1}
+
+    def test_prod(self):
+        assert self.run("prod") == {"Store1": 1250, "Store2": 7}
+
+
+class TestAggregateArgumentExpressions:
+    def test_sum_over_arithmetic_expression(self):
+        """Aggregate arguments may be arithmetic over body variables:
+        total exposure = sum of amount * weight."""
+        program = parse_program(
+            """
+            agg: Exposure(c, v, w), t = sum(v * w) -> Weighted(c, t).
+            """,
+            name="weighted", goal="Weighted",
+        )
+        result = reason(program, [
+            fact("Exposure", "C", 10, 2),
+            fact("Exposure", "C", 5, 4),
+        ])
+        assert result.answers() == (fact("Weighted", "C", 40),)
+
+    def test_condition_with_arithmetic_both_sides(self):
+        program = parse_program(
+            "r: Pair(x, a, b), a + b > 2 * a -> BGreater(x).",
+            name="arith", goal="BGreater",
+        )
+        result = reason(program, [
+            fact("Pair", "P1", 3, 5), fact("Pair", "P2", 5, 3),
+        ])
+        assert result.answers() == (fact("BGreater", "P1"),)
+
+    def test_division_in_condition(self):
+        program = parse_program(
+            "r: Ratio(x, n, d), n / d >= 0.5 -> High(x).",
+            name="div", goal="High",
+        )
+        result = reason(program, [
+            fact("Ratio", "A", 3, 4), fact("Ratio", "B", 1, 4),
+        ])
+        assert result.answers() == (fact("High", "A"),)
+
+
+class TestMixedWorkloads:
+    def test_aggregate_feeding_aggregate(self):
+        """Two aggregation levels: per-branch subtotals, then the grand
+        total over subtotals (σ5/σ6 → σ7 in miniature)."""
+        program = parse_program(
+            """
+            lvl1: Sale(branch, region, v), s = sum(v) -> Subtotal(region, branch, s).
+            lvl2: Subtotal(region, branch, s), t = sum(s) -> Total(region, t).
+            """,
+            name="rollup", goal="Total",
+        )
+        result = reason(program, [
+            fact("Sale", "B1", "North", 10),
+            fact("Sale", "B1", "North", 5),
+            fact("Sale", "B2", "North", 20),
+            fact("Sale", "B3", "South", 7),
+        ])
+        totals = {str(f.terms[0]): f.terms[1].value for f in result.answers()}
+        assert totals == {"North": 35, "South": 7}
+
+    def test_aggregate_over_recursive_predicate(self):
+        """Counting derived facts: reachable-node counts per source."""
+        program = parse_program(
+            """
+            base: E(x, y) -> T(x, y).
+            rec:  T(x, y), E(y, z) -> T(x, z).
+            cnt:  T(x, y), c = count(y) -> Reach(x, c).
+            """,
+            name="reach", goal="Reach",
+        )
+        result = reason(program, [
+            fact("E", "A", "B"), fact("E", "B", "C"),
+        ])
+        reach = {str(f.terms[0]): f.terms[1].value for f in result.answers()}
+        assert reach["A"] == 2
+        assert reach["B"] == 1
+
+    def test_string_channel_comparison(self):
+        program = parse_program(
+            '''
+            r: Risk(c, e, t), t == "long" -> LongRisk(c, e).
+            ''',
+            name="chan", goal="LongRisk",
+        )
+        result = reason(program, [
+            fact("Risk", "C", 5, "long"), fact("Risk", "C", 9, "short"),
+        ])
+        assert result.answers() == (fact("LongRisk", "C", 5),)
+
+
+class TestRoundsAndOrdering:
+    def test_round_numbers_monotone(self):
+        scenario_program = parse_program(
+            "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+            name="tc", goal="T",
+        )
+        result = reason(scenario_program, [
+            fact("E", "A", "B"), fact("E", "B", "C"), fact("E", "C", "D"),
+        ]).chase_result
+        rounds = [record.round for record in result.records]
+        assert rounds == sorted(rounds)
+
+    def test_deterministic_record_order(self):
+        program = parse_program(
+            "r1: P(x) -> Q(x). r2: R(x) -> Q(x).", name="p", goal="Q"
+        )
+        facts = [fact("P", "A"), fact("R", "B")]
+        first = reason(program, facts).chase_result
+        second = reason(program, facts).chase_result
+        assert [r.fact for r in first.records] == [r.fact for r in second.records]
+
+
+class TestAggregateEdgeCases:
+    def test_group_key_includes_all_head_variables(self):
+        program = parse_program(
+            "agg: Debt(d, c, v), e = sum(v) -> Owed(d, c, e).",
+            name="per-pair", goal="Owed",
+        )
+        result = reason(program, [
+            fact("Debt", "A", "C", 2),
+            fact("Debt", "A", "C", 3),
+            fact("Debt", "B", "C", 10),
+        ])
+        owed = {
+            (str(f.terms[0]), str(f.terms[1])): f.terms[2].value
+            for f in result.answers()
+        }
+        assert owed == {("A", "C"): 5, ("B", "C"): 10}
+
+    def test_aggregate_head_constant_channel(self):
+        """σ5-style: a constant in the head tags the aggregate's output."""
+        program = parse_program(
+            'agg: Debt(d, c, v), e = sum(v) -> Risk(c, e, "long").',
+            name="tagged", goal="Risk",
+        )
+        result = reason(program, [fact("Debt", "A", "C", 7)])
+        assert result.answers() == (fact("Risk", "C", 7, "long"),)
+
+    def test_no_contributions_no_output(self):
+        program = parse_program(
+            "agg: Debt(d, c, v), e = sum(v) -> Risk(c, e).",
+            name="empty", goal="Risk",
+        )
+        result = reason(program, [fact("Unrelated", "X")])
+        assert result.answers() == ()

@@ -1,0 +1,99 @@
+"""Unit tests for LLM template enhancement and the token guard (§4.4)."""
+
+import pytest
+
+from repro.core.enhancer import ENHANCEMENT_PROMPT, TemplateEnhancer
+from repro.core.templates import TemplateStore, extract_tokens
+
+
+class RecordingLLM:
+    """Scripted fake: returns canned outputs and records prompts."""
+
+    def __init__(self, outputs):
+        self.outputs = list(outputs)
+        self.prompts = []
+
+    def complete(self, prompt):
+        self.prompts.append(prompt)
+        if self.outputs:
+            return self.outputs.pop(0)
+        return prompt[len(ENHANCEMENT_PROMPT):]
+
+
+@pytest.fixture()
+def store(stress_simple_analysis, stress_simple_app):
+    return TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+
+
+class TestGuard:
+    def test_token_preserving_output_accepted(self, store):
+        template = store.templates()[0]
+        tokens = " ".join(f"<{t}>" for t in sorted(template.token_names))
+        llm = RecordingLLM([f"fluent text with {tokens}"])
+        enhancer = TemplateEnhancer(llm)
+        assert enhancer.enhance_template(template)
+        assert len(template.enhanced_texts) == 1
+        template.enhanced_texts.clear()
+
+    def test_token_dropping_output_rejected(self, store):
+        template = store.templates()[0]
+        llm = RecordingLLM(["no tokens at all"] * 3)
+        enhancer = TemplateEnhancer(llm, max_attempts=3)
+        assert not enhancer.enhance_template(template)
+        assert template.enhanced_texts == []
+        assert len(llm.prompts) == 3
+
+    def test_retry_until_valid(self, store):
+        template = store.templates()[0]
+        tokens = " ".join(f"<{t}>" for t in sorted(template.token_names))
+        llm = RecordingLLM(["broken", f"ok {tokens}"])
+        enhancer = TemplateEnhancer(llm, max_attempts=3)
+        assert enhancer.enhance_template(template)
+        assert len(llm.prompts) == 2
+        template.enhanced_texts.clear()
+
+    def test_prompt_is_papers_rephrase_prompt(self, store):
+        template = store.templates()[0]
+        llm = RecordingLLM(["x"])
+        TemplateEnhancer(llm, max_attempts=1).enhance_template(template)
+        assert llm.prompts[0].startswith("Rephrase the following text: ")
+
+
+class TestStoreEnhancement:
+    def test_simulated_llm_enhances_all_templates(self, store, faithful_llm):
+        report = TemplateEnhancer(faithful_llm).enhance_store(store)
+        assert report.enhanced == len(store)
+        assert report.rejected == 0
+        for template in store.templates():
+            assert len(template.enhanced_texts) == 1
+            assert extract_tokens(template.enhanced_texts[0]) >= extract_tokens(
+                template.deterministic_text
+            )
+            template.enhanced_texts.clear()
+
+    def test_multiple_interchangeable_versions(self, store, faithful_llm):
+        TemplateEnhancer(faithful_llm).enhance_store(store, versions=3)
+        template = store.templates()[0]
+        assert len(template.enhanced_texts) == 3
+        # Versions differ (the simulator resamples deterministically).
+        assert len(set(template.enhanced_texts)) >= 2
+        for current in store.templates():
+            current.enhanced_texts.clear()
+
+    def test_report_records_rejections(self, store):
+        llm = RecordingLLM(["bad"] * 100)
+        report = TemplateEnhancer(llm, max_attempts=2).enhance_store(store)
+        assert report.enhanced == 0
+        assert report.rejected == 2 * len(store)
+        assert report.failures
+
+    def test_unreliable_llm_guard_catches_drops(self, store, lossy_llm):
+        """With the lossy simulator, every stored enhanced text still
+        carries all tokens — the guard filtered the drops."""
+        TemplateEnhancer(lossy_llm, max_attempts=5).enhance_store(store)
+        for template in store.templates():
+            for text in template.enhanced_texts:
+                assert extract_tokens(text) >= extract_tokens(
+                    template.deterministic_text
+                )
+            template.enhanced_texts.clear()

@@ -1,0 +1,90 @@
+"""Tests replaying the paper's worked instances end to end."""
+
+from repro.apps import figures
+from repro.core import Explainer, completeness_ratio
+from repro.datalog.atoms import fact
+
+
+class TestFigure8:
+    def test_expected_steps(self, figure8):
+        scenario, result = figure8
+        assert result.proof_size(scenario.target) == scenario.expected_steps == 5
+
+    def test_chase_graph_shape(self, figure8):
+        """The Figure 8 fragment: 7 EDB facts + 5 derived facts."""
+        __, result = figure8
+        assert len(result.database) == 12
+
+
+class TestFigure12:
+    def test_stress_narrative_reproduced(self, figure12_stress):
+        """Section 5's Default(F) narrative: every amount it cites must
+        appear in our generated explanation."""
+        scenario, result = figure12_stress
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target, prefer_enhanced=False)
+        for constant in ("14", "5", "7", "4", "9", "8", "2", "10"):
+            assert constant in explanation.constants()
+        assert completeness_ratio(
+            explanation.text, explainer.proof_constants(scenario.target)
+        ) == 1.0
+
+    def test_stress_paths_match_narrative(self, figure12_stress):
+        """The paper reports reasoning paths {Π7, Γ3, Γ4}: a single-channel
+        simple path, a short-term cycle, and the joint dual-channel cycle."""
+        scenario, result = figure12_stress
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target)
+        used = [
+            frozenset(segment.path.labels) for segment in explanation.segments
+        ]
+        assert used == [
+            frozenset({"sigma4", "sigma5", "sigma7"}),
+            frozenset({"sigma6", "sigma7"}),
+            frozenset({"sigma5", "sigma6", "sigma7"}),
+        ]
+
+    def test_control_side_uses_pi_sigma1_sigma3(self):
+        """The paper: Q_e = {Control(B, D)} follows the {σ1, σ3} path."""
+        scenario = figures.figure12_control_instance()
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target)
+        assert [frozenset(s.path.labels) for s in explanation.segments] == [
+            frozenset({"sigma1", "sigma3"}),
+        ]
+
+
+class TestFigure15:
+    def test_irish_bank_controls_madrid_credit(self, figure15):
+        __, result = figure15
+        assert fact("Control", "IrishBank", "MadridCredit") in result.answers()
+
+    def test_combined_stake_is_57_percent(self, figure15):
+        scenario, result = figure15
+        record = result.chase_result.record_for(scenario.target)
+        assert record.aggregate_value == 0.57
+
+    def test_explanation_mentions_all_shares(self, figure15):
+        scenario, result = figure15
+        explainer = Explainer(result, scenario.application.glossary)
+        text = explainer.explain(scenario.target, prefer_enhanced=False).text
+        for constant in ("0.83", "0.54", "0.36", "0.21", "0.57"):
+            assert constant in text
+
+    def test_deterministic_explanation_mirrors_figure15_top(self, figure15):
+        """The 'Deterministic Explanation' block of Figure 15 lists the two
+        direct controls and the joint 57% aggregation."""
+        scenario, result = figure15
+        explainer = Explainer(result, scenario.application.glossary)
+        text = explainer.deterministic_explanation(scenario.target)
+        assert "IrishBank owns 0.83 shares of FondoItaliano" in text
+        assert "IrishBank owns 0.54 shares of FrenchPLC" in text
+        assert "sum of" in text
+
+    def test_all_instances_run(self):
+        for scenario in figures.all_paper_instances():
+            result = scenario.run()
+            assert scenario.target in result.database
+            if scenario.expected_steps is not None:
+                assert result.proof_size(scenario.target) == scenario.expected_steps

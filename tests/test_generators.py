@@ -1,0 +1,187 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.apps import generators
+from repro.datalog.atoms import fact
+
+
+class TestControlChain:
+    @pytest.mark.parametrize("length", [1, 2, 5, 12, 21])
+    def test_exact_proof_length(self, length):
+        scenario = generators.control_chain(length, seed=7)
+        result = scenario.run()
+        assert result.proof_size(scenario.target) == length
+        assert scenario.expected_steps == length
+
+    def test_target_is_derived(self):
+        scenario = generators.control_chain(4, seed=1)
+        result = scenario.run()
+        assert scenario.target in result.answers()
+
+    def test_seed_changes_entities(self):
+        first = generators.control_chain(3, seed=1)
+        second = generators.control_chain(3, seed=2)
+        assert first.database.facts() != second.database.facts()
+
+    def test_deterministic_per_seed(self):
+        first = generators.control_chain(3, seed=9)
+        second = generators.control_chain(3, seed=9)
+        assert first.database.facts() == second.database.facts()
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            generators.control_chain(0)
+
+
+class TestControlAggregation:
+    @pytest.mark.parametrize("branches", [2, 3, 5])
+    def test_joint_control_derived(self, branches):
+        scenario = generators.control_aggregation(branches, seed=2)
+        result = scenario.run()
+        assert scenario.target in result.answers()
+        assert result.proof_size(scenario.target) == branches + 1
+
+    def test_final_step_is_multi_contributor(self):
+        scenario = generators.control_aggregation(3, seed=2)
+        result = scenario.run()
+        record = result.chase_result.record_for(scenario.target)
+        assert record.multi_contributor
+        assert len(record.contributors) == 3
+
+    def test_stakes_are_distinct(self):
+        scenario = generators.control_aggregation(3, seed=2)
+        stakes = [
+            f.terms[2].value for f in scenario.database
+            if f.predicate == "Own" and f.terms[1].value.startswith(
+                scenario.target.terms[1].value[:1]
+            )
+        ]
+        # all Own stakes in the scenario are pairwise distinct
+        all_stakes = [
+            f.terms[2].value for f in scenario.database if f.predicate == "Own"
+        ]
+        assert len(set(all_stakes)) == len(all_stakes)
+
+    def test_minimum_branches(self):
+        with pytest.raises(ValueError):
+            generators.control_aggregation(1)
+
+
+class TestChainWithAggregation:
+    def test_combined_structure(self):
+        scenario = generators.control_chain_with_aggregation(2, 2, seed=3)
+        result = scenario.run()
+        assert scenario.target in result.answers()
+        assert result.proof_size(scenario.target) == scenario.expected_steps
+
+
+class TestStressCascade:
+    @pytest.mark.parametrize("hops", [0, 1, 3, 6])
+    def test_cascade_length(self, hops):
+        scenario = generators.stress_cascade(hops, seed=5)
+        result = scenario.run()
+        assert scenario.target in result.answers()
+        assert result.proof_size(scenario.target) == 1 + 2 * hops
+
+    def test_dual_final_adds_one_step(self):
+        scenario = generators.stress_cascade(2, seed=5, dual_final=True)
+        result = scenario.run()
+        assert result.proof_size(scenario.target) == 2 + 2 * 2
+
+    def test_dual_final_needs_a_hop(self):
+        with pytest.raises(ValueError):
+            generators.stress_cascade(0, dual_final=True)
+
+    def test_all_chain_members_default(self):
+        scenario = generators.stress_cascade(3, seed=8)
+        result = scenario.run()
+        assert len(result.answers()) == 4
+
+
+class TestStepTargetedBuilders:
+    @pytest.mark.parametrize("steps", [1, 3, 4, 5, 8, 9, 13, 22])
+    def test_stress_with_steps_exact(self, steps):
+        scenario = generators.stress_with_steps(steps, seed=steps)
+        result = scenario.run()
+        assert result.proof_size(scenario.target) == steps
+
+    def test_stress_steps_two_impossible(self):
+        with pytest.raises(ValueError):
+            generators.stress_with_steps(2)
+
+    def test_stress_steps_zero_rejected(self):
+        with pytest.raises(ValueError):
+            generators.stress_with_steps(0)
+
+    @pytest.mark.parametrize("steps", [1, 6, 15, 21])
+    def test_control_with_steps_exact(self, steps):
+        scenario = generators.control_with_steps(steps, seed=steps)
+        result = scenario.run()
+        assert result.proof_size(scenario.target) == steps
+
+
+class TestRandomNetworks:
+    def test_ownership_database_shape(self):
+        database = generators.random_ownership_database(10, 20, seed=4)
+        assert database.count("Own") == 20
+        assert database.count("Company") == 10
+
+    def test_ownership_without_companies(self):
+        database = generators.random_ownership_database(
+            10, 15, seed=4, include_companies=False
+        )
+        assert database.count("Company") == 0
+
+    def test_debt_database_shape(self):
+        database = generators.random_debt_database(8, 12, shocked=2, seed=4)
+        assert database.count("HasCapital") == 8
+        assert database.count("Shock") == 2
+        channels = database.count("LongTermDebts") + database.count(
+            "ShortTermDebts"
+        )
+        assert channels == 12
+
+    def test_random_network_chases_without_error(self):
+        from repro.apps import stress_test
+
+        database = generators.random_debt_database(8, 14, shocked=2, seed=6)
+        result = stress_test.build().reason(database)
+        assert result.chase_result.rounds >= 1
+
+
+class TestCloseLinksScenario:
+    def test_common_control_close_link(self):
+        scenario = generators.close_links_common_control(seed=1)
+        result = scenario.run()
+        assert scenario.target in result.answers()
+        assert result.proof_size(scenario.target) == 3
+
+
+class TestMultiChannelPrograms:
+    @pytest.mark.parametrize("channels", [1, 2, 3])
+    def test_path_counts_follow_subset_formula(self, channels):
+        from repro.core import StructuralAnalysis
+
+        program = generators.multi_channel_stress_program(channels)
+        analysis = StructuralAnalysis(program)
+        assert len(analysis.simple_paths) == 2 ** channels
+        assert len(analysis.cycles) == 2 ** channels - 1
+
+    def test_channel_programs_reason_correctly(self):
+        from repro.datalog import fact
+        from repro.engine import reason
+
+        program = generators.multi_channel_stress_program(3)
+        result = reason(program, [
+            fact("Shock", "A", 9), fact("HasCapital", "A", 5),
+            fact("HasCapital", "B", 5),
+            fact("Debts1", "A", "B", 2),
+            fact("Debts2", "A", "B", 2),
+            fact("Debts3", "A", "B", 2),
+        ])
+        assert fact("Default", "B") in result.answers()
+
+    def test_minimum_channels(self):
+        with pytest.raises(ValueError):
+            generators.multi_channel_stress_program(0)

@@ -1,0 +1,126 @@
+"""Unit tests for the domain glossary — paper Figures 7 and 11."""
+
+import pytest
+
+from repro.core.glossary import DomainGlossary, GlossaryEntry
+from repro.datalog.atoms import Atom
+from repro.datalog.errors import GlossaryError
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+
+class TestEntryValidation:
+    def test_valid_entry(self):
+        entry = GlossaryEntry("Shock", ("f", "s"), "a shock of <s> affects <f>")
+        assert entry.arity == 2
+
+    def test_undeclared_token_rejected(self):
+        with pytest.raises(GlossaryError):
+            GlossaryEntry("Shock", ("f",), "a shock of <s> affects <f>")
+
+    def test_unused_parameter_rejected(self):
+        with pytest.raises(GlossaryError):
+            GlossaryEntry("Shock", ("f", "s"), "something affects <f>")
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(GlossaryError):
+            GlossaryEntry("P", ("x", "x"), "<x> and <x>")
+
+
+class TestRendering:
+    ENTRY = GlossaryEntry(
+        "HasCapital", ("f", "p"),
+        "<f> is a financial institution with capital of <p>",
+    )
+
+    def test_render_with_strings(self):
+        text = self.ENTRY.render({"f": "A", "p": "5"})
+        assert text == "A is a financial institution with capital of 5"
+
+    def test_render_with_tokens(self):
+        text = self.ENTRY.render({"f": "<c>", "p": "<p2>"})
+        assert text == "<c> is a financial institution with capital of <p2>"
+
+    def test_render_missing_replacement(self):
+        with pytest.raises(GlossaryError):
+            self.ENTRY.render({"f": "A"})
+
+    def test_render_atom_positional(self):
+        atom = Atom("HasCapital", (Variable("c"), Variable("p2")))
+        text = self.ENTRY.render_atom(atom, {0: "<c>", 1: "<p2>"})
+        assert "<c>" in text and "<p2>" in text
+
+    def test_render_atom_arity_mismatch(self):
+        atom = Atom("HasCapital", (Variable("c"),))
+        with pytest.raises(GlossaryError):
+            self.ENTRY.render_atom(atom, {0: "<c>"})
+
+    def test_repeated_parameter_occurrences(self):
+        entry = GlossaryEntry("Loop", ("x",), "<x> points to <x>")
+        assert entry.render({"x": "A"}) == "A points to A"
+
+
+class TestGlossaryCollection:
+    def test_define_and_lookup(self):
+        glossary = DomainGlossary()
+        glossary.define("Default", ["f"], "<f> is in default")
+        assert glossary.entry("Default").predicate == "Default"
+        assert "Default" in glossary
+        assert len(glossary) == 1
+
+    def test_duplicate_entry_rejected(self):
+        glossary = DomainGlossary()
+        glossary.define("Default", ["f"], "<f> is in default")
+        with pytest.raises(GlossaryError):
+            glossary.define("Default", ["f"], "<f> fails")
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(GlossaryError):
+            DomainGlossary().entry("Missing")
+
+    def test_describe_sorted(self):
+        glossary = DomainGlossary()
+        glossary.define("B", ["x"], "<x> b")
+        glossary.define("A", ["x"], "<x> a")
+        text = glossary.describe()
+        assert text.index("A(") < text.index("B(")
+
+
+class TestProgramValidation:
+    PROGRAM = parse_program(
+        "sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).",
+        name="cc", goal="Control",
+    )
+
+    def test_complete_glossary_passes(self):
+        glossary = DomainGlossary()
+        glossary.define("Own", ["x", "y", "s"], "<x> owns <s> of <y>")
+        glossary.define("Control", ["x", "y"], "<x> controls <y>")
+        glossary.validate_against(self.PROGRAM)
+
+    def test_missing_predicate_fails(self):
+        glossary = DomainGlossary()
+        glossary.define("Own", ["x", "y", "s"], "<x> owns <s> of <y>")
+        with pytest.raises(GlossaryError):
+            glossary.validate_against(self.PROGRAM)
+
+    def test_arity_mismatch_fails(self):
+        glossary = DomainGlossary()
+        glossary.define("Own", ["x", "y"], "<x> owns <y>")
+        glossary.define("Control", ["x", "y"], "<x> controls <y>")
+        with pytest.raises(GlossaryError):
+            glossary.validate_against(self.PROGRAM)
+
+
+class TestPaperGlossaries:
+    def test_figure7_glossary_covers_simple_stress(self, stress_simple_app):
+        stress_simple_app.glossary.validate_against(stress_simple_app.program)
+
+    def test_figure11_glossary_covers_full_stress(self, stress_app):
+        stress_app.glossary.validate_against(stress_app.program)
+
+    def test_figure11_glossary_covers_control(self, control_app):
+        control_app.glossary.validate_against(control_app.program)
+
+    def test_close_links_glossary(self, close_links_app):
+        close_links_app.glossary.validate_against(close_links_app.program)

@@ -1,0 +1,105 @@
+"""Golden-text regression tests.
+
+The deterministic pipeline (verbalizer → templates → mapping →
+instantiation) is pure: these snapshots lock the exact texts for the
+paper's worked examples so that refactorings cannot silently change the
+narrative structure, clause order or number rendering.  (Enhanced texts
+are seeded-LLM outputs and intentionally not pinned here.)
+"""
+
+from repro.core import Explainer
+from repro.datalog import fact
+
+EXAMPLE_4_8_TEMPLATE_TEXT = (
+    "Since a shock amounting to 6 million euros affects A, and A is a "
+    "financial institution with capital of 5 million euros, and 6 is "
+    "higher than 5, then A is in default. Since A is in default, and A "
+    "has an amount of 7 million euros of debts with B, then B is at risk "
+    "of defaulting given its loan of 7 million euros of exposures to a "
+    "defaulted debtor. Since B is a financial institution with capital of "
+    "2 million euros, and B is at risk of defaulting given its loan of 7 "
+    "million euros of exposures to a defaulted debtor, and 2 is lower "
+    "than 7, then B is in default. Since B is in default, and B has an "
+    "amount of 2 and 9 million euros of debts with C, with 11 given by "
+    "the sum of 2 and 9, then C is at risk of defaulting given its loan "
+    "of 11 million euros of exposures to a defaulted debtor. Since C is a "
+    "financial institution with capital of 10 million euros, and C is at "
+    "risk of defaulting given its loan of 11 million euros of exposures "
+    "to a defaulted debtor, and 10 is lower than 11, then C is in default."
+)
+
+EXAMPLE_4_8_DETERMINISTIC_TEXT = (
+    "Since a shock amounting to 6 million euros affects A, and A is a "
+    "financial institution with capital of 5 million euros, and 6 is "
+    "higher than 5, then A is in default. Since A is in default, and A "
+    "has an amount of 7 million euros of debts with B, then B is at risk "
+    "of defaulting given its loan of 7 million euros of exposures to a "
+    "defaulted debtor. Since B is a financial institution with capital of "
+    "2 million euros, and B is at risk of defaulting given its loan of 7 "
+    "million euros of exposures to a defaulted debtor, and 2 is lower "
+    "than 7, then B is in default. Since B is in default, and B has an "
+    "amount of 2 million euros of debts with C, and B has an amount of 9 "
+    "million euros of debts with C, and 11 is given by the sum of 2 and "
+    "9, then C is at risk of defaulting given its loan of 11 million "
+    "euros of exposures to a defaulted debtor. Since C is a financial "
+    "institution with capital of 10 million euros, and C is at risk of "
+    "defaulting given its loan of 11 million euros of exposures to a "
+    "defaulted debtor, and 10 is lower than 11, then C is in default."
+)
+
+FIGURE_15_TEMPLATE_TEXT = (
+    "Since IrishBank owns 0.83 and 0.54 shares of FondoItaliano and "
+    "FrenchPLC, and 0.83 and 0.54 is higher than 0.5, then IrishBank "
+    "exercises control over FondoItaliano and FrenchPLC. Since IrishBank "
+    "exercises control over FondoItaliano and FrenchPLC, and "
+    "FondoItaliano and FrenchPLC owns 0.36 and 0.21 shares of "
+    "MadridCredit, with 0.57 given by the sum of 0.36 and 0.21, and 0.57 "
+    "is higher than 0.5, then IrishBank exercises control over "
+    "MadridCredit."
+)
+
+
+class TestExample48Snapshot:
+    def test_template_explanation(self, figure8_explainer):
+        text = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        ).text
+        assert text == EXAMPLE_4_8_TEMPLATE_TEXT
+
+    def test_deterministic_explanation(self, figure8_explainer):
+        text = figure8_explainer.deterministic_explanation(fact("Default", "C"))
+        assert text == EXAMPLE_4_8_DETERMINISTIC_TEXT
+
+    def test_template_vs_deterministic_differ_only_in_aggregation_style(
+        self, figure8_explainer
+    ):
+        """The template text compacts the two B→C debts into one clause
+        with a textual conjunction; everything else coincides."""
+        template = figure8_explainer.explain(
+            fact("Default", "C"), prefer_enhanced=False
+        ).text
+        assert template != EXAMPLE_4_8_DETERMINISTIC_TEXT
+        assert "2 and 9 million euros of debts" in template
+        assert "2 and 9 million euros of debts" not in \
+            EXAMPLE_4_8_DETERMINISTIC_TEXT
+
+
+class TestFigure15Snapshot:
+    def test_template_explanation(self, figure15):
+        scenario, result = figure15
+        explainer = Explainer(result, scenario.application.glossary)
+        text = explainer.explain(scenario.target, prefer_enhanced=False).text
+        assert text == FIGURE_15_TEMPLATE_TEXT
+
+
+class TestStability:
+    def test_repeated_runs_identical(self, figure8):
+        scenario, __ = figure8
+        texts = set()
+        for _ in range(3):
+            result = scenario.run()
+            explainer = Explainer(result, scenario.application.glossary)
+            texts.add(
+                explainer.explain(scenario.target, prefer_enhanced=False).text
+            )
+        assert len(texts) == 1

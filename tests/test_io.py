@@ -1,0 +1,232 @@
+"""Tests for the file formats (programs, facts, glossaries) and the
+file-driven CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datalog import ParseError, fact
+from repro.engine import Database
+from repro.io import (
+    dump_glossary,
+    load_facts,
+    load_glossary,
+    load_program,
+    loads_facts,
+    loads_glossary,
+    loads_program,
+    parse_fact,
+    save_facts,
+)
+
+PROGRAM_TEXT = """
+% @name demo
+% @goal Control
+sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+"""
+
+GLOSSARY_JSON = json.dumps({
+    "Own": {"params": ["x", "y", "s"], "text": "<x> owns <s> of <y>"},
+    "Control": {"params": ["x", "y"], "text": "<x> controls <y>"},
+})
+
+
+class TestProgramFiles:
+    def test_pragmas_honoured(self):
+        program = loads_program(PROGRAM_TEXT)
+        assert program.name == "demo"
+        assert program.goal == "Control"
+
+    def test_arguments_override_pragmas(self):
+        program = loads_program(PROGRAM_TEXT, name="other", goal="Own")
+        assert program.name == "other"
+        assert program.goal == "Own"
+
+    def test_hash_pragma_supported(self):
+        program = loads_program("# @goal Q\nP(x) -> Q(x).")
+        assert program.goal == "Q"
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "rules.vada"
+        path.write_text(PROGRAM_TEXT)
+        assert load_program(path).goal == "Control"
+
+
+class TestFactFiles:
+    def test_parse_fact(self):
+        assert parse_fact("Own(A, B, 0.6).") == fact("Own", "A", "B", 0.6)
+
+    def test_parse_fact_quoted_and_numeric(self):
+        parsed = parse_fact('Risk(C, 11, "long")')
+        assert parsed == fact("Risk", "C", 11, "long")
+
+    def test_parse_fact_rejects_variables(self):
+        with pytest.raises(ParseError):
+            parse_fact("Own(x, B, 0.6)")
+
+    def test_parse_fact_rejects_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_fact("Own(A, B, 0.6) extra")
+
+    def test_loads_facts_skips_comments_and_blanks(self):
+        database = loads_facts("""
+        % comment
+        Own(A, B, 0.6).
+
+        # another
+        Company(A).
+        """)
+        assert len(database) == 2
+
+    def test_loads_facts_reports_line_number(self):
+        with pytest.raises(ParseError) as info:
+            loads_facts("Own(A, B, 0.6).\nbroken line\n")
+        assert "line 2" in str(info.value)
+
+    def test_roundtrip_via_disk(self, tmp_path):
+        database = Database([fact("Own", "A", "B", 0.6), fact("Company", "A")])
+        path = tmp_path / "x.facts"
+        save_facts(database, path)
+        reloaded = load_facts(path)
+        assert set(reloaded.facts()) == set(database.facts())
+
+
+class TestGlossaryFiles:
+    def test_loads_glossary(self):
+        glossary = loads_glossary(GLOSSARY_JSON)
+        assert "Own" in glossary
+        assert glossary.entry("Control").params == ("x", "y")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ParseError):
+            loads_glossary('["not", "an", "object"]')
+        with pytest.raises(ParseError):
+            loads_glossary('{"Own": {"params": ["x"]}}')
+
+    def test_roundtrip_via_disk(self, tmp_path):
+        glossary = loads_glossary(GLOSSARY_JSON)
+        path = tmp_path / "g.json"
+        dump_glossary(glossary, path)
+        reloaded = load_glossary(path)
+        assert reloaded.predicates() == glossary.predicates()
+        assert reloaded.entry("Own").text == glossary.entry("Own").text
+
+
+@pytest.fixture()
+def application_files(tmp_path):
+    program = tmp_path / "rules.vada"
+    program.write_text(
+        "% @goal Control\n"
+        "sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).\n"
+        "sigma3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 "
+        "-> Control(x, y).\n"
+    )
+    data = tmp_path / "data.facts"
+    data.write_text("Own(A, B, 0.7).\nOwn(B, C, 0.6).\n")
+    glossary = tmp_path / "glossary.json"
+    glossary.write_text(GLOSSARY_JSON)
+    return program, data, glossary
+
+
+class TestFileDrivenCli:
+    def test_listing_without_query(self, application_files, capsys):
+        program, data, glossary = application_files
+        code = main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Control(A, C)" in output
+
+    def test_single_query(self, application_files, capsys):
+        program, data, glossary = application_files
+        code = main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary), "--query", "Control(A, C)",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Q_e = {Control(A, C)}" in output
+        assert "0.6" in output
+
+    def test_query_all(self, application_files, capsys):
+        program, data, glossary = application_files
+        code = main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary), "--query-all", "--deterministic",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.count("Q_e =") == 3
+
+    def test_dot_mode(self, application_files, capsys):
+        program, data, glossary = application_files
+        code = main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary), "--dot",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_missing_companions_rejected(self, application_files, capsys):
+        program, __, __ = application_files
+        assert main(["--program", str(program)]) == 2
+
+    def test_violations_printed(self, tmp_path, capsys):
+        program = tmp_path / "rules.vada"
+        program.write_text(
+            "% @goal Q\n"
+            "r1: P(x) -> Q(x).\n"
+            "c1: Q(x), Banned(x) -> false.\n"
+        )
+        data = tmp_path / "data.facts"
+        data.write_text("P(A).\nBanned(A).\n")
+        glossary = tmp_path / "g.json"
+        glossary.write_text(json.dumps({
+            "P": {"params": ["x"], "text": "<x> is a p"},
+            "Q": {"params": ["x"], "text": "<x> is a q"},
+            "Banned": {"params": ["x"], "text": "<x> is banned"},
+        }))
+        main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary),
+        ])
+        assert "constraint c1 violated" in capsys.readouterr().out
+
+    def test_shipped_example_files_work(self, capsys):
+        code = main([
+            "--program", "examples/data/company_control.vada",
+            "--data", "examples/data/portfolio.facts",
+            "--glossary", "examples/data/company_control_glossary.json",
+            "--query", "Control(AlphaHolding, TargetCorp)",
+            "--deterministic",
+        ])
+        assert code == 0
+        assert "TargetCorp" in capsys.readouterr().out
+
+
+class TestWhyNotCli:
+    def test_why_not_flag(self, application_files, capsys):
+        from repro.cli import main
+
+        program, data, glossary = application_files
+        code = main([
+            "--program", str(program), "--data", str(data),
+            "--glossary", str(glossary), "--why-not", "Control(B, A)",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "does not hold" in output
+
+
+class TestSyntaxQuoting:
+    def test_channel_labels_roundtrip_through_fact_files(self, tmp_path):
+        """Lowercase string constants ("long") must be quoted on save so
+        they reload as constants, not variables."""
+        database = Database([fact("Risk", "C", 11, "long")])
+        path = tmp_path / "risks.facts"
+        save_facts(database, path)
+        assert '"long"' in path.read_text()
+        reloaded = load_facts(path)
+        assert fact("Risk", "C", 11, "long") in reloaded

@@ -1,0 +1,203 @@
+"""Tests for the simulated-LLM substrate: rewriting, omission, dispatch."""
+
+import random
+
+import pytest
+
+from repro.core.validation import completeness_ratio, constants_present
+from repro.llm.client import (
+    PARAPHRASE_PROMPT,
+    PromptKind,
+    REPHRASE_PROMPT,
+    SUMMARY_PROMPT,
+    classify_prompt,
+)
+from repro.llm.omission import (
+    OmissionModel,
+    PARAPHRASE_PROFILE,
+    SUMMARY_PROFILE,
+)
+from repro.llm.rewriting import RewritingEngine, parse_sentence, split_sentences
+from repro.llm.simulated import SimulatedLLM
+
+SAMPLE = (
+    "Since a shock amounting to 6 euro affects A, and A is a financial "
+    "institution with capital of 5, and 6 is higher than 5, then A is in "
+    "default. Since A is in default, and A has an amount 7 of debts with B, "
+    "then B is at risk of defaulting given its loan of 7 euros."
+)
+
+
+class TestPromptClassification:
+    def test_rephrase(self):
+        kind, payload = classify_prompt(REPHRASE_PROMPT + "abc")
+        assert kind is PromptKind.REPHRASE and payload == "abc"
+
+    def test_paraphrase(self):
+        kind, __ = classify_prompt(PARAPHRASE_PROMPT + "abc")
+        assert kind is PromptKind.PARAPHRASE
+
+    def test_summary(self):
+        kind, __ = classify_prompt(SUMMARY_PROMPT + "abc")
+        assert kind is PromptKind.SUMMARY
+
+    def test_unknown(self):
+        kind, payload = classify_prompt("Translate this: abc")
+        assert kind is PromptKind.UNKNOWN and payload == "Translate this: abc"
+
+
+class TestSentenceParsing:
+    def test_split_sentences(self):
+        assert len(split_sentences(SAMPLE)) == 2
+
+    def test_parse_canonical(self):
+        parsed = parse_sentence(split_sentences(SAMPLE)[0])
+        assert parsed.is_canonical
+        assert parsed.head == "A is in default"
+        assert len(parsed.clauses) == 3
+
+    def test_parse_non_canonical_passthrough(self):
+        parsed = parse_sentence("Plain prose without markers.")
+        assert not parsed.is_canonical
+        assert parsed.raw == "Plain prose without markers."
+
+    def test_aggregate_clause_regains_is(self):
+        sentence = (
+            "Since B is in default, and B has debts, with 11 given by the "
+            "sum of 2 and 9, then C is at risk."
+        )
+        parsed = parse_sentence(sentence)
+        assert "11 is given by the sum of 2 and 9" in parsed.clauses
+
+
+class TestRewritingEngine:
+    def test_paraphrase_keeps_all_constants(self):
+        engine = RewritingEngine(random.Random(1))
+        output = engine.paraphrase(SAMPLE)
+        for constant in ("A", "B", "6", "5", "7"):
+            assert constant in constants_present(output, [constant])
+
+    def test_paraphrase_removes_rigid_markers(self):
+        engine = RewritingEngine(random.Random(1))
+        output = engine.paraphrase(SAMPLE)
+        assert ", then " not in output
+
+    def test_summary_deduplicates_repeated_clauses(self):
+        engine = RewritingEngine(random.Random(1))
+        output = engine.summarize(SAMPLE)
+        # "A is in default" restated as the next body clause disappears.
+        assert output.count("A is in default") <= 1
+
+    def test_summary_is_shorter(self):
+        engine = RewritingEngine(random.Random(1))
+        assert len(engine.summarize(SAMPLE)) < len(SAMPLE)
+
+    def test_determinism_given_seed(self):
+        first = RewritingEngine(random.Random(5)).paraphrase(SAMPLE)
+        second = RewritingEngine(random.Random(5)).paraphrase(SAMPLE)
+        assert first == second
+
+    def test_variability_across_seeds(self):
+        outputs = {
+            RewritingEngine(random.Random(seed)).paraphrase(SAMPLE)
+            for seed in range(5)
+        }
+        assert len(outputs) >= 2
+
+
+class TestOmissionModel:
+    def test_probability_grows_with_length(self):
+        assert (
+            PARAPHRASE_PROFILE.number_probability(21)
+            > PARAPHRASE_PROFILE.number_probability(3)
+        )
+
+    def test_summary_worse_than_paraphrase(self):
+        for sentences in (5, 10, 20):
+            assert (
+                SUMMARY_PROFILE.number_probability(sentences)
+                > PARAPHRASE_PROFILE.number_probability(sentences)
+            )
+
+    def test_entities_dropped_less_than_numbers(self):
+        assert PARAPHRASE_PROFILE.entity_factor < 1.0
+
+    def test_apply_replaces_all_mentions_together(self):
+        model = OmissionModel(
+            SUMMARY_PROFILE.__class__(base=1.0, slope=0, cap=1.0, entity_factor=0.0),
+            random.Random(0),
+        )
+        output = model.apply("value 7 appears, then 7 again", sentences=30)
+        assert "7" not in output
+        assert "a certain amount" in output
+
+    def test_zero_probability_is_identity(self):
+        model = OmissionModel(
+            SUMMARY_PROFILE.__class__(base=0.0, slope=0, cap=0.0, entity_factor=0.0),
+            random.Random(0),
+        )
+        assert model.apply(SAMPLE, sentences=50) == SAMPLE
+
+    def test_token_dropping_mode(self):
+        model = OmissionModel(
+            SUMMARY_PROFILE.__class__(base=1.0, slope=0, cap=1.0, entity_factor=1.0),
+            random.Random(0),
+        )
+        output = model.apply_to_tokens("keep <f> and <p1> here")
+        assert "<f>" not in output and "<p1>" not in output
+
+    def test_prose_words_never_dropped(self):
+        model = OmissionModel(
+            SUMMARY_PROFILE.__class__(base=1.0, slope=0, cap=1.0, entity_factor=1.0),
+            random.Random(0),
+        )
+        output = model.apply("Because A defaults, Thus B suffers", sentences=50)
+        assert "Because" in output and "Thus" in output
+
+
+class TestSimulatedLLM:
+    def test_faithful_mode_never_loses_information(self):
+        llm = SimulatedLLM(seed=3, faithful=True)
+        output = llm.complete(SUMMARY_PROMPT + SAMPLE)
+        assert completeness_ratio(output, ["A", "B", "6", "5", "7"]) == 1.0
+
+    def test_deterministic_given_seed(self):
+        first = SimulatedLLM(seed=9).complete(PARAPHRASE_PROMPT + SAMPLE)
+        second = SimulatedLLM(seed=9).complete(PARAPHRASE_PROMPT + SAMPLE)
+        assert first == second
+
+    def test_repeated_calls_differ(self):
+        llm = SimulatedLLM(seed=9, faithful=True)
+        first = llm.complete(PARAPHRASE_PROMPT + SAMPLE)
+        second = llm.complete(PARAPHRASE_PROMPT + SAMPLE)
+        assert first != second
+
+    def test_unknown_prompt_echoes_payload(self):
+        llm = SimulatedLLM(seed=0)
+        assert llm.complete("What is 2+2?") == "What is 2+2?"
+
+    def test_usage_bookkeeping(self):
+        llm = SimulatedLLM(seed=0)
+        llm.complete(SUMMARY_PROMPT + "x.")
+        llm.complete(SUMMARY_PROMPT + "x.")
+        llm.complete(REPHRASE_PROMPT + "x.")
+        assert llm.usage.calls == 3
+        assert llm.usage.by_kind["summary"] == 2
+
+    def test_omissions_grow_with_proof_length(self):
+        """The Figure 17 mechanism at the unit level: longer deterministic
+        inputs lose a larger fraction of their constants on average."""
+        def omission_at(repeats, trials=30):
+            text = " ".join(
+                f"Since E{i} owes {i + 3} to E{i + 1}, then E{i + 1} is at risk."
+                for i in range(repeats)
+            )
+            constants = [str(i + 3) for i in range(repeats)]
+            total = 0.0
+            for trial in range(trials):
+                llm = SimulatedLLM(seed=trial)
+                output = llm.complete(SUMMARY_PROMPT + text)
+                total += 1 - completeness_ratio(output, constants)
+            return total / trials
+
+        assert omission_at(18) > omission_at(2)

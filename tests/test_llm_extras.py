@@ -1,0 +1,98 @@
+"""Additional simulated-LLM coverage: profile overrides, rewriting
+robustness, guard interplay."""
+
+import random
+
+from repro.core.validation import completeness_ratio
+from repro.llm import (
+    OmissionProfile,
+    PARAPHRASE_PROMPT,
+    PromptKind,
+    REPHRASE_PROMPT,
+    RewritingEngine,
+    SUMMARY_PROMPT,
+    SimulatedLLM,
+)
+
+
+class TestProfileOverrides:
+    def test_custom_profile_changes_loss(self):
+        text = " ".join(
+            f"Since E{i} owes {i + 3} to E{i + 1}, then E{i + 1} is at risk."
+            for i in range(15)
+        )
+        constants = [str(i + 3) for i in range(15)]
+        heavy = OmissionProfile(base=0.9, slope=0, cap=0.9, entity_factor=0.9)
+        light = OmissionProfile(base=0.0, slope=0, cap=0.0, entity_factor=0.0)
+
+        def mean_loss(profile, trials=10):
+            total = 0.0
+            for trial in range(trials):
+                llm = SimulatedLLM(
+                    seed=trial, profiles={PromptKind.PARAPHRASE: profile}
+                )
+                output = llm.complete(PARAPHRASE_PROMPT + text)
+                total += 1 - completeness_ratio(output, constants)
+            return total / trials
+
+        assert mean_loss(light) == 0.0
+        assert mean_loss(heavy) > 0.5
+
+    def test_override_is_per_kind(self):
+        heavy = OmissionProfile(base=0.95, slope=0, cap=0.95, entity_factor=0.95)
+        llm = SimulatedLLM(seed=1, profiles={PromptKind.SUMMARY: heavy})
+        # Paraphrase keeps its default (mild at this length).
+        output = llm.complete(PARAPHRASE_PROMPT + "Since A owes 7 to B, then B is at risk.")
+        assert completeness_ratio(output, ["A", "B", "7"]) == 1.0
+
+
+class TestRewritingRobustness:
+    def test_empty_text(self):
+        engine = RewritingEngine(random.Random(0))
+        assert engine.paraphrase("") == ""
+        assert engine.summarize("") == ""
+
+    def test_non_canonical_prose_passthrough(self):
+        engine = RewritingEngine(random.Random(0))
+        prose = "This is ordinary prose. It has no rule structure."
+        assert engine.paraphrase(prose) == prose
+
+    def test_mixed_canonical_and_prose(self):
+        engine = RewritingEngine(random.Random(0))
+        text = "Preamble sentence. Since A owes 7 to B, then B is at risk."
+        output = engine.paraphrase(text)
+        assert "Preamble sentence." in output
+        assert "Since A owes 7" not in output  # the canonical part reframed
+
+    def test_tokens_survive_rephrase(self):
+        llm = SimulatedLLM(seed=2, faithful=True)
+        template = (
+            "Since <f> is a financial institution with capital of <p1>, "
+            "and <s> is higher than <p1>, then <f> is in default."
+        )
+        output = llm.complete(REPHRASE_PROMPT + template)
+        for token in ("<f>", "<p1>", "<s>"):
+            assert token in output
+
+    def test_summary_never_longer_than_paraphrase_on_redundant_text(self):
+        text = " ".join(
+            f"Since A{i} is in default, and A{i} has an amount 5 of debts "
+            f"with B{i}, then B{i} is at risk."
+            for i in range(6)
+        )
+        engine_a = RewritingEngine(random.Random(3))
+        engine_b = RewritingEngine(random.Random(3))
+        assert len(engine_b.summarize(text)) <= len(engine_a.paraphrase(text)) * 1.1
+
+
+class TestUsageAccounting:
+    def test_kinds_counted_separately(self):
+        llm = SimulatedLLM(seed=0)
+        llm.complete(PARAPHRASE_PROMPT + "x.")
+        llm.complete(SUMMARY_PROMPT + "x.")
+        llm.complete(SUMMARY_PROMPT + "x.")
+        llm.complete("free-form question")
+        assert llm.usage.by_kind == {
+            "paraphrase": 1, "summary": 2, "unknown": 1,
+        }
+        assert llm.usage.calls == 4

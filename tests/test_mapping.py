@@ -1,0 +1,156 @@
+"""Tests for chase-to-template mapping — paper Section 4.3, Example 4.7."""
+
+import pytest
+
+from repro.apps import figures, generators
+from repro.core.explain import Explainer
+from repro.core.mapping import MappingError, TemplateMapper
+from repro.core.structural import StructuralAnalysis
+from repro.datalog.atoms import fact
+from repro.datalog.parser import parse_program
+from repro.engine.reasoning import reason
+
+
+def map_target(scenario):
+    result = scenario.run()
+    analysis = StructuralAnalysis(scenario.application.program)
+    mapper = TemplateMapper(analysis)
+    spine = result.spine(scenario.target)
+    return mapper.map_spine(spine, result.chase_result.derivation), analysis
+
+
+class TestExample47:
+    """π = {α, β, γ, β, γ} maps to the single-contributor three-rule
+    simple path followed by the dashed cycle (templates of Fig. 6)."""
+
+    def test_segmentation(self, figure8):
+        scenario, __ = figure8
+        segments, __ = map_target(scenario)
+        assert len(segments) == 2
+
+    def test_longest_prefix_simple_path_selected(self, figure8):
+        scenario, __ = figure8
+        segments, __ = map_target(scenario)
+        first = segments[0]
+        assert frozenset(first.path.labels) == frozenset(
+            {"alpha", "beta", "gamma"}
+        )
+        assert first.coverage == 3
+        # single-contributor aggregation: the plain (non-dashed) variant.
+        assert first.path.multi_rules == frozenset()
+
+    def test_multi_input_cycle_variant_selected(self, figure8):
+        scenario, __ = figure8
+        segments, __ = map_target(scenario)
+        cycle = segments[1]
+        assert cycle.path.is_cycle
+        assert frozenset(cycle.path.labels) == frozenset({"beta", "gamma"})
+        assert cycle.path.multi_rules == frozenset({"beta"})
+
+    def test_segments_tile_the_spine(self, figure8):
+        scenario, __ = figure8
+        segments, __ = map_target(scenario)
+        assert segments[0].start == 0
+        assert segments[0].end == segments[1].start
+        assert segments[1].end == 5
+
+    def test_assignments_cover_path_rules(self, figure8):
+        scenario, __ = figure8
+        segments, __ = map_target(scenario)
+        for segment in segments:
+            assert set(segment.assignments) == set(segment.path.labels)
+
+
+class TestJointChannels:
+    def test_figure12_composition(self, figure12_stress):
+        """Section 5's narrative: {Π7, Γ3, Γ4} — the single-channel prefix,
+        a short-channel cycle, and the joint dual-channel cycle."""
+        scenario, __ = figure12_stress
+        segments, __ = map_target(scenario)
+        label_sets = [frozenset(s.path.labels) for s in segments]
+        assert label_sets == [
+            frozenset({"sigma4", "sigma5", "sigma7"}),
+            frozenset({"sigma6", "sigma7"}),
+            frozenset({"sigma5", "sigma6", "sigma7"}),
+        ]
+
+    def test_joint_cycle_absorbs_side_branch(self, figure12_stress):
+        scenario, __ = figure12_stress
+        segments, __ = map_target(scenario)
+        joint = segments[-1]
+        assert set(joint.assignments) == {"sigma5", "sigma6", "sigma7"}
+        # The side branch (B's short-term exposure) is assigned the
+        # off-spine σ6 record.
+        sigma6_records = joint.assignments["sigma6"]
+        assert len(sigma6_records) == 1
+
+    def test_joint_control_aggregation(self, figure15):
+        """Figure 15: both σ1 applications merge into one σ1 assignment."""
+        scenario, __ = figure15
+        segments, __ = map_target(scenario)
+        assert len(segments) == 1
+        only = segments[0]
+        assert frozenset(only.path.labels) == frozenset({"sigma1", "sigma3"})
+        assert len(only.assignments["sigma1"]) == 2
+
+
+class TestChains:
+    def test_long_chain_tiles_with_cycles(self):
+        scenario = generators.control_with_steps(9, seed=1)
+        segments, __ = map_target(scenario)
+        assert frozenset(segments[0].path.labels) == frozenset(
+            {"sigma1", "sigma3"}
+        )
+        assert all(
+            frozenset(s.path.labels) == frozenset({"sigma3"})
+            for s in segments[1:]
+        )
+        assert len(segments) == 1 + 7  # 2 steps + 7 cycle steps
+
+    def test_stress_chain_alternating_channels(self):
+        scenario = generators.stress_with_steps(9, seed=2)
+        segments, __ = map_target(scenario)
+        covered = sum(s.coverage for s in segments)
+        spine_length = scenario.run().spine(scenario.target).steps
+        assert covered == len(spine_length)
+
+
+class TestEdbSeededIntensional:
+    def test_cycle_used_when_start_fact_is_seeded(self):
+        """A Default seeded directly in the EDB has no simple-path story:
+        the mapper falls back to a cycle, whose anchor is 'given'."""
+        program = parse_program(
+            """
+            alpha: Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f).
+            beta:  Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e).
+            gamma: HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c).
+            """,
+            name="seeded", goal="Default",
+        )
+        result = reason(program, [
+            fact("Default", "X"),
+            fact("Debts", "X", "Y", 9),
+            fact("HasCapital", "Y", 3),
+        ])
+        analysis = StructuralAnalysis(program)
+        mapper = TemplateMapper(analysis)
+        spine = result.spine(fact("Default", "Y"))
+        segments = mapper.map_spine(spine, result.chase_result.derivation)
+        assert len(segments) == 1
+        assert segments[0].path.is_cycle
+
+
+class TestErrors:
+    def test_unmappable_spine_raises(self):
+        """A program whose goal rule is missing from every reasoning path
+        cannot occur by construction; simulate by querying with the wrong
+        analysis (the control analysis over a stress-test spine)."""
+        stress = figures.figure8_instance()
+        result = stress.run()
+        control_analysis = StructuralAnalysis(
+            generators.control_chain(1).application.program
+        )
+        mapper = TemplateMapper(control_analysis)
+        spine = result.spine(fact("Default", "C"))
+        with pytest.raises(MappingError):
+            mapper.map_spine(spine, result.chase_result.derivation)

@@ -1,0 +1,313 @@
+"""Tests for negation, stratification and negative constraints
+(paper, Section 3, "Vadalog Extensions")."""
+
+import pytest
+
+from repro.datalog import (
+    Constraint,
+    SafetyError,
+    StratificationError,
+    fact,
+    parse_constraint,
+    parse_program,
+    parse_rule,
+    stratify,
+)
+from repro.engine import reason
+
+
+class TestParsingNegation:
+    def test_negated_atom_parsed(self):
+        rule = parse_rule("P(x), not Q(x) -> R(x)")
+        assert len(rule.negated) == 1
+        assert rule.negated[0].predicate == "Q"
+        assert rule.has_negation
+
+    def test_multiple_negated_atoms(self):
+        rule = parse_rule("P(x, y), not Q(x), not Q(y) -> R(x, y)")
+        assert len(rule.negated) == 2
+
+    def test_str_roundtrip(self):
+        rule = parse_rule("P(x), not Q(x) -> R(x)")
+        assert str(parse_rule(str(rule))) == str(rule)
+
+    def test_negated_variable_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            parse_rule("P(x), not Q(z) -> R(x)")
+
+    def test_constraint_parsed(self):
+        constraint = parse_constraint("Alert(x, y), Vetoed(x) -> false")
+        assert isinstance(constraint, Constraint)
+        assert constraint.body_predicates() == ("Alert", "Vetoed")
+
+    def test_constraint_with_condition(self):
+        constraint = parse_constraint("Own(x, y, s), s > 1 -> false")
+        assert len(constraint.conditions) == 1
+
+    def test_constraint_str(self):
+        constraint = parse_constraint("P(x), not Q(x) -> false")
+        assert str(constraint).endswith("-> false")
+
+    def test_parse_rule_rejects_constraint(self):
+        from repro.datalog import ParseError
+
+        with pytest.raises(ParseError):
+            parse_rule("P(x) -> false")
+
+    def test_program_collects_constraints(self):
+        program = parse_program(
+            "r1: P(x) -> Q(x). c1: Q(x), Bad(x) -> false.", name="p", goal="Q"
+        )
+        assert len(program) == 1
+        assert len(program.constraints) == 1
+        assert program.has_negation is False
+
+    def test_false_as_predicate_name_still_possible(self):
+        # An atom False(x) (capitalized, with parens) is a normal atom.
+        rule = parse_rule("P(x) -> False(x)")
+        assert rule.head.predicate == "False"
+
+
+class TestStratification:
+    def test_negation_free_program_is_one_stratum(self):
+        program = parse_program(
+            "r1: P(x) -> Q(x). r2: Q(x) -> R(x).", name="p"
+        )
+        assert stratify(program).count == 1
+
+    def test_negation_splits_strata(self):
+        program = parse_program(
+            """
+            r1: E(x) -> P(x).
+            r2: E(x), not P(x) -> Q(x).
+            """,
+            name="p",
+        )
+        plan = stratify(program)
+        assert plan.stratum_of["P"] < plan.stratum_of["Q"]
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_program(
+            """
+            r1: E(x), not Q(x) -> P(x).
+            r2: E(x), not P(x) -> Q(x).
+            """,
+            name="bad",
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_positive_recursion_allowed(self):
+        program = parse_program(
+            """
+            base: E(x, y) -> T(x, y).
+            rec:  T(x, y), E(y, z) -> T(x, z).
+            neg:  N(x), not T(x, x) -> Acyclic(x).
+            """,
+            name="p",
+        )
+        plan = stratify(program)
+        assert plan.stratum_of["T"] < plan.stratum_of["Acyclic"]
+
+    def test_describe(self):
+        program = parse_program(
+            "r1: E(x) -> P(x). r2: E(x), not P(x) -> Q(x).", name="p"
+        )
+        assert "stratum 0" in stratify(program).describe()
+
+
+class TestNegationSemantics:
+    def test_negation_as_absence(self):
+        program = parse_program(
+            "r1: Node(x), not Blocked(x) -> Open(x).", name="p", goal="Open"
+        )
+        result = reason(program, [
+            fact("Node", "A"), fact("Node", "B"), fact("Blocked", "B"),
+        ])
+        assert result.answers() == (fact("Open", "A"),)
+
+    def test_negation_over_derived_predicate(self):
+        """Stratified evaluation: Q's negation sees the complete P."""
+        program = parse_program(
+            """
+            r1: E(x, y) -> Reaches(y).
+            r2: Node(x), not Reaches(x) -> Root(x).
+            """,
+            name="p", goal="Root",
+        )
+        result = reason(program, [
+            fact("Node", "A"), fact("Node", "B"), fact("Node", "C"),
+            fact("E", "A", "B"), fact("E", "B", "C"),
+        ])
+        assert result.answers() == (fact("Root", "A"),)
+
+    def test_negation_with_recursion_below(self):
+        """Unreachable pairs via the complement of transitive closure."""
+        program = parse_program(
+            """
+            base: E(x, y) -> T(x, y).
+            rec:  T(x, y), E(y, z) -> T(x, z).
+            sep:  Node(x), Node(y), x != y, not T(x, y) -> Unreachable(x, y).
+            """,
+            name="p", goal="Unreachable",
+        )
+        result = reason(program, [
+            fact("Node", "A"), fact("Node", "B"), fact("Node", "C"),
+            fact("E", "A", "B"), fact("E", "B", "C"),
+        ])
+        unreachable = {(str(f.terms[0]), str(f.terms[1]))
+                       for f in result.answers()}
+        assert ("B", "A") in unreachable
+        assert ("C", "A") in unreachable
+        assert ("A", "C") not in unreachable
+
+    def test_negated_record_provenance(self):
+        program = parse_program(
+            "r1: Node(x), not Blocked(x) -> Open(x).", name="p", goal="Open"
+        )
+        result = reason(program, [fact("Node", "A")])
+        record = result.chase_result.record_for(fact("Open", "A"))
+        assert record.parents == (fact("Node", "A"),)
+
+
+class TestConstraints:
+    PROGRAM = parse_program(
+        """
+        r1: Own(x, y, s), s > 0.5 -> Control(x, y).
+        c1: Control(x, y), Control(y, x), x != y -> false.
+        """,
+        name="mutual", goal="Control",
+    )
+
+    def test_no_violation_on_clean_data(self):
+        result = reason(self.PROGRAM, [fact("Own", "A", "B", 0.7)])
+        assert result.violations == ()
+
+    def test_violation_reported_with_witnesses(self):
+        result = reason(self.PROGRAM, [
+            fact("Own", "A", "B", 0.7), fact("Own", "B", "A", 0.6),
+        ])
+        assert len(result.violations) == 2  # both orientations match
+        witnesses = set(result.violations[0].witnesses)
+        assert witnesses == {
+            fact("Control", "A", "B"), fact("Control", "B", "A"),
+        }
+
+    def test_constraint_with_negation(self):
+        program = parse_program(
+            """
+            r1: P(x) -> Q(x).
+            c1: Q(x), not Allowed(x) -> false.
+            """,
+            name="p", goal="Q",
+        )
+        clean = reason(program, [fact("P", "A"), fact("Allowed", "A")])
+        assert clean.violations == ()
+        dirty = reason(program, [fact("P", "A")])
+        assert len(dirty.violations) == 1
+
+
+class TestGoldenPowers:
+    @pytest.fixture()
+    def screened(self):
+        from repro.apps import golden_powers as gp
+
+        app = gp.build()
+        result = app.reason([
+            gp.company("EagleFund"),
+            gp.own("EagleFund", "GridCo", 0.4),
+            gp.own("EagleFund", "PipeCo", 0.6),
+            gp.own("PipeCo", "GridCo", 0.2),
+            gp.foreign("EagleFund"), gp.strategic("GridCo"),
+            gp.vetoed("EagleFund"),
+            gp.own("AllyFund", "PortCo", 0.8),
+            gp.foreign("AllyFund"), gp.strategic("PortCo"),
+            gp.exempt("AllyFund"),
+        ])
+        return gp, app, result
+
+    def test_alert_raised_for_joint_takeover(self, screened):
+        gp, __, result = screened
+        assert gp.alert("EagleFund", "GridCo") in result.answers()
+
+    def test_exempt_investor_not_alerted(self, screened):
+        gp, __, result = screened
+        assert gp.alert("AllyFund", "PortCo") not in result.answers()
+
+    def test_veto_constraint_violated(self, screened):
+        __, __, result = screened
+        assert len(result.violations) == 1
+        assert result.violations[0].constraint.label == "kappa1"
+
+    def test_alert_explained_through_joint_control(self, screened):
+        from repro.core import Explainer, completeness_ratio
+
+        gp, app, result = screened
+        explainer = Explainer(result, app.glossary)
+        explanation = explainer.explain(
+            gp.alert("EagleFund", "GridCo"), prefer_enhanced=False
+        )
+        assert "it is not the case that" in explanation.text
+        constants = explainer.proof_constants(gp.alert("EagleFund", "GridCo"))
+        assert completeness_ratio(explanation.text, constants) == 1.0
+
+    def test_violation_report(self, screened):
+        from repro.core import Explainer
+
+        gp, app, result = screened
+        explainer = Explainer(result, app.glossary)
+        report = explainer.explain_violation(
+            result.violations[0], prefer_enhanced=False
+        )
+        assert "violates constraint kappa1" in report
+        assert "vetoed" in report
+
+    def test_structural_analysis_handles_negation(self, screened):
+        from repro.core import StructuralAnalysis
+
+        __, app, __ = screened
+        analysis = StructuralAnalysis(app.program)
+        # Alert paths extend the company-control paths by gamma1.
+        assert any(
+            "gamma1" in path.labels for path in analysis.simple_paths
+        )
+
+
+class TestNegationVerbalization:
+    def test_rule_sentence_mentions_absence(self):
+        from repro.apps import golden_powers as gp
+        from repro.core import Verbalizer
+
+        app = gp.build()
+        verbalizer = Verbalizer(app.glossary)
+        sentence = verbalizer.rule_sentence(app.program.rule("gamma1"))
+        assert "it is not the case that <x> holds a golden-power exemption" \
+            in sentence
+
+    def test_step_sentence_mentions_absence(self):
+        from repro.apps import golden_powers as gp
+        from repro.core import Verbalizer
+
+        app = gp.build()
+        result = app.reason([
+            gp.own("F", "S", 0.9), gp.foreign("F"), gp.strategic("S"),
+        ])
+        verbalizer = Verbalizer(app.glossary)
+        record = result.chase_result.record_for(gp.alert("F", "S"))
+        sentence = verbalizer.step_sentence(record)
+        assert "there is no record that F holds a golden-power exemption" \
+            in sentence
+
+
+class TestDependencyGraphNegation:
+    def test_negated_edges_marked(self):
+        from repro.datalog import DependencyGraph
+
+        program = parse_program(
+            "r1: E(x) -> P(x). r2: E(x), not P(x) -> Q(x).", name="p"
+        )
+        graph = DependencyGraph(program)
+        negated = [edge for edge in graph.edges if edge.negated]
+        assert len(negated) == 1
+        assert (negated[0].source, negated[0].target) == ("P", "Q")
+        assert "not r2" in str(negated[0])

@@ -1,0 +1,151 @@
+"""Unit tests for the Vadalog-like parser."""
+
+import pytest
+
+from repro.datalog.conditions import BinaryOp, Comparison
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import iter_rules, parse_program, parse_rule
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTermConventions:
+    def test_lowercase_identifiers_are_variables(self):
+        rule = parse_rule("Own(x, y, s) -> Control(x, y)")
+        assert Variable("x") in rule.body[0].variable_set()
+
+    def test_uppercase_identifiers_are_constants(self):
+        rule = parse_rule("Own(IrishBank, y, s) -> Control(IrishBank, y)")
+        assert rule.body[0].terms[0] == Constant("IrishBank")
+
+    def test_quoted_strings_are_constants(self):
+        rule = parse_rule('Risk(c, e, t) -> Marked(c, "long")')
+        assert rule.head.terms[1] == Constant("long")
+
+    def test_integer_and_float_literals(self):
+        rule = parse_rule("P(x), x > 5 -> Q(x, 0.5)")
+        assert rule.head.terms[1] == Constant(0.5)
+
+    def test_negative_number_in_expression(self):
+        rule = parse_rule("P(x), x > -3 -> Q(x)")
+        condition = rule.conditions[0]
+        assert condition.right == Constant(-3)
+
+
+class TestRuleShapes:
+    def test_paper_sigma1(self):
+        rule = parse_rule("Own(x, y, s), s > 0.5 -> Control(x, y)", label="sigma1")
+        assert rule.label == "sigma1"
+        assert len(rule.body) == 1
+        assert rule.conditions == (
+            Comparison(">", Variable("s"), Constant(0.5)),
+        )
+        assert rule.head.predicate == "Control"
+
+    def test_paper_sigma3_aggregate(self):
+        rule = parse_rule(
+            "Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y)"
+        )
+        assert rule.has_aggregate
+        assert rule.aggregate.function == "sum"
+        assert rule.aggregate.result == Variable("ts")
+        assert rule.aggregate.group_by == (Variable("x"), Variable("y"))
+
+    def test_multiple_conditions(self):
+        rule = parse_rule("P(x, y), x > 1, y < 5, x != y -> Q(x)")
+        assert len(rule.conditions) == 3
+
+    def test_single_equals_means_comparison(self):
+        rule = parse_rule('Risk(c, e, t), t = "long" -> LongRisk(c)')
+        assert rule.conditions[0].op == "=="
+
+    def test_arithmetic_expression_condition(self):
+        rule = parse_rule("P(x, y), x + y > 2 * x -> Q(x)")
+        condition = rule.conditions[0]
+        assert isinstance(condition.left, BinaryOp)
+        assert condition.left.op == "+"
+        assert isinstance(condition.right, BinaryOp)
+        assert condition.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        rule = parse_rule("P(x), (x + 1) * 2 > 4 -> Q(x)")
+        assert isinstance(rule.conditions[0].left, BinaryOp)
+
+    def test_trailing_dot_accepted(self):
+        rule = parse_rule("P(x) -> Q(x).")
+        assert rule.head.predicate == "Q"
+
+    def test_two_aggregates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x, v, w), a = sum(v), b = sum(w) -> Q(x, a, b)")
+
+
+class TestProgramParsing:
+    PROGRAM = """
+    % company control (paper, Section 5)
+    sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+    sigma2: Company(x) -> Control(x, x).
+    sigma3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y).
+    """
+
+    def test_labels_respected(self):
+        program = parse_program(self.PROGRAM, name="cc", goal="Control")
+        assert [rule.label for rule in program.rules] == [
+            "sigma1", "sigma2", "sigma3",
+        ]
+
+    def test_comments_ignored(self):
+        program = parse_program(self.PROGRAM, name="cc")
+        assert len(program) == 3
+
+    def test_auto_labels_when_missing(self):
+        rules = list(iter_rules("P(x) -> Q(x). Q(x) -> R(x)."))
+        assert [rule.label for rule in rules] == ["r1", "r2"]
+
+    def test_goal_recorded(self):
+        program = parse_program(self.PROGRAM, name="cc", goal="Control")
+        assert program.goal == "Control"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("% nothing here")
+
+    def test_hash_comments_supported(self):
+        program = parse_program("# c\nP(x) -> Q(x).", name="p")
+        assert len(program) == 1
+
+
+class TestParseErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("@@@@")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x), Q(x)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x -> Q(x)")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("P(x) -> Q(x) extra")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_rule("P(x) -> ")
+        assert "end of input" in str(info.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "Own(x, y, s), s > 0.5 -> Control(x, y)",
+        "Company(x) -> Control(x, x)",
+        "Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y)",
+        "Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f)",
+        'Default(d), LongTermDebts(d, c, v), el = sum(v) -> Risk(c, el, "long")',
+    ])
+    def test_parse_render_parse_is_stable(self, text):
+        first = parse_rule(text)
+        second = parse_rule(str(first))
+        assert str(first) == str(second)

@@ -1,0 +1,129 @@
+"""Property-based parser fuzzing: render → parse → render is a fixpoint.
+
+Random rules are assembled from the full feature surface (conditions,
+arithmetic, aggregates, negation, assignments, constants of every kind),
+rendered with ``str()`` and re-parsed; the round trip must be exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Atom, Constraint, parse_constraint, parse_rule
+from repro.datalog.aggregates import AggregateSpec
+from repro.datalog.conditions import BinaryOp, Comparison
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+predicates = st.sampled_from(["Own", "Risk", "Debts", "HasCapital", "P", "Q"])
+variable_names = st.sampled_from(["x", "y", "z", "s", "v", "c", "d", "p1"])
+entity_constants = st.sampled_from(["A", "B", "IrishBank", "GridCo"])
+string_constants = st.sampled_from(["long", "short", "ch1"])
+number_constants = st.one_of(
+    st.integers(min_value=0, max_value=999),
+    st.sampled_from([0.5, 0.25, 3.75, 11.0]),
+)
+
+terms = st.one_of(
+    variable_names.map(Variable),
+    entity_constants.map(Constant),
+    string_constants.map(Constant),
+    number_constants.map(Constant),
+)
+
+
+@st.composite
+def atoms(draw, min_vars: int = 0):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=max(1, min_vars), max_value=4))
+    chosen = [draw(terms) for _ in range(arity)]
+    for index in range(min_vars):
+        chosen[index] = Variable(draw(variable_names))
+    return Atom(predicate, tuple(chosen))
+
+
+@st.composite
+def expressions(draw, variables):
+    depth = draw(st.integers(min_value=0, max_value=2))
+    if depth == 0 or not variables:
+        if variables and draw(st.booleans()):
+            return draw(st.sampled_from(sorted(variables, key=str)))
+        return Constant(draw(number_constants))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(expressions(variables))
+    right = Constant(draw(st.integers(min_value=1, max_value=9)))
+    return BinaryOp(op, left, right)
+
+
+@st.composite
+def rules(draw):
+    body = tuple(
+        draw(atoms(min_vars=1))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    body_vars = {v for atom in body for v in atom.variable_set()}
+    conditions = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        op = draw(st.sampled_from([">", "<", ">=", "<=", "!="]))
+        conditions.append(Comparison(
+            op,
+            draw(expressions(body_vars)),
+            draw(expressions(body_vars)),
+        ))
+    negated = ()
+    if body_vars and draw(st.booleans()):
+        some = draw(st.sampled_from(sorted(body_vars, key=str)))
+        negated = (Atom("Blocked", (some,)),)
+    aggregate = None
+    head_terms = tuple(
+        draw(st.sampled_from(sorted(body_vars, key=str)))
+        for _ in range(draw(st.integers(min_value=1, max_value=2)))
+    ) if body_vars else (Constant("K"),)
+    if body_vars and draw(st.booleans()):
+        result = Variable("agg_out")
+        argument = draw(st.sampled_from(sorted(body_vars, key=str)))
+        aggregate = AggregateSpec(
+            result, draw(st.sampled_from(["sum", "min", "max", "count"])),
+            argument,
+        )
+        head_terms = head_terms + (result,)
+    head = Atom("Head", head_terms)
+    return Rule(
+        label="fz",
+        body=body,
+        head=head,
+        conditions=tuple(conditions),
+        aggregate=aggregate,
+        negated=negated,
+    )
+
+
+class TestRoundTrip:
+    @settings(deadline=None, max_examples=150)
+    @given(rules())
+    def test_render_parse_render_fixpoint(self, rule):
+        text = str(rule)
+        reparsed = parse_rule(text, label="fz")
+        assert str(reparsed) == text
+
+    @settings(deadline=None, max_examples=100)
+    @given(rules())
+    def test_reparsed_rule_structurally_equal(self, rule):
+        reparsed = parse_rule(str(rule), label="fz")
+        assert reparsed.body == rule.body
+        assert reparsed.head == rule.head
+        assert reparsed.negated == rule.negated
+        assert (reparsed.aggregate is None) == (rule.aggregate is None)
+        if rule.aggregate is not None:
+            assert reparsed.aggregate.function == rule.aggregate.function
+            assert reparsed.aggregate.result == rule.aggregate.result
+
+    @settings(deadline=None, max_examples=60)
+    @given(rules())
+    def test_constraint_roundtrip(self, rule):
+        constraint = Constraint(
+            label="cz", body=rule.body, conditions=(), negated=rule.negated
+        )
+        reparsed = parse_constraint(str(constraint), label="cz")
+        assert str(reparsed) == str(constraint)

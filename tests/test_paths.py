@@ -1,0 +1,94 @@
+"""Unit tests for ReasoningPath value objects."""
+
+import pytest
+
+from repro.core.paths import ReasoningPath
+from repro.datalog.parser import parse_rule
+
+
+@pytest.fixture()
+def rules():
+    return (
+        parse_rule("Shock(f, s), HasCapital(f, p1), s > p1 -> Default(f)", "alpha"),
+        parse_rule("Default(d), Debts(d, c, v), e = sum(v) -> Risk(c, e)", "beta"),
+        parse_rule("HasCapital(c, p2), Risk(c, e), p2 < e -> Default(c)", "gamma"),
+    )
+
+
+def make_path(rules, **overrides):
+    defaults = dict(kind="simple", rules=rules, name="Pi1", target="Default")
+    defaults.update(overrides)
+    return ReasoningPath(**defaults)
+
+
+class TestBasics:
+    def test_labels_in_order(self, rules):
+        assert make_path(rules).labels == ("alpha", "beta", "gamma")
+
+    def test_label_set(self, rules):
+        assert make_path(rules).label_set == frozenset({"alpha", "beta", "gamma"})
+
+    def test_kind_validation(self, rules):
+        with pytest.raises(ValueError):
+            make_path(rules, kind="loop")
+
+    def test_empty_rules_rejected(self, rules):
+        with pytest.raises(ValueError):
+            make_path(())
+
+    def test_rule_lookup(self, rules):
+        path = make_path(rules)
+        assert path.rule("beta").label == "beta"
+        with pytest.raises(KeyError):
+            path.rule("delta")
+
+    def test_is_cycle(self, rules):
+        assert not make_path(rules).is_cycle
+        assert make_path(rules, kind="cycle", anchor="Default").is_cycle
+
+
+class TestAggregationVariants:
+    def test_aggregate_labels(self, rules):
+        assert make_path(rules).aggregate_labels() == ("beta",)
+
+    def test_variant_enumeration(self, rules):
+        variants = list(make_path(rules).variants())
+        assert [v.multi_rules for v in variants] == [
+            frozenset(), frozenset({"beta"}),
+        ]
+
+    def test_base_variant_first(self, rules):
+        assert make_path(rules).base_variant().multi_rules == frozenset()
+
+    def test_forced_multi_always_flagged(self, rules):
+        path = make_path(rules, forced_multi=frozenset({"beta"}),
+                         multi_rules=frozenset({"beta"}))
+        variants = list(path.variants())
+        assert len(variants) == 1
+        assert variants[0].multi_rules == frozenset({"beta"})
+
+    def test_has_aggregation_variants(self, rules):
+        assert make_path(rules).has_aggregation_variants
+        forced = make_path(
+            rules, forced_multi=frozenset({"beta"}), multi_rules=frozenset({"beta"})
+        )
+        assert not forced.has_aggregation_variants
+
+    def test_is_multi(self, rules):
+        variant = make_path(rules, multi_rules=frozenset({"beta"}))
+        assert variant.is_multi("beta")
+        assert not variant.is_multi("alpha")
+
+
+class TestNotation:
+    def test_greek_notation(self, rules):
+        assert make_path(rules).notation() == "Pi1 = {α, β, γ}"
+
+    def test_star_for_multi_variant(self, rules):
+        variant = make_path(rules, multi_rules=frozenset({"beta"}))
+        assert "*" in variant.notation()
+
+    def test_signature_ignores_name(self, rules):
+        first = make_path(rules, name="Pi1")
+        second = make_path(rules, name="Pi9")
+        assert first.signature() == second.signature()

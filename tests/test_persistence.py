@@ -1,0 +1,102 @@
+"""Tests for glossary drafting and template-store persistence."""
+
+import json
+
+import pytest
+
+from repro.core import StructuralAnalysis, TemplateStore
+from repro.core.enhancer import TemplateEnhancer
+from repro.core.glossary import draft_glossary
+from repro.core.templates import TemplateError
+from repro.datalog import parse_program
+from repro.llm import SimulatedLLM
+
+
+class TestGlossaryDrafting:
+    PROGRAM = parse_program(
+        """
+        r1: LongTermDebts(d, c, v) -> HasExposure(c).
+        r2: Shock(f) -> Hit(f).
+        """,
+        name="draft-me", goal="HasExposure",
+    )
+
+    def test_covers_whole_schema(self):
+        glossary = draft_glossary(self.PROGRAM)
+        glossary.validate_against(self.PROGRAM)
+
+    def test_camel_case_split(self):
+        glossary = draft_glossary(self.PROGRAM)
+        assert "'long term debts'" in glossary.entry("LongTermDebts").text
+
+    def test_unary_phrasing(self):
+        glossary = draft_glossary(self.PROGRAM)
+        assert glossary.entry("Shock").text == "<a1> satisfies 'shock'"
+
+    def test_drafted_glossary_drives_the_pipeline(self):
+        from repro.core import Explainer
+        from repro.datalog import fact
+        from repro.engine import reason
+
+        result = reason(self.PROGRAM, [fact("LongTermDebts", "A", "B", 7)])
+        explainer = Explainer(result, draft_glossary(self.PROGRAM))
+        explanation = explainer.explain(
+            fact("HasExposure", "B"), prefer_enhanced=False
+        )
+        assert "long term debts" in explanation.text
+
+
+class TestTemplatePersistence:
+    @pytest.fixture()
+    def enhanced_store(self, stress_simple_analysis, stress_simple_app):
+        store = TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+        TemplateEnhancer(SimulatedLLM(seed=4, faithful=True)).enhance_store(store)
+        store.approve_all()
+        return store
+
+    def test_roundtrip(self, enhanced_store, stress_simple_analysis,
+                       stress_simple_app):
+        payload = enhanced_store.export_state()
+        # JSON-serializable
+        payload = json.loads(json.dumps(payload))
+        fresh = TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+        accepted = fresh.import_state(payload)
+        assert accepted == len(fresh)
+        for original, restored in zip(
+            enhanced_store.templates(), fresh.templates()
+        ):
+            assert restored.enhanced_texts == original.enhanced_texts
+            assert restored.approved
+
+    def test_wrong_program_rejected(self, enhanced_store, control_analysis,
+                                    control_app):
+        payload = enhanced_store.export_state()
+        other = TemplateStore(control_analysis, control_app.glossary)
+        with pytest.raises(TemplateError):
+            other.import_state(payload)
+
+    def test_stale_export_cannot_smuggle_omissions(
+        self, enhanced_store, stress_simple_analysis, stress_simple_app
+    ):
+        """An enhanced text missing tokens (e.g. after a rule change made
+        the deterministic template richer) is silently dropped on import."""
+        payload = enhanced_store.export_state()
+        payload["templates"][0]["enhanced"] = ["all tokens are gone"]
+        fresh = TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+        accepted = fresh.import_state(payload)
+        assert accepted == len(fresh) - 1
+        first_key_name = payload["templates"][0]["path"]
+        damaged = [
+            t for t in fresh.templates() if t.path.name == first_key_name
+        ]
+        assert any(t.enhanced_texts == [] for t in damaged)
+
+    def test_unknown_paths_ignored(self, enhanced_store,
+                                   stress_simple_analysis, stress_simple_app):
+        payload = enhanced_store.export_state()
+        payload["templates"].append({
+            "path": "PiGhost", "multi_rules": [], "enhanced": ["x"],
+            "approved": True,
+        })
+        fresh = TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+        fresh.import_state(payload)  # must not raise

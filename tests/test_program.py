@@ -1,0 +1,96 @@
+"""Unit tests for repro.datalog.program."""
+
+import pytest
+
+from repro.datalog.errors import ArityError, DatalogError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.program import Program, make_program
+
+
+@pytest.fixture()
+def control_program():
+    return parse_program(
+        """
+        sigma1: Own(x, y, s), s > 0.5 -> Control(x, y).
+        sigma2: Company(x) -> Control(x, x).
+        sigma3: Control(x, z), Own(z, y, s), ts = sum(s), ts > 0.5 -> Control(x, y).
+        """,
+        name="cc",
+        goal="Control",
+    )
+
+
+class TestClassification:
+    def test_intensional_predicates(self, control_program):
+        assert control_program.intensional_predicates() == frozenset({"Control"})
+
+    def test_extensional_predicates(self, control_program):
+        assert control_program.extensional_predicates() == frozenset(
+            {"Own", "Company"}
+        )
+
+    def test_is_intensional(self, control_program):
+        assert control_program.is_intensional("Control")
+        assert not control_program.is_intensional("Own")
+
+
+class TestSchema:
+    def test_schema_inferred(self, control_program):
+        assert control_program.schema == {"Own": 3, "Company": 1, "Control": 2}
+
+    def test_inconsistent_arities_rejected(self):
+        with pytest.raises(ArityError):
+            make_program(
+                "bad",
+                [
+                    parse_rule("P(x) -> Q(x)", "a"),
+                    parse_rule("Q(x, y) -> R(x)", "b"),
+                ],
+            )
+
+    def test_goal_must_exist(self):
+        with pytest.raises(ArityError):
+            parse_program("P(x) -> Q(x).", name="p", goal="Missing")
+
+
+class TestAccess:
+    def test_rule_lookup(self, control_program):
+        assert control_program.rule("sigma2").head_predicate == "Control"
+
+    def test_rule_lookup_missing(self, control_program):
+        with pytest.raises(KeyError):
+            control_program.rule("sigma9")
+
+    def test_rules_deriving(self, control_program):
+        labels = [r.label for r in control_program.rules_deriving("Control")]
+        assert labels == ["sigma1", "sigma2", "sigma3"]
+
+    def test_rules_consuming(self, control_program):
+        labels = [r.label for r in control_program.rules_consuming("Own")]
+        assert labels == ["sigma1", "sigma3"]
+
+    def test_iteration_and_len(self, control_program):
+        assert len(control_program) == 3
+        assert len(list(control_program)) == 3
+
+
+class TestConstruction:
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogError):
+            Program("empty", ())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(DatalogError):
+            make_program(
+                "dup",
+                [parse_rule("P(x) -> Q(x)", "r"), parse_rule("Q(x) -> R(x)", "r")],
+            )
+
+    def test_with_goal(self, control_program):
+        retargeted = control_program.with_goal("Own")
+        assert retargeted.goal == "Own"
+        assert control_program.goal == "Control"
+
+    def test_describe_mentions_edb_and_idb(self, control_program):
+        text = control_program.describe()
+        assert "EDB:" in text and "IDB:" in text

@@ -1,0 +1,341 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covered invariants:
+
+* unification/matching round trips (a grounded atom always matches its
+  pattern with the grounding substitution);
+* chase soundness (every derived fact has a record whose parents are in
+  the database; derivations are acyclic and monotone);
+* structural analysis (paths are finite, edge-disjoint per label, cycles
+  touch their anchors);
+* template token preservation through instantiation (the completeness
+  guarantee of Section 6.3);
+* omission measurement arithmetic.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import generators
+from repro.core import (
+    Explainer,
+    StructuralAnalysis,
+    completeness_ratio,
+    extract_tokens,
+    join_values,
+    missing_tokens,
+    omission_ratio,
+)
+from repro.datalog.atoms import Atom, fact
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.datalog.unify import apply_substitution, find_homomorphisms, match_atom
+from repro.engine import Database, reason
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+entity_names = st.sampled_from(["A", "B", "C", "D", "E", "F", "G", "H"])
+variable_names = st.sampled_from(["x", "y", "z", "u", "v", "w"])
+predicates = st.sampled_from(["P", "Q", "R"])
+
+terms = st.one_of(
+    entity_names.map(Constant),
+    st.integers(min_value=0, max_value=20).map(Constant),
+    variable_names.map(Variable),
+)
+ground_terms = st.one_of(
+    entity_names.map(Constant),
+    st.integers(min_value=0, max_value=20).map(Constant),
+)
+
+
+@st.composite
+def atoms(draw, ground=False):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=1, max_value=3))
+    pool = ground_terms if ground else terms
+    return Atom(predicate, tuple(draw(pool) for _ in range(arity)))
+
+
+# ----------------------------------------------------------------------
+# Unification properties
+# ----------------------------------------------------------------------
+
+class TestUnificationProperties:
+    @given(atoms())
+    def test_grounding_then_matching_roundtrips(self, pattern):
+        binding = {v: Constant("K") for v in pattern.variable_set()}
+        grounded = apply_substitution(pattern, binding)
+        recovered = match_atom(pattern, grounded)
+        assert recovered is not None
+        for variable in pattern.variable_set():
+            assert recovered[variable] == Constant("K")
+
+    @given(atoms(ground=True), atoms(ground=True))
+    def test_ground_atoms_match_iff_equal(self, first, second):
+        outcome = match_atom(first, second)
+        if first == second:
+            assert outcome == {}
+        else:
+            assert outcome is None
+
+    @given(st.lists(atoms(ground=True), min_size=1, max_size=6))
+    def test_every_fact_matches_its_own_pattern_set(self, facts):
+        for current in facts:
+            assert any(
+                match_atom(current, candidate) is not None
+                for candidate in facts
+            )
+
+    @given(atoms(), st.lists(atoms(ground=True), max_size=8))
+    def test_homomorphism_images_are_facts(self, pattern, facts):
+        for binding in find_homomorphisms([pattern], facts):
+            image = apply_substitution(pattern, binding)
+            assert image in facts
+
+
+# ----------------------------------------------------------------------
+# Chase properties
+# ----------------------------------------------------------------------
+
+TRANSITIVE = parse_program(
+    "base: E(x, y) -> T(x, y). step: T(x, y), E(y, z) -> T(x, z).",
+    name="tc", goal="T",
+)
+
+edges = st.lists(
+    st.tuples(entity_names, entity_names).filter(lambda e: e[0] != e[1]),
+    min_size=1, max_size=12, unique=True,
+)
+
+
+class TestChaseProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_transitive_closure_is_sound_and_complete(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        result = reason(TRANSITIVE, database)
+        derived = {
+            (t.terms[0].value, t.terms[1].value) for t in result.answers("T")
+        }
+        # reference closure: reachability via at least one edge (a node on
+        # a cycle reaches itself, so T(x, x) is correct there).
+        successors: dict[str, set[str]] = {}
+        for a, b in edge_list:
+            successors.setdefault(a, set()).add(b)
+        expected = set()
+        for node in successors:
+            frontier = list(successors[node])
+            seen: set[str] = set()
+            while frontier:
+                current = frontier.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                expected.add((node, current))
+                frontier.extend(successors.get(current, ()))
+        assert derived == expected
+
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_every_record_parents_in_database(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        result = reason(TRANSITIVE, database).chase_result
+        for record in result.records:
+            assert record.fact in result.database
+            for parent in record.parents:
+                assert parent in result.database
+
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_derivations_respect_step_order(self, edge_list):
+        """Acyclicity: a record's parents were derived strictly earlier."""
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        result = reason(TRANSITIVE, database).chase_result
+        for record in result.records:
+            for parent in record.parents:
+                parent_record = result.derivation.get(parent)
+                if parent_record is not None:
+                    assert parent_record.index < record.index
+
+    @settings(deadline=None, max_examples=30)
+    @given(edges, edges)
+    def test_chase_is_monotone(self, first_edges, second_edges):
+        smaller = Database([fact("E", a, b) for a, b in first_edges])
+        larger = Database(
+            [fact("E", a, b) for a, b in first_edges + second_edges]
+        )
+        small_result = set(reason(TRANSITIVE, smaller).answers("T"))
+        large_result = set(reason(TRANSITIVE, larger).answers("T"))
+        assert small_result <= large_result
+
+
+# ----------------------------------------------------------------------
+# Aggregation properties
+# ----------------------------------------------------------------------
+
+SUM_PROGRAM = parse_program(
+    "agg: In(g, v), total = sum(v) -> Out(g, total).",
+    name="sums", goal="Out",
+)
+
+contributions = st.lists(
+    st.tuples(
+        st.sampled_from(["G1", "G2"]),
+        st.integers(min_value=1, max_value=50),
+    ),
+    min_size=1, max_size=10, unique=True,
+)
+
+
+class TestAggregationProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(contributions)
+    def test_sums_match_reference(self, pairs):
+        database = Database([fact("In", g, v) for g, v in pairs])
+        result = reason(SUM_PROGRAM, database)
+        expected = {}
+        for group, value in pairs:
+            expected[group] = expected.get(group, 0) + value
+        derived = {
+            o.terms[0].value: o.terms[1].value for o in result.answers("Out")
+        }
+        assert derived == expected
+
+    @settings(deadline=None, max_examples=50)
+    @given(contributions)
+    def test_contributor_counts(self, pairs):
+        database = Database([fact("In", g, v) for g, v in pairs])
+        result = reason(SUM_PROGRAM, database).chase_result
+        for record in result.records:
+            group = record.fact.terms[0].value
+            expected = sum(1 for g, _ in pairs if g == group)
+            assert len(record.contributors) == expected
+
+
+# ----------------------------------------------------------------------
+# Structural analysis properties
+# ----------------------------------------------------------------------
+
+class TestStructuralProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_analysis_is_pure(self, seed):
+        """The analysis depends only on the program, never on data."""
+        scenario = generators.control_chain(3, seed=seed)
+        analysis = StructuralAnalysis(scenario.application.program)
+        assert [p.notation() for p in analysis.all_paths] == [
+            p.notation()
+            for p in StructuralAnalysis(scenario.application.program).all_paths
+        ]
+
+    def test_paths_never_repeat_a_rule(self, stress_analysis):
+        for path in stress_analysis.all_paths:
+            labels = [rule.label for rule in path.rules]
+            assert len(labels) == len(set(labels))
+
+    def test_cycles_consume_their_anchor(self, stress_analysis):
+        for cycle in stress_analysis.cycles:
+            assert cycle.anchor is not None
+            consumed = {
+                predicate
+                for rule in cycle.rules
+                for predicate in rule.body_predicates()
+            }
+            assert cycle.anchor in consumed
+
+    def test_simple_paths_ground_out_in_edb(self, stress_analysis):
+        program = stress_analysis.program
+        for path in stress_analysis.simple_paths:
+            heads = {rule.head_predicate for rule in path.rules}
+            for rule in path.rules:
+                for predicate in rule.body_predicates():
+                    if program.is_intensional(predicate):
+                        assert predicate in heads
+
+
+# ----------------------------------------------------------------------
+# Template / completeness properties
+# ----------------------------------------------------------------------
+
+class TestTemplateProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_control_explanations_complete_for_any_chain(self, steps, seed):
+        scenario = generators.control_with_steps(steps, seed=seed)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target, prefer_enhanced=False)
+        constants = explainer.proof_constants(scenario.target)
+        assert omission_ratio(explanation.text, constants) == 0.0
+
+    @given(st.lists(
+        st.text(
+            alphabet="abcdefghij0123456789", min_size=1, max_size=6
+        ), min_size=1, max_size=5, unique=True,
+    ))
+    def test_join_values_mentions_everything(self, values):
+        joined = join_values(values)
+        for value in values:
+            assert value in joined
+
+    @given(st.text(alphabet="abc <>x1", max_size=50))
+    def test_missing_tokens_of_identity_is_empty(self, text):
+        assert missing_tokens(text, text) == frozenset()
+
+    @given(
+        st.sets(st.sampled_from(["f", "p1", "s", "c", "e"]), min_size=1),
+    )
+    def test_missing_tokens_detects_full_drop(self, tokens):
+        original = " ".join(f"<{t}>" for t in sorted(tokens))
+        assert missing_tokens(original, "nothing left") == frozenset(tokens)
+
+
+class TestMeasurementProperties:
+    @given(st.sets(
+        st.integers(min_value=0, max_value=999).map(str),
+        min_size=1, max_size=10,
+    ))
+    def test_completeness_of_full_text_is_one(self, constants):
+        text = " ".join(sorted(constants, key=int))
+        assert completeness_ratio(text, constants) == 1.0
+
+    @given(st.sets(
+        st.integers(min_value=0, max_value=999).map(str),
+        min_size=1, max_size=10,
+    ))
+    def test_omission_of_empty_text_is_one(self, constants):
+        assert omission_ratio("", constants) == 1.0
+
+    @given(
+        st.sets(
+            st.integers(min_value=10, max_value=99).map(str),
+            min_size=2, max_size=10,
+        ),
+    )
+    def test_ratios_are_complementary(self, constants):
+        ordered = sorted(constants)
+        half_text = " ".join(ordered[: len(ordered) // 2])
+        total = completeness_ratio(half_text, constants) + omission_ratio(
+            half_text, constants
+        )
+        assert abs(total - 1.0) < 1e-12
+
+
+class TestExtractTokensProperties:
+    @given(st.lists(
+        st.sampled_from(["f", "p1", "s", "ts", "el"]),
+        min_size=0, max_size=6,
+    ))
+    def test_extract_finds_exactly_the_injected_tokens(self, names):
+        text = "prose " + " ".join(f"<{name}> filler" for name in names)
+        assert extract_tokens(text) == frozenset(names)

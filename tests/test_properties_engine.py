@@ -1,0 +1,101 @@
+"""Property-based tests on the extended engine: semi-naive equivalence
+and stratified negation against reference semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import fact, parse_program
+from repro.engine import Database, chase
+
+entity_names = st.sampled_from(["A", "B", "C", "D", "E", "F"])
+edges = st.lists(
+    st.tuples(entity_names, entity_names).filter(lambda e: e[0] != e[1]),
+    min_size=1, max_size=10, unique=True,
+)
+
+TRANSITIVE = parse_program(
+    "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+    name="tc", goal="T",
+)
+
+NEGATION = parse_program(
+    """
+    base: E(x, y) -> T(x, y).
+    rec:  T(x, y), E(y, z) -> T(x, z).
+    root: Node(x), not Incoming(x) -> Source(x).
+    inc:  E(y, x) -> Incoming(x).
+    """,
+    name="roots", goal="Source",
+)
+
+
+class TestSemiNaiveEquivalenceProperty:
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_same_facts_same_proof_sizes(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        naive = chase(TRANSITIVE, database)
+        semi = chase(TRANSITIVE, database, strategy="semi-naive")
+        assert set(naive.database.facts()) == set(semi.database.facts())
+        # Every derived fact has a derivation record in both runs.
+        assert set(naive.derivation) == set(semi.derivation)
+
+    @settings(deadline=None, max_examples=25)
+    @given(edges)
+    def test_semi_naive_never_does_more_rounds(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        naive = chase(TRANSITIVE, database)
+        semi = chase(TRANSITIVE, database, strategy="semi-naive")
+        assert semi.rounds <= naive.rounds + 1
+
+
+class TestStratifiedNegationProperty:
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_sources_are_nodes_without_incoming_edges(self, edge_list):
+        nodes = sorted({n for edge in edge_list for n in edge})
+        database = Database(
+            [fact("E", a, b) for a, b in edge_list]
+            + [fact("Node", n) for n in nodes]
+        )
+        result = chase(NEGATION, database)
+        derived_sources = {str(f.terms[0]) for f in result.facts("Source")}
+        expected = {
+            n for n in nodes if not any(b == n for _, b in edge_list)
+        }
+        assert derived_sources == expected
+
+    @settings(deadline=None, max_examples=25)
+    @given(edges)
+    def test_negation_agrees_across_strategies(self, edge_list):
+        nodes = sorted({n for edge in edge_list for n in edge})
+        database = Database(
+            [fact("E", a, b) for a, b in edge_list]
+            + [fact("Node", n) for n in nodes]
+        )
+        naive = chase(NEGATION, database)
+        semi = chase(NEGATION, database, strategy="semi-naive")
+        assert set(naive.facts("Source")) == set(semi.facts("Source"))
+
+
+class TestConstraintProperty:
+    PROGRAM = parse_program(
+        """
+        base: E(x, y) -> T(x, y).
+        rec:  T(x, y), E(y, z) -> T(x, z).
+        c1:   T(x, x) -> false.
+        """,
+        name="acyclic", goal="T",
+    )
+
+    @settings(deadline=None, max_examples=40)
+    @given(edges)
+    def test_cycle_constraint_fires_iff_graph_cyclic(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        result = chase(self.PROGRAM, database)
+        has_self_reach = any(
+            f.terms[0] == f.terms[1] for f in result.facts("T")
+        )
+        assert bool(result.violations) == has_self_reach

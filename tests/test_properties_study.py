@@ -1,0 +1,75 @@
+"""Property-based tests on the study harness: corruption invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Fact, fact
+from repro.study.archetypes import (
+    ALL_ARCHETYPES,
+    CorruptionError,
+    corrupt,
+)
+
+entity_names = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta", "Epsilon"])
+
+
+@st.composite
+def ownership_graphs(draw) -> frozenset[Fact]:
+    edge_count = draw(st.integers(min_value=2, max_value=8))
+    facts: set[Fact] = set()
+    for index in range(edge_count):
+        owner = draw(entity_names)
+        owned = draw(entity_names.filter(lambda n: True))
+        if owner == owned:
+            continue
+        share = round(0.05 + 0.05 * draw(st.integers(0, 18)), 2)
+        facts.add(fact("Own", owner, owned, share))
+    if len(facts) < 2:
+        facts.add(fact("Own", "Alpha", "Beta", 0.6))
+        facts.add(fact("Own", "Beta", "Gamma", 0.4))
+    return frozenset(facts)
+
+
+class TestCorruptionInvariants:
+    @settings(deadline=None, max_examples=40)
+    @given(ownership_graphs(), st.integers(0, 10_000))
+    def test_corruptions_preserve_cardinality_and_differ(self, graph, seed):
+        rng = random.Random(seed)
+        for archetype in ALL_ARCHETYPES:
+            try:
+                corrupted = corrupt(graph, archetype, rng)
+            except CorruptionError:
+                continue
+            assert len(corrupted.facts) == len(graph)
+            assert corrupted.facts != graph
+            assert corrupted.archetype is archetype
+            assert corrupted.note
+
+    @settings(deadline=None, max_examples=40)
+    @given(ownership_graphs(), st.integers(0, 10_000))
+    def test_corruptions_keep_the_schema(self, graph, seed):
+        rng = random.Random(seed)
+        predicates = {f.predicate for f in graph}
+        for archetype in ALL_ARCHETYPES:
+            try:
+                corrupted = corrupt(graph, archetype, rng)
+            except CorruptionError:
+                continue
+            assert {f.predicate for f in corrupted.facts} <= predicates
+            for current in corrupted.facts:
+                assert current.is_fact()
+
+    @settings(deadline=None, max_examples=30)
+    @given(ownership_graphs(), st.integers(0, 10_000))
+    def test_corruption_determinism(self, graph, seed):
+        for archetype in ALL_ARCHETYPES:
+            try:
+                first = corrupt(graph, archetype, random.Random(seed))
+                second = corrupt(graph, archetype, random.Random(seed))
+            except CorruptionError:
+                continue
+            assert first.facts == second.facts

@@ -1,0 +1,97 @@
+"""Unit tests for derivation spines — the π of Example 4.7."""
+
+import pytest
+
+from repro.datalog.atoms import fact
+from repro.engine.provenance import ProvenanceTracker
+
+
+@pytest.fixture()
+def tracker(figure8):
+    __, result = figure8
+    return ProvenanceTracker(result.chase_result)
+
+
+class TestSpine:
+    def test_rule_sequence_matches_example_4_7(self, tracker):
+        spine = tracker.spine(fact("Default", "C"))
+        assert spine.rule_sequence == ("alpha", "beta", "gamma", "beta", "gamma")
+
+    def test_multi_contributor_flags(self, tracker):
+        """Only the second β (Risk(C, 11) = 2 + 9) aggregates several
+        inputs; the first (Risk(B, 7)) has a single debt."""
+        spine = tracker.spine(fact("Default", "C"))
+        assert [s.multi_contributor for s in spine.steps] == [
+            False, False, False, True, False,
+        ]
+
+    def test_spine_facts_chain(self, tracker):
+        spine = tracker.spine(fact("Default", "C"))
+        facts = [str(step.fact) for step in spine.steps]
+        assert facts == [
+            "Default(A)", "Risk(B, 7)", "Default(B)", "Risk(C, 11)", "Default(C)",
+        ]
+
+    def test_spine_parent_links(self, tracker):
+        spine = tracker.spine(fact("Default", "C"))
+        assert spine.steps[0].spine_parent is None
+        for previous, step in zip(spine.steps, spine.steps[1:]):
+            assert step.spine_parent == previous.fact
+
+    def test_spine_of_first_default(self, tracker):
+        spine = tracker.spine(fact("Default", "A"))
+        assert spine.rule_sequence == ("alpha",)
+
+    def test_extensional_fact_rejected(self, tracker):
+        with pytest.raises(KeyError):
+            tracker.spine(fact("Shock", "A", 6))
+
+    def test_len_and_describe(self, tracker):
+        spine = tracker.spine(fact("Default", "C"))
+        assert len(spine) == 5
+        assert "Default(C)" in spine.describe()
+
+
+class TestDepth:
+    def test_edb_facts_have_depth_zero(self, tracker):
+        assert tracker.depth(fact("Shock", "A", 6)) == 0
+
+    def test_depth_grows_along_chain(self, tracker):
+        assert tracker.depth(fact("Default", "A")) == 1
+        assert tracker.depth(fact("Risk", "B", 7)) == 2
+        assert tracker.depth(fact("Default", "C")) == 5
+
+
+class TestProofRecords:
+    def test_proof_size(self, tracker):
+        assert tracker.proof_size(fact("Default", "C")) == 5
+        assert tracker.proof_size(fact("Default", "A")) == 1
+
+    def test_proof_constants_complete(self, tracker):
+        constants = set(tracker.proof_constants(fact("Default", "C")))
+        assert constants == {"A", "B", "C", "2", "5", "6", "7", "9", "10", "11"}
+
+    def test_proof_constants_of_short_proof(self, tracker):
+        constants = set(tracker.proof_constants(fact("Default", "A")))
+        assert constants == {"A", "5", "6"}
+
+
+class TestSideBranches:
+    def test_dual_channel_step_has_side_rule(self, figure12_stress):
+        """Default(F) aggregates both channels: the off-spine Risk is a
+        side branch whose rule the mapping must cover (Γ4)."""
+        __, result = figure12_stress
+        tracker = ProvenanceTracker(result.chase_result)
+        spine = tracker.spine(fact("Default", "F"))
+        last = spine.steps[-1]
+        assert last.rule_label == "sigma7"
+        assert last.multi_contributor
+        assert len(last.side_rules) == 1
+        assert last.side_rules[0] in ("sigma5", "sigma6")
+
+    def test_figure12_spine_length(self, figure12_stress):
+        __, result = figure12_stress
+        tracker = ProvenanceTracker(result.chase_result)
+        spine = tracker.spine(fact("Default", "F"))
+        assert len(spine) == 7  # 8 proof steps, one off-spine side branch
+        assert tracker.proof_size(fact("Default", "F")) == 8

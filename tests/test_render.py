@@ -1,0 +1,89 @@
+"""Tests for DOT export and terminal rendering."""
+
+from repro.datalog.depgraph import DependencyGraph
+from repro.render import (
+    chase_graph_dot,
+    dependency_graph_dot,
+    financial_network_dot,
+    format_boxplot_series,
+    format_percent,
+    format_table,
+)
+
+
+class TestDependencyGraphDot:
+    def test_valid_digraph(self, stress_simple_app):
+        dot = dependency_graph_dot(DependencyGraph(stress_simple_app.program))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_extensional_nodes_are_boxes(self, stress_simple_app):
+        dot = dependency_graph_dot(DependencyGraph(stress_simple_app.program))
+        assert '"Shock" [shape=box];' in dot
+        assert '"Default" [shape=ellipse];' in dot
+
+    def test_edges_carry_greek_labels(self, stress_simple_app):
+        dot = dependency_graph_dot(DependencyGraph(stress_simple_app.program))
+        assert '"Shock" -> "Default" [label="α"];' in dot
+
+
+class TestChaseGraphDot:
+    def test_fact_nodes_present(self, figure8):
+        __, result = figure8
+        dot = chase_graph_dot(result.graph)
+        assert '"Default(C)"' in dot
+        assert '"Risk(C, 11)"' in dot
+
+    def test_derivation_edges_labelled(self, figure8):
+        __, result = figure8
+        dot = chase_graph_dot(result.graph)
+        assert '"Risk(C, 11)" -> "Default(C)" [label="γ"];' in dot
+
+    def test_edb_facts_are_boxes(self, figure8):
+        __, result = figure8
+        dot = chase_graph_dot(result.graph)
+        assert '"Shock(A, 6)" [shape=box];' in dot
+
+
+class TestFinancialNetworkDot:
+    def test_edges_and_annotations(self, figure12_stress):
+        scenario, __ = figure12_stress
+        dot = financial_network_dot(scenario.database)
+        assert '"A" -> "B"' in dot
+        assert "HasCapital" in dot
+        assert "Shock" in dot
+
+
+class TestTables:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [["alpha", 1], ["b", 22.5]])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="Figure 14")
+        assert table.startswith("Figure 14")
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.5]])
+        assert "0.5" in table
+
+    def test_percent(self):
+        assert format_percent(0.9583) == "96%"
+        assert format_percent(1.0) == "100%"
+
+
+class TestBoxplots:
+    def test_series_shape(self):
+        series = format_boxplot_series(
+            "omissions",
+            [(3, (0.1, 0.2, 0.3)), (6, (0.2, 0.3, 0.5))],
+        )
+        lines = series.splitlines()
+        assert len(lines) == 3
+        assert "median 0.200" in lines[1]
+        assert "[" in lines[1] and "]" in lines[1]
+
+    def test_zero_maximum_handled(self):
+        series = format_boxplot_series("flat", [(1, (0.0, 0.0, 0.0))])
+        assert "median 0.000" in series

@@ -1,0 +1,111 @@
+"""Tests for business-report generation."""
+
+import pytest
+
+from repro.apps import figures, golden_powers
+from repro.core import Explainer, ReportBuilder, completeness_ratio
+from repro.datalog.atoms import fact
+
+
+@pytest.fixture(scope="module")
+def stress_report_builder():
+    scenario = figures.figure12_stress_instance()
+    result = scenario.run()
+    explainer = Explainer(result, scenario.application.glossary)
+    return explainer, ReportBuilder(explainer)
+
+
+class TestReportContent:
+    def test_default_targets_are_goal_facts(self, stress_report_builder):
+        __, builder = stress_report_builder
+        report = builder.build(prefer_enhanced=False)
+        headings = [section.heading for section in report.sections]
+        assert headings == [
+            "Default(A)", "Default(B)", "Default(C)", "Default(F)",
+        ]
+
+    def test_explicit_targets(self, stress_report_builder):
+        __, builder = stress_report_builder
+        report = builder.build(
+            targets=[fact("Default", "F")], prefer_enhanced=False
+        )
+        assert len(report) == 1
+
+    def test_report_is_complete(self, stress_report_builder):
+        explainer, builder = stress_report_builder
+        report = builder.build(prefer_enhanced=False)
+        text = report.to_text()
+        constants = explainer.proof_constants(fact("Default", "F"))
+        assert completeness_ratio(text, constants) == 1.0
+
+    def test_title_override(self, stress_report_builder):
+        __, builder = stress_report_builder
+        report = builder.build(title="Quarterly stress run", prefer_enhanced=False)
+        assert report.title == "Quarterly stress run"
+        assert report.to_text().startswith("Quarterly stress run")
+
+    def test_constants_aggregated(self, stress_report_builder):
+        __, builder = stress_report_builder
+        report = builder.build(prefer_enhanced=False)
+        assert {"A", "B", "C", "F", "14"} <= report.constants()
+
+
+class TestRendering:
+    def test_text_rendering_numbers_sections(self, stress_report_builder):
+        __, builder = stress_report_builder
+        text = builder.build(prefer_enhanced=False).to_text()
+        assert "1. Default(A)" in text
+        assert "4. Default(F)" in text
+
+    def test_markdown_rendering(self, stress_report_builder):
+        __, builder = stress_report_builder
+        markdown = builder.build(prefer_enhanced=False).to_markdown()
+        assert markdown.startswith("# Reasoning report")
+        assert "## Default(F)" in markdown
+        assert "*Reasoning paths:" in markdown
+
+    def test_rotating_template_versions(self):
+        from repro.llm import SimulatedLLM
+
+        scenario = figures.figure12_stress_instance()
+        result = scenario.run()
+        explainer = Explainer(
+            result, scenario.application.glossary,
+            llm=SimulatedLLM(seed=5, faithful=True), enhanced_versions=3,
+        )
+        report = ReportBuilder(explainer).build(
+            targets=[fact("Default", "B"), fact("Default", "C")],
+            rotate_template_versions=True,
+        )
+        # Both sections share the Pi2 prefix story; with rotation their
+        # phrasings differ.
+        first, second = (s.explanation.text for s in report.sections)
+        assert first.split(".")[0] != second.split(".")[0]
+
+
+class TestViolationSections:
+    def test_violations_included(self):
+        app = golden_powers.build()
+        result = app.reason([
+            golden_powers.own("F", "S", 0.9),
+            golden_powers.foreign("F"), golden_powers.strategic("S"),
+            golden_powers.vetoed("F"),
+        ])
+        explainer = Explainer(result, app.glossary)
+        report = ReportBuilder(explainer).build(prefer_enhanced=False)
+        assert len(report.violation_texts) == 1
+        assert "Constraint violations" in report.to_text()
+        assert "⚠" in report.to_markdown()
+
+    def test_violations_can_be_suppressed(self):
+        app = golden_powers.build()
+        result = app.reason([
+            golden_powers.own("F", "S", 0.9),
+            golden_powers.foreign("F"), golden_powers.strategic("S"),
+            golden_powers.vetoed("F"),
+        ])
+        explainer = Explainer(result, app.glossary)
+        report = ReportBuilder(explainer).build(
+            prefer_enhanced=False, include_violations=False
+        )
+        assert report.violation_texts == ()

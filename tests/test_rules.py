@@ -1,0 +1,122 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.aggregates import AggregateSpec
+from repro.datalog.atoms import Atom
+from repro.datalog.conditions import Comparison
+from repro.datalog.errors import SafetyError
+from repro.datalog.rules import Rule, pretty_label
+from repro.datalog.terms import Variable
+
+
+def v(name):
+    return Variable(name)
+
+
+def simple_rule(**overrides):
+    defaults = dict(
+        label="r",
+        body=(Atom("Own", (v("x"), v("y"), v("s"))),),
+        head=Atom("Control", (v("x"), v("y"))),
+    )
+    defaults.update(overrides)
+    return Rule(**defaults)
+
+
+class TestValidation:
+    def test_empty_body_rejected(self):
+        with pytest.raises(SafetyError):
+            simple_rule(body=())
+
+    def test_condition_on_body_variable_ok(self):
+        rule = simple_rule(conditions=(Comparison(">", v("s"), v("s")),))
+        assert rule.conditions
+
+    def test_condition_on_unbound_variable_rejected(self):
+        with pytest.raises(SafetyError):
+            simple_rule(conditions=(Comparison(">", v("zz"), v("s")),))
+
+    def test_condition_on_aggregate_result_ok(self):
+        rule = simple_rule(
+            head=Atom("Control", (v("x"), v("y"))),
+            aggregate=AggregateSpec(v("ts"), "sum", v("s")),
+            conditions=(Comparison(">", v("ts"), v("s")),),
+        )
+        assert rule.aggregate is not None
+
+    def test_aggregate_argument_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            simple_rule(aggregate=AggregateSpec(v("ts"), "sum", v("zz")))
+
+    def test_aggregate_result_must_be_fresh(self):
+        with pytest.raises(SafetyError):
+            simple_rule(aggregate=AggregateSpec(v("s"), "sum", v("s")))
+
+
+class TestAggregateGrouping:
+    def test_default_group_by_is_head_vars_minus_result(self):
+        rule = Rule(
+            label="beta",
+            body=(
+                Atom("Default", (v("d"),)),
+                Atom("Debts", (v("d"), v("c"), v("v"))),
+            ),
+            head=Atom("Risk", (v("c"), v("e"))),
+            aggregate=AggregateSpec(v("e"), "sum", v("v")),
+        )
+        assert rule.aggregate.group_by == (v("c"),)
+
+    def test_explicit_group_by_preserved(self):
+        rule = simple_rule(
+            aggregate=AggregateSpec(v("ts"), "sum", v("s"), (v("x"), v("y"))),
+        )
+        assert rule.aggregate.group_by == (v("x"), v("y"))
+
+
+class TestExistentials:
+    def test_head_only_variables_are_existential(self):
+        rule = simple_rule(head=Atom("Control", (v("x"), v("z"))))
+        assert rule.existentials == frozenset({v("z")})
+        assert rule.is_existential
+
+    def test_no_existentials_in_safe_rule(self):
+        assert simple_rule().existentials == frozenset()
+
+
+class TestIntrospection:
+    def test_body_variables(self):
+        assert simple_rule().body_variables() == frozenset({v("x"), v("y"), v("s")})
+
+    def test_body_predicates_deduplicated_in_order(self):
+        rule = Rule(
+            label="lambda3",
+            body=(
+                Atom("Control", (v("z"), v("x"))),
+                Atom("Control", (v("z"), v("y"))),
+            ),
+            head=Atom("CloseLink", (v("x"), v("y"))),
+        )
+        assert rule.body_predicates() == ("Control",)
+
+    def test_head_predicate(self):
+        assert simple_rule().head_predicate == "Control"
+
+    def test_has_aggregate(self):
+        assert not simple_rule().has_aggregate
+
+    def test_str_roundtrips_shape(self):
+        text = str(simple_rule())
+        assert "->" in text and "Own(x, y, s)" in text
+
+
+class TestLabels:
+    def test_greek_labels(self):
+        assert pretty_label("alpha") == "α"
+        assert pretty_label("sigma3") == "σ3"
+
+    def test_unknown_labels_pass_through(self):
+        assert pretty_label("lambda1") == "lambda1"
+
+    def test_pretty_includes_label(self):
+        assert simple_rule(label="sigma1").pretty().startswith("(σ1)")

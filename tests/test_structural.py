@@ -1,0 +1,161 @@
+"""Structural-analysis tests pinning the paper's Figures 4, 5 and 10."""
+
+import pytest
+
+from repro.core.structural import StructuralAnalysis, StructuralAnalysisError
+from repro.datalog.parser import parse_program
+
+
+def label_sets(paths):
+    return {frozenset(path.labels) for path in paths}
+
+
+class TestSimplifiedStressTest:
+    """Example 4.3: Figures 4 and 5."""
+
+    def test_critical_node_is_default_only(self, stress_simple_analysis):
+        assert stress_simple_analysis.critical_nodes == frozenset({"Default"})
+
+    def test_simple_paths_match_figure4(self, stress_simple_analysis):
+        assert label_sets(stress_simple_analysis.simple_paths) == {
+            frozenset({"alpha"}),
+            frozenset({"alpha", "beta", "gamma"}),
+        }
+
+    def test_cycle_matches_figure4(self, stress_simple_analysis):
+        assert label_sets(stress_simple_analysis.cycles) == {
+            frozenset({"beta", "gamma"}),
+        }
+
+    def test_aggregation_variants_match_figure5(self, stress_simple_analysis):
+        """The β-containing path and cycle each gain one dashed variant."""
+        three_rule = next(
+            p for p in stress_simple_analysis.simple_paths if len(p.rules) == 3
+        )
+        assert three_rule.has_aggregation_variants
+        variants = list(three_rule.variants())
+        assert len(variants) == 2
+        assert {v.multi_rules for v in variants} == {
+            frozenset(), frozenset({"beta"}),
+        }
+
+    def test_single_rule_path_has_no_variant(self, stress_simple_analysis):
+        alpha_path = next(
+            p for p in stress_simple_analysis.simple_paths if len(p.rules) == 1
+        )
+        assert not alpha_path.has_aggregation_variants
+        assert len(list(alpha_path.variants())) == 1
+
+
+class TestCompanyControlFigure10:
+    def test_simple_paths(self, control_analysis):
+        assert label_sets(control_analysis.simple_paths) == {
+            frozenset({"sigma1"}),
+            frozenset({"sigma2"}),
+            frozenset({"sigma1", "sigma3"}),
+            frozenset({"sigma2", "sigma3"}),
+            frozenset({"sigma1", "sigma2", "sigma3"}),
+        }
+
+    def test_cycle(self, control_analysis):
+        assert label_sets(control_analysis.cycles) == {frozenset({"sigma3"})}
+
+    def test_joint_path_forces_multi_aggregation(self, control_analysis):
+        joint = next(
+            p for p in control_analysis.simple_paths if len(p.rules) == 3
+        )
+        assert joint.forced_multi == frozenset({"sigma3"})
+
+    def test_starred_paths(self, control_analysis):
+        """Fig. 10 stars the σ3-containing paths (aggregation versions)."""
+        starred = {
+            frozenset(p.labels)
+            for p in control_analysis.simple_paths
+            if p.has_aggregation_variants
+        }
+        assert starred == {
+            frozenset({"sigma1", "sigma3"}),
+            frozenset({"sigma2", "sigma3"}),
+        }
+
+
+class TestStressTestFigure10:
+    def test_simple_paths(self, stress_analysis):
+        assert label_sets(stress_analysis.simple_paths) == {
+            frozenset({"sigma4"}),
+            frozenset({"sigma4", "sigma5", "sigma7"}),
+            frozenset({"sigma4", "sigma6", "sigma7"}),
+            frozenset({"sigma4", "sigma5", "sigma6", "sigma7"}),
+        }
+
+    def test_cycles(self, stress_analysis):
+        assert label_sets(stress_analysis.cycles) == {
+            frozenset({"sigma5", "sigma7"}),
+            frozenset({"sigma6", "sigma7"}),
+            frozenset({"sigma5", "sigma6", "sigma7"}),
+        }
+
+    def test_critical_nodes(self, stress_analysis):
+        assert stress_analysis.critical_nodes == frozenset({"Default"})
+
+    def test_joint_channel_forces_sigma7_multi(self, stress_analysis):
+        joint = next(
+            c for c in stress_analysis.cycles if len(c.rules) == 3
+        )
+        assert "sigma7" in joint.forced_multi
+
+    def test_cycles_anchor_at_default(self, stress_analysis):
+        assert all(c.anchor == "Default" for c in stress_analysis.cycles)
+
+
+class TestCloseLinks:
+    def test_two_critical_nodes(self, close_links_app):
+        analysis = StructuralAnalysis(close_links_app.program)
+        assert analysis.critical_nodes == frozenset({"Control", "CloseLink"})
+
+    def test_control_cycle_exists(self, close_links_app):
+        analysis = StructuralAnalysis(close_links_app.program)
+        assert frozenset({"sigma3"}) in label_sets(analysis.cycles)
+
+    def test_critical_to_critical_cycles(self, close_links_app):
+        """Cycles may connect Control to CloseLink (two critical nodes)."""
+        analysis = StructuralAnalysis(close_links_app.program)
+        cycle_sets = label_sets(analysis.cycles)
+        assert frozenset({"lambda2"}) in cycle_sets
+        assert frozenset({"lambda3"}) in cycle_sets
+
+
+class TestNamingAndLookup:
+    def test_names_are_sequential(self, control_analysis):
+        names = [p.name for p in control_analysis.simple_paths]
+        assert names == [f"Pi{i + 1}" for i in range(len(names))]
+
+    def test_cycle_names(self, stress_analysis):
+        names = [c.name for c in stress_analysis.cycles]
+        assert names == [f"Gamma{i + 1}" for i in range(len(names))]
+
+    def test_path_by_name(self, control_analysis):
+        assert control_analysis.path_by_name("Pi1").name == "Pi1"
+        with pytest.raises(KeyError):
+            control_analysis.path_by_name("Pi99")
+
+    def test_all_variants_superset_of_paths(self, stress_analysis):
+        assert len(stress_analysis.all_variants) >= len(stress_analysis.all_paths)
+
+    def test_describe_contains_notation(self, control_analysis):
+        text = control_analysis.describe()
+        assert "σ1" in text and "critical nodes" in text
+
+
+class TestPreconditions:
+    def test_goal_required(self):
+        program = parse_program("P(x) -> Q(x).", name="p")
+        with pytest.raises(StructuralAnalysisError):
+            StructuralAnalysis(program)
+
+    def test_determinism(self, stress_app):
+        first = StructuralAnalysis(stress_app.program)
+        second = StructuralAnalysis(stress_app.program)
+        assert [p.notation() for p in first.all_paths] == [
+            p.notation() for p in second.all_paths
+        ]

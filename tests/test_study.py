@@ -1,0 +1,208 @@
+"""Tests for the simulated user studies (§6.1, §6.2) and statistics."""
+
+import random
+
+import pytest
+
+from repro.llm import SimulatedLLM
+from repro.study import (
+    METHODS,
+    SimulatedParticipant,
+    build_question,
+    likert_summary,
+    run_comprehension_study,
+    run_expert_study,
+    study_cases,
+    wilcoxon_signed_rank,
+)
+from repro.study.comprehension import fact_support, split_clauses
+from repro.study.experts import base_quality, expert_scenarios, text_features
+from repro.datalog.atoms import fact
+
+
+class TestFactSupport:
+    CLAUSES = split_clauses(
+        "Since A owns 0.6 shares of B, and 0.6 is higher than 0.5, "
+        "then A exercises control over B. Since A exercises control over "
+        "B and C, and B and C owns 0.3 and 0.25 shares of T, then A "
+        "exercises control over T."
+    )
+
+    def test_supported_fact_scores_high(self):
+        assert fact_support(fact("Own", "A", "B", 0.6), self.CLAUSES) >= 1.0
+
+    def test_wrong_value_scores_low(self):
+        assert fact_support(fact("Own", "A", "B", 0.9), self.CLAUSES) < 0.7
+
+    def test_misaligned_enumeration_penalized(self):
+        aligned = fact_support(fact("Own", "B", "T", 0.3), self.CLAUSES)
+        misaligned = fact_support(fact("Own", "B", "T", 0.25), self.CLAUSES)
+        assert aligned > misaligned
+
+    def test_constantless_fact_neutral(self):
+        assert fact_support(fact("Marker", 0), ["no numbers"]) < 1.0
+
+
+class TestQuestionConstruction:
+    def test_three_choices_one_correct(self):
+        rng = random.Random(0)
+        scenario = study_cases(0)[0]
+        question = build_question(1, scenario, rng)
+        assert len(question.choices) == 3
+        corrects = [c for c in question.choices if c.is_correct]
+        assert len(corrects) == 1
+        assert question.choices[question.correct_index].is_correct
+
+    def test_wrong_choices_have_archetypes(self):
+        rng = random.Random(0)
+        scenario = study_cases(0)[2]
+        question = build_question(3, scenario, rng)
+        archetypes = [
+            question.archetype_of(i)
+            for i in range(3) if i != question.correct_index
+        ]
+        assert all(archetype is not None for archetype in archetypes)
+
+    def test_question_text_is_explanation(self):
+        rng = random.Random(0)
+        scenario = study_cases(0)[1]
+        question = build_question(2, scenario, rng)
+        assert len(question.text) > 50
+
+
+class TestComprehensionStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_comprehension_study(participants=24, seed=0)
+
+    def test_five_cases(self, study):
+        assert len(study.cases) == 5
+
+    def test_answer_counts(self, study):
+        assert all(case.answers == 24 for case in study.cases)
+
+    def test_overall_accuracy_in_paper_band(self, study):
+        """Paper: 96% overall.  The simulation must land in a high band."""
+        assert 0.88 <= study.overall_accuracy <= 1.0
+
+    def test_no_dominant_error_archetype(self, study):
+        """Paper: 'no clear pattern can be identified'."""
+        from repro.study import ErrorArchetype
+
+        totals = {archetype: 0 for archetype in ErrorArchetype}
+        for case in study.cases:
+            for archetype, count in case.errors.items():
+                totals[archetype] += count
+        assert all(count <= 6 for count in totals.values())
+
+    def test_table_rows_shape(self, study):
+        rows = study.table_rows()
+        assert len(rows) == 5
+        assert set(rows[0]) == {
+            "case", "wrong edge", "wrong value", "incorrect aggregation",
+            "incorrect chain", "correct answers",
+        }
+
+    def test_attentive_participant_always_right(self):
+        rng = random.Random(0)
+        scenario = study_cases(0)[2]
+        question = build_question(3, scenario, rng)
+        perfect = SimulatedParticipant(
+            rng=random.Random(1), perception_noise=0.0, attention_lapse=0.0
+        )
+        assert perfect.answer(question) == question.correct_index
+
+
+class TestExpertStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_expert_study(SimulatedLLM(seed=7), raters=14, seed=0)
+
+    def test_168_data_points(self, study):
+        assert study.data_points() == 168
+
+    def test_means_in_paper_band(self, study):
+        """Paper: 3.78 / 3.765 / 3.69 — all methods in the same band."""
+        for method in METHODS:
+            assert 3.2 <= study.mean(method) <= 4.2
+
+    def test_template_has_lowest_variance(self, study):
+        """Paper Figure 16: templates' std (0.94) below both baselines."""
+        assert study.std("template") <= study.std("paraphrase") + 0.05
+        assert study.std("template") <= study.std("summary") + 0.05
+
+    def test_no_significant_difference(self, study):
+        """The paper's headline: Wilcoxon p-values far from significance."""
+        p1 = wilcoxon_signed_rank(
+            study.ratings["paraphrase"], study.ratings["template"]
+        )
+        p2 = wilcoxon_signed_rank(
+            study.ratings["summary"], study.ratings["template"]
+        )
+        assert p1 > 0.05
+        assert p2 > 0.05
+
+    def test_four_scenarios(self):
+        assert len(expert_scenarios(0)) == 4
+
+
+class TestQualityModel:
+    def test_deterministic_text_scores_low(self):
+        rigid = (
+            "Since A owns B, then A controls B. Since A controls B, "
+            "then A is linked to B."
+        )
+        fluent = (
+            "A owns B and therefore controls it. Through that control, "
+            "the two are linked."
+        )
+        assert base_quality(fluent) > base_quality(rigid)
+
+    def test_features_counts(self):
+        features = text_features("Since A, then B. Because C, D happened.")
+        assert features.sentences == 2
+        assert features.since_rate == 0.5
+
+
+class TestStats:
+    def test_likert_summary(self):
+        summary = likert_summary([3, 4, 5, 4])
+        assert summary.mean == 4.0
+        assert summary.count == 4
+        assert summary.std > 0
+
+    def test_likert_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            likert_summary([])
+
+    def test_wilcoxon_identical_samples(self):
+        assert wilcoxon_signed_rank([3, 4, 5], [3, 4, 5]) == 1.0
+
+    def test_wilcoxon_detects_shift(self):
+        first = [1, 1, 2, 1, 2, 1, 2, 1, 1, 2, 1, 2]
+        second = [4, 5, 5, 4, 5, 4, 5, 5, 4, 4, 5, 4]
+        assert wilcoxon_signed_rank(first, second) < 0.05
+
+    def test_wilcoxon_requires_paired(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1, 2, 3])
+
+    def test_wilcoxon_symmetric(self):
+        first = [3, 4, 2, 5, 4, 3, 4, 2]
+        second = [4, 3, 3, 4, 5, 3, 3, 3]
+        assert wilcoxon_signed_rank(first, second) == pytest.approx(
+            wilcoxon_signed_rank(second, first)
+        )
+
+
+class TestComprehensionWithEnhancedTexts:
+    def test_fluent_reports_equally_comprehensible(self):
+        """The paper's participants read the system's fluent reports; the
+        accuracy regime must hold for enhanced texts too, not just for the
+        deterministic verbalization."""
+        from repro.llm import SimulatedLLM
+
+        study = run_comprehension_study(
+            participants=24, seed=0, llm=SimulatedLLM(seed=1, faithful=True)
+        )
+        assert study.overall_accuracy >= 0.90

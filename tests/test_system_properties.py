@@ -1,0 +1,111 @@
+"""System-level properties: completeness over random instances, and the
+interactive drill-down API."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import company_control, generators, stress_test
+from repro.core import Explainer, completeness_ratio
+from repro.datalog.atoms import fact
+
+
+class TestWhyDrillDown:
+    def test_single_step_sentence(self, figure8):
+        scenario, result = figure8
+        explainer = Explainer(result, scenario.application.glossary)
+        sentence = explainer.why(fact("Risk", "C", 11))
+        assert sentence.startswith("Since ")
+        assert "sum of 2 and 9" in sentence
+        # One step only: the shock story is not included.
+        assert "shock" not in sentence
+
+    def test_why_of_edb_fact_raises(self, figure8):
+        import pytest
+
+        scenario, result = figure8
+        explainer = Explainer(result, scenario.application.glossary)
+        with pytest.raises(KeyError):
+            explainer.why(fact("Shock", "A", 6))
+
+
+class TestRandomInstanceCompleteness:
+    """The paper's central guarantee, as a property over random data:
+    every explanation carries every proof constant."""
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_ownership_networks(self, seed):
+        application = company_control.build()
+        database = generators.random_ownership_database(
+            entities=6, edges=10, seed=seed, include_companies=False
+        )
+        result = application.reason(database)
+        explainer = Explainer(result, application.glossary)
+        for derived in result.derived()[:12]:
+            if derived in result.chase_result.superseded:
+                continue
+            explanation = explainer.explain(derived, prefer_enhanced=False)
+            constants = explainer.proof_constants(derived)
+            assert completeness_ratio(explanation.text, constants) == 1.0
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_debt_networks(self, seed):
+        application = stress_test.build()
+        database = generators.random_debt_database(
+            entities=6, edges=9, shocked=2, seed=seed
+        )
+        result = application.reason(database)
+        explainer = Explainer(result, application.glossary)
+        for derived in result.answers():
+            if not result.chase_result.is_derived(derived):
+                continue
+            explanation = explainer.explain(derived, prefer_enhanced=False)
+            constants = explainer.proof_constants(derived)
+            assert completeness_ratio(explanation.text, constants) == 1.0
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_enhanced_explanations_also_complete(self, hops, seed):
+        from repro.llm import SimulatedLLM
+
+        scenario = generators.stress_cascade(hops, seed=seed, debts_per_hop=2)
+        result = scenario.run()
+        explainer = Explainer(
+            result, scenario.application.glossary,
+            llm=SimulatedLLM(seed=seed, faithful=True),
+        )
+        explanation = explainer.explain(scenario.target)
+        constants = explainer.proof_constants(scenario.target)
+        assert completeness_ratio(explanation.text, constants) == 1.0
+
+
+class TestLongProofs:
+    def test_sixty_step_chain_explained(self):
+        """Long control chains (deep recursion in provenance and mapping)
+        stay correct and fast."""
+        import time
+
+        scenario = generators.control_with_steps(60, seed=0)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        started = time.perf_counter()
+        explanation = explainer.explain(scenario.target, prefer_enhanced=False)
+        elapsed = time.perf_counter() - started
+        constants = explainer.proof_constants(scenario.target)
+        assert completeness_ratio(explanation.text, constants) == 1.0
+        assert len(explanation.segments) == 59  # {σ1,σ3} + 58 × {σ3}
+        assert elapsed < 5.0
+
+    def test_thirty_hop_cascade_explained(self):
+        scenario = generators.stress_cascade(30, seed=0)
+        result = scenario.run()
+        explainer = Explainer(result, scenario.application.glossary)
+        explanation = explainer.explain(scenario.target, prefer_enhanced=False)
+        constants = explainer.proof_constants(scenario.target)
+        assert completeness_ratio(explanation.text, constants) == 1.0

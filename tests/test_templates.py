@@ -1,0 +1,142 @@
+"""Unit tests for explanation templates and instantiation."""
+
+import pytest
+
+from repro.core.templates import (
+    TemplateError,
+    TemplateStore,
+    extract_tokens,
+    join_values,
+)
+from repro.datalog.atoms import fact
+
+
+class TestTokenUtilities:
+    def test_extract_tokens(self):
+        assert extract_tokens("since <f> has <p1>, then <f>") == frozenset(
+            {"f", "p1"}
+        )
+
+    def test_extract_tokens_empty(self):
+        assert extract_tokens("no tokens here") == frozenset()
+
+    def test_join_single(self):
+        assert join_values(["A"]) == "A"
+
+    def test_join_two(self):
+        assert join_values(["2", "9"]) == "2 and 9"
+
+    def test_join_three(self):
+        assert join_values(["2", "5", "9"]) == "2, 5 and 9"
+
+    def test_join_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            join_values([])
+
+
+class TestStore:
+    def test_one_template_per_variant(self, stress_simple_store,
+                                      stress_simple_analysis):
+        assert len(stress_simple_store) == len(stress_simple_analysis.all_variants)
+
+    def test_lookup_by_variant(self, stress_simple_store, stress_simple_analysis):
+        for variant in stress_simple_analysis.all_variants:
+            template = stress_simple_store.get(variant)
+            assert template.path.name == variant.name
+
+    def test_lookup_unknown_variant_fails(self, stress_simple_store,
+                                          stress_simple_analysis):
+        from dataclasses import replace
+
+        ghost = replace(stress_simple_analysis.simple_paths[0], name="PiGhost")
+        with pytest.raises(TemplateError):
+            stress_simple_store.get(ghost)
+
+    def test_deterministic_text_has_tokens(self, stress_simple_store):
+        for template in stress_simple_store.templates():
+            assert extract_tokens(template.deterministic_text) <= template.token_names
+
+    def test_review_workflow(self, stress_simple_analysis, stress_simple_app):
+        store = TemplateStore(stress_simple_analysis, stress_simple_app.glossary)
+        assert len(store.pending_review()) == len(store)
+        store.approve_all()
+        assert store.pending_review() == ()
+
+    def test_describe(self, stress_simple_store):
+        assert "Template store" in stress_simple_store.describe()
+
+
+class TestTextSelection:
+    def test_prefers_enhanced_when_present(self, stress_simple_store):
+        template = stress_simple_store.templates()[0]
+        template.enhanced_texts = ["enhanced <f> <s> <p1> version"]
+        try:
+            assert template.text() == "enhanced <f> <s> <p1> version"
+            assert template.text(prefer_enhanced=False) == template.deterministic_text
+        finally:
+            template.enhanced_texts = []
+
+    def test_variant_index_rotation(self, stress_simple_store):
+        template = stress_simple_store.templates()[0]
+        template.enhanced_texts = ["v0", "v1"]
+        try:
+            assert template.text(variant_index=0) == "v0"
+            assert template.text(variant_index=1) == "v1"
+            assert template.text(variant_index=2) == "v0"
+        finally:
+            template.enhanced_texts = []
+
+
+class TestInstantiation:
+    def _segment(self, figure8_explainer, figure8):
+        scenario, result = figure8
+        spine = result.spine(fact("Default", "C"))
+        return figure8_explainer.mapper.map_spine(
+            spine, result.chase_result.derivation
+        )
+
+    def test_instantiation_replaces_all_tokens(self, figure8_explainer, figure8):
+        segments = self._segment(figure8_explainer, figure8)
+        for segment in segments:
+            instance = figure8_explainer.store.get(segment.path).instantiate(
+                segment.assignments, prefer_enhanced=False
+            )
+            assert "<" not in instance.text
+
+    def test_multi_contributor_token_joined(self, figure8_explainer, figure8):
+        segments = self._segment(figure8_explainer, figure8)
+        cycle = segments[-1]
+        instance = figure8_explainer.store.get(cycle.path).instantiate(
+            cycle.assignments, prefer_enhanced=False
+        )
+        assert "2 and 9" in instance.text
+        assert "11" in instance.text
+
+    def test_token_values_recorded(self, figure8_explainer, figure8):
+        segments = self._segment(figure8_explainer, figure8)
+        cycle = segments[-1]
+        instance = figure8_explainer.store.get(cycle.path).instantiate(
+            cycle.assignments, prefer_enhanced=False
+        )
+        assert ("2", "9") in instance.token_values.values()
+
+    def test_constants_accessor(self, figure8_explainer, figure8):
+        segments = self._segment(figure8_explainer, figure8)
+        cycle = segments[-1]
+        instance = figure8_explainer.store.get(cycle.path).instantiate(
+            cycle.assignments, prefer_enhanced=False
+        )
+        assert {"2", "9", "11", "B", "C", "10"} <= instance.constants()
+
+    def test_missing_assignment_rejected(self, figure8_explainer, figure8):
+        segments = self._segment(figure8_explainer, figure8)
+        cycle = segments[-1]
+        with pytest.raises(TemplateError):
+            figure8_explainer.store.get(cycle.path).instantiate({})
+
+    def test_all_equal_enumeration_collapses(self):
+        """[B, B] never renders as 'B and B'."""
+        from repro.core.templates import ExplanationTemplate
+
+        assert ExplanationTemplate._finalize_bucket(["B", "B"]) == ("B",)
+        assert ExplanationTemplate._finalize_bucket(["2", "9"]) == ("2", "9")

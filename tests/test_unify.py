@@ -1,0 +1,135 @@
+"""Unit tests for substitutions, matching and homomorphisms."""
+
+from repro.datalog.atoms import Atom, fact
+from repro.datalog.terms import Constant, Null, Variable
+from repro.datalog.unify import (
+    apply_substitution,
+    exists_homomorphism,
+    find_homomorphisms,
+    is_ground_under,
+    match_atom,
+    unify_head_with_body_atom,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+class TestMatchAtom:
+    def test_basic_match(self):
+        binding = match_atom(Atom("P", (v("x"), v("y"))), fact("P", "A", "B"))
+        assert binding == {v("x"): Constant("A"), v("y"): Constant("B")}
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom(Atom("P", (v("x"), v("x"))), fact("P", "A", "B")) is None
+        assert match_atom(Atom("P", (v("x"), v("x"))), fact("P", "A", "A")) is not None
+
+    def test_constant_in_pattern_must_equal(self):
+        pattern = Atom("P", (Constant("A"), v("y")))
+        assert match_atom(pattern, fact("P", "A", "B")) is not None
+        assert match_atom(pattern, fact("P", "C", "B")) is None
+
+    def test_predicate_mismatch(self):
+        assert match_atom(Atom("P", (v("x"),)), fact("Q", "A")) is None
+
+    def test_arity_mismatch(self):
+        assert match_atom(Atom("P", (v("x"),)), fact("P", "A", "B")) is None
+
+    def test_extends_existing_binding(self):
+        base = {v("x"): Constant("A")}
+        binding = match_atom(Atom("P", (v("x"), v("y"))), fact("P", "A", "B"), base)
+        assert binding[v("y")] == Constant("B")
+        assert base == {v("x"): Constant("A")}  # input untouched
+
+    def test_conflicting_binding_fails(self):
+        base = {v("x"): Constant("Z")}
+        assert match_atom(Atom("P", (v("x"),)), fact("P", "A"), base) is None
+
+    def test_null_in_pattern_matches_equal_null(self):
+        pattern = Atom("P", (Null(1),))
+        assert match_atom(pattern, Atom("P", (Null(1),))) is not None
+        assert match_atom(pattern, Atom("P", (Null(2),))) is None
+
+
+class TestApplySubstitution:
+    def test_grounds_variables(self):
+        atom = Atom("P", (v("x"), Constant(1)))
+        grounded = apply_substitution(atom, {v("x"): Constant("A")})
+        assert grounded == fact("P", "A", 1)
+
+    def test_unbound_variables_stay(self):
+        atom = Atom("P", (v("x"), v("y")))
+        partial = apply_substitution(atom, {v("x"): Constant("A")})
+        assert partial.terms == (Constant("A"), v("y"))
+
+    def test_is_ground_under(self):
+        atom = Atom("P", (v("x"),))
+        assert is_ground_under(atom, {v("x"): Constant(1)})
+        assert not is_ground_under(atom, {})
+
+
+class TestHomomorphisms:
+    FACTS = [
+        fact("Own", "A", "B", 0.6),
+        fact("Own", "B", "C", 0.7),
+        fact("Own", "A", "C", 0.2),
+    ]
+
+    def test_single_atom_enumeration(self):
+        matches = list(
+            find_homomorphisms([Atom("Own", (v("x"), v("y"), v("s")))], self.FACTS)
+        )
+        assert len(matches) == 3
+
+    def test_join_via_shared_variable(self):
+        patterns = [
+            Atom("Own", (v("x"), v("y"), v("s1"))),
+            Atom("Own", (v("y"), v("z"), v("s2"))),
+        ]
+        matches = list(find_homomorphisms(patterns, self.FACTS))
+        assert len(matches) == 1
+        only = matches[0]
+        assert only[v("x")] == Constant("A")
+        assert only[v("z")] == Constant("C")
+
+    def test_initial_binding_restricts(self):
+        patterns = [Atom("Own", (v("x"), v("y"), v("s")))]
+        matches = list(
+            find_homomorphisms(patterns, self.FACTS, {v("x"): Constant("B")})
+        )
+        assert len(matches) == 1
+
+    def test_exists_homomorphism(self):
+        assert exists_homomorphism(
+            [Atom("Own", (Constant("A"), v("y"), v("s")))], self.FACTS
+        )
+        assert not exists_homomorphism(
+            [Atom("Own", (Constant("Z"), v("y"), v("s")))], self.FACTS
+        )
+
+    def test_empty_pattern_yields_identity(self):
+        matches = list(find_homomorphisms([], self.FACTS))
+        assert matches == [{}]
+
+
+class TestPathAdjacency:
+    def test_same_predicate_unifies(self):
+        head = Atom("Risk", (v("c"), v("e")))
+        body = Atom("Risk", (v("a"), v("b")))
+        assert unify_head_with_body_atom(head, body)
+
+    def test_constant_clash_fails(self):
+        head = Atom("Risk", (v("c"), Constant("long")))
+        body = Atom("Risk", (v("a"), Constant("short")))
+        assert not unify_head_with_body_atom(head, body)
+
+    def test_constant_vs_variable_ok(self):
+        head = Atom("Risk", (v("c"), Constant("long")))
+        body = Atom("Risk", (v("a"), v("t")))
+        assert unify_head_with_body_atom(head, body)
+
+    def test_different_predicates_fail(self):
+        assert not unify_head_with_body_atom(
+            Atom("Risk", (v("c"),)), Atom("Default", (v("c"),))
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for completeness and token-presence checks (§4.4, §6.3)."""
+
+from repro.core.validation import (
+    completeness_ratio,
+    constants_omitted,
+    constants_present,
+    missing_tokens,
+    omission_ratio,
+    tokens_preserved,
+)
+
+
+class TestTokenGuard:
+    def test_all_tokens_preserved(self):
+        original = "since <f> has <p1>, then <f> defaults"
+        candidate = "<f> defaults because its capital <p1> is gone"
+        assert tokens_preserved(original, candidate)
+        assert missing_tokens(original, candidate) == frozenset()
+
+    def test_dropped_token_detected(self):
+        original = "since <f> has <p1>, then <f> defaults"
+        candidate = "<f> defaults"
+        assert not tokens_preserved(original, candidate)
+        assert missing_tokens(original, candidate) == frozenset({"p1"})
+
+    def test_extra_tokens_allowed(self):
+        assert tokens_preserved("<a>", "<a> and <b>")
+
+
+class TestConstantPresence:
+    TEXT = "A owes 7 million to B; B has capital of 2 and total debts of 17."
+
+    def test_entities_found(self):
+        assert constants_present(self.TEXT, ["A", "B"]) == frozenset({"A", "B"})
+
+    def test_number_boundaries(self):
+        """'7' must be found, but not inside '17'."""
+        assert constants_present("total is 17", ["7"]) == frozenset()
+        assert constants_present("exactly 7 units", ["7"]) == frozenset({"7"})
+
+    def test_decimal_boundaries(self):
+        assert constants_present("share of 0.55 held", ["0.55"]) == frozenset(
+            {"0.55"}
+        )
+        assert constants_present("share of 0.555 held", ["0.55"]) == frozenset()
+
+    def test_entity_boundaries(self):
+        assert constants_present("IrishBanking corp", ["IrishBank"]) == frozenset()
+        assert constants_present("IrishBank corp", ["IrishBank"]) == frozenset(
+            {"IrishBank"}
+        )
+
+    def test_omitted(self):
+        assert constants_omitted(self.TEXT, ["A", "Z"]) == frozenset({"Z"})
+
+
+class TestRatios:
+    def test_full_completeness(self):
+        assert completeness_ratio("A pays 7 to B", ["A", "7", "B"]) == 1.0
+        assert omission_ratio("A pays 7 to B", ["A", "7", "B"]) == 0.0
+
+    def test_partial(self):
+        assert completeness_ratio("A pays B", ["A", "7", "B"]) == 2 / 3
+        assert abs(omission_ratio("A pays B", ["A", "7", "B"]) - 1 / 3) < 1e-12
+
+    def test_empty_constant_set(self):
+        assert completeness_ratio("anything", []) == 1.0
+        assert omission_ratio("anything", []) == 0.0
+
+    def test_template_explanations_never_omit(self, figure8_explainer):
+        """The paper's structural claim: templates carry all constants by
+        construction (tokens), so omission is exactly zero."""
+        from repro.datalog.atoms import fact
+
+        for entity in ("A", "B", "C"):
+            target = fact("Default", entity)
+            explanation = figure8_explainer.explain(target, prefer_enhanced=False)
+            constants = figure8_explainer.proof_constants(target)
+            assert omission_ratio(explanation.text, constants) == 0.0

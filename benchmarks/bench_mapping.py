@@ -27,7 +27,7 @@ def test_figure8_chase_graph(benchmark):
 def test_example_4_7_mapping_and_4_8_text(benchmark):
     scenario = figures.figure8_instance()
     result = scenario.run()
-    explainer = Explainer(result, scenario.application.glossary)
+    explainer = Explainer(result, compiled=scenario.application.compile())
 
     explanation = once(
         benchmark, explainer.explain, fact("Default", "C"),
@@ -59,7 +59,7 @@ def test_section5_representative_scenario(benchmark):
     {Π, Γ, Γ} with a joint dual-channel final cycle."""
     scenario = figures.figure12_stress_instance()
     result = scenario.run()
-    explainer = Explainer(result, scenario.application.glossary)
+    explainer = Explainer(result, compiled=scenario.application.compile())
 
     explanation = once(benchmark, explainer.explain, scenario.target)
     emit(

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.apps import generators
-from repro.core import Explainer, ReportBuilder, completeness_ratio
+from repro.core import ExplanationService, ReportBuilder, completeness_ratio
 from repro.render import format_table
 
 from _harness import emit, once
@@ -21,11 +21,12 @@ CASCADE_HOPS = (2, 5, 8, 11)
 
 def test_full_cascade_reports(benchmark):
     def run_all():
+        service = ExplanationService()
         rows = []
         for hops in CASCADE_HOPS:
             scenario = generators.stress_cascade(hops, seed=1, debts_per_hop=2)
-            result = scenario.run()
-            explainer = Explainer(result, scenario.application.glossary)
+            session = service.session(scenario.application, scenario.database)
+            explainer = session.explainer
             started = time.perf_counter()
             report = ReportBuilder(explainer).build(prefer_enhanced=False)
             elapsed = time.perf_counter() - started

@@ -35,13 +35,26 @@ class KGApplication:
         """Run the once-per-application structural analysis."""
         return StructuralAnalysis(self.program)
 
+    def compile(self, llm=None, enhanced_versions: int = 1):
+        """The once-per-application compiled artifact (compile layer):
+        structural analysis + templates (+ optional enhancement), ready
+        to be bound to any number of reasoning results."""
+        from ..core.compiler import compile_program
+
+        return compile_program(
+            self.program, self.glossary, llm=llm,
+            enhanced_versions=enhanced_versions,
+        )
+
     def reason(self, facts: Database | Iterable[Fact]) -> ReasoningResult:
         """Materialize the application over an extensional database."""
         return reason(self.program, facts)
 
     def explainer(self, result: ReasoningResult, llm=None, **kwargs):
         """An :class:`~repro.core.explain.Explainer` wired to this
-        application's glossary — the usual next step after :meth:`reason`."""
+        application's glossary — the usual next step after :meth:`reason`.
+        Pass ``compiled=`` (from :meth:`compile`) to skip recompiling the
+        database-independent phase for every result."""
         from ..core.explain import Explainer
 
         return Explainer(result, self.glossary, llm=llm, **kwargs)

@@ -22,14 +22,20 @@ from __future__ import annotations
 import argparse
 import sys
 
+import os
+
 from .apps import (
     close_links, company_control, figures, generators, golden_powers,
     integrated_ownership, stress_test,
 )
 from .apps.base import ScenarioInstance
-from .core.explain import Explainer
+from .core.compiler import CompilationError
+from .core.service import ExplanationService
 from .core.structural import StructuralAnalysis
-from .io import load_facts, load_glossary, load_program, parse_fact
+from .io import (
+    load_facts, load_glossary, load_program, parse_fact,
+    save_compiled_program,
+)
 from .llm.simulated import SimulatedLLM
 from .render.dot import chase_graph_dot, dependency_graph_dot
 
@@ -112,7 +118,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--why-not", metavar="FACT", dest="why_not",
         help="explain why a fact was NOT derived, e.g. 'Control(A, D)'",
     )
+    parser.add_argument(
+        "--compiled-cache", metavar="FILE", dest="compiled_cache",
+        help=(
+            "warm-start artifact: load the compiled program from FILE when "
+            "present (skipping template enhancement), save it there after "
+            "compiling otherwise"
+        ),
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print service hit/miss/latency counters after the run",
+    )
     return parser
+
+
+def _make_service(args: argparse.Namespace) -> ExplanationService:
+    llm = None if args.deterministic else SimulatedLLM(
+        seed=args.seed, faithful=True
+    )
+    return ExplanationService(llm=llm)
+
+
+def _warm_start(service: ExplanationService, args, program, glossary) -> bool:
+    """Best-effort warm start from --compiled-cache (stale files recompile)."""
+    path = args.compiled_cache
+    if not path or not os.path.exists(path):
+        return False
+    try:
+        service.warm_start(path, program, glossary)
+        return True
+    except (CompilationError, KeyError, ValueError) as error:
+        print(f"ignoring stale compiled cache {path}: {error}", file=sys.stderr)
+        return False
+
+
+def _save_compiled(service: ExplanationService, args, compiled, loaded) -> None:
+    """Persist after a cold compile; also overwrites a stale artifact so
+    the cache heals instead of recompiling on every subsequent run."""
+    if args.compiled_cache and not loaded:
+        save_compiled_program(compiled, args.compiled_cache)
+
+
+def _print_metrics(service: ExplanationService, args) -> None:
+    if args.metrics:
+        import json as _json
+
+        print(_json.dumps(service.metrics_snapshot(), indent=2), file=sys.stderr)
 
 
 def _run_files(args: argparse.Namespace) -> int:
@@ -129,29 +181,25 @@ def _run_files(args: argparse.Namespace) -> int:
         print(dependency_graph_dot(DependencyGraph(program), name=program.name))
         return 0
 
-    from .engine.reasoning import reason
-
-    result = reason(program, database)
-    llm = None if args.deterministic else SimulatedLLM(seed=args.seed, faithful=True)
-    explainer = Explainer(result, glossary, llm=llm)
+    service = _make_service(args)
+    loaded = _warm_start(service, args, program, glossary)
+    session = service.session(program, database, glossary=glossary)
+    _save_compiled(service, args, session.compiled, loaded)
+    result = session.result
 
     if args.why_not:
-        from .core.whynot import WhyNotExplainer
-
-        answer = WhyNotExplainer(result, glossary).explain_why_not(
-            parse_fact(args.why_not)
-        )
+        answer = session.why_not(parse_fact(args.why_not))
         print(answer.text)
+        _print_metrics(service, args)
         return 0
 
     if args.report:
-        from .core.reports import ReportBuilder
-
         targets = [parse_fact(args.query)] if args.query else None
-        report = ReportBuilder(explainer).build(
+        report = session.report(
             targets=targets, prefer_enhanced=not args.deterministic
         )
         print(report.to_markdown())
+        _print_metrics(service, args)
         return 0
 
     for violation in result.violations:
@@ -168,14 +216,15 @@ def _run_files(args: argparse.Namespace) -> int:
         print("\nUse --query 'Fact(...)' or --query-all for explanations.")
         return 0
 
-    for target in targets:
-        explanation = explainer.explain(
-            target, prefer_enhanced=not args.deterministic
-        )
+    explanations = session.explain_batch(
+        targets, prefer_enhanced=not args.deterministic
+    )
+    for target, explanation in zip(targets, explanations):
         print(f"Q_e = {{{target}}}  "
               f"(paths: {', '.join(explanation.paths_used())})")
         print(explanation.text)
         print()
+    _print_metrics(service, args)
     return 0
 
 
@@ -194,14 +243,22 @@ def _run_analysis(name: str, dot: bool) -> None:
     print(f"termination: {termination_guarantee(application.program).value}")
 
 
-def _run_demo(scenario: ScenarioInstance, deterministic: bool, dot: bool) -> None:
-    result = scenario.run()
-    if dot:
-        print(chase_graph_dot(result.graph))
+def _run_demo(
+    scenario: ScenarioInstance, args: argparse.Namespace
+) -> None:
+    deterministic = args.deterministic
+    if args.dot:
+        print(chase_graph_dot(scenario.run().graph))
         return
     llm = None if deterministic else SimulatedLLM(seed=0, faithful=True)
-    explainer = Explainer(result, scenario.application.glossary, llm=llm)
-    explanation = explainer.explain(
+    service = ExplanationService(llm=llm)
+    application = scenario.application
+    loaded = _warm_start(
+        service, args, application.program, application.glossary
+    )
+    session = service.session(application, scenario.database)
+    _save_compiled(service, args, session.compiled, loaded)
+    explanation = session.explain(
         scenario.target, prefer_enhanced=not deterministic
     )
     print(f"Scenario: {scenario.description}")
@@ -209,6 +266,7 @@ def _run_demo(scenario: ScenarioInstance, deterministic: bool, dot: bool) -> Non
     print(f"Reasoning paths used: {', '.join(explanation.paths_used())}")
     print()
     print(explanation.text)
+    _print_metrics(service, args)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -221,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.demo:
         scenario = _DEMOS[args.demo](args)
-        _run_demo(scenario, args.deterministic, args.dot)
+        _run_demo(scenario, args)
         return 0
     parser.print_help()
     return 1

@@ -4,8 +4,27 @@ Pipeline (Figure 2 of the paper): structural analysis of the dependency
 graph → reasoning paths → deterministic explanation templates via the
 verbalizer and the domain glossary → optional LLM enhancement with a token
 guard → per-query mapping of chase steps to templates → token substitution.
+
+The pipeline is layered for production serving:
+
+* **compile layer** (:mod:`.compiler`) — database-independent work, once
+  per (program, glossary, enhancer) content hash;
+* **runtime layer** (:mod:`.explain`) — one compiled artifact bound to
+  one reasoning result, per-query mapping and instantiation;
+* **service layer** (:mod:`.service`) — compiled-program cache, shared
+  bounded explanation LRU, chase execution, batched serving, metrics.
 """
 
+from .cache import CacheStats, LRUCache
+from .compiler import (
+    CompilationError,
+    CompiledPipeline,
+    CompiledProgram,
+    CompileStats,
+    compilation_fingerprint,
+    compile_program,
+    program_key,
+)
 from .enhancer import (
     ENHANCEMENT_PROMPT,
     EnhancementReport,
@@ -33,6 +52,11 @@ from .validation import (
     omission_ratio,
     tokens_preserved,
 )
+from .service import (
+    ExplanationService,
+    ExplanationSession,
+    ServiceMetrics,
+)
 from .whynot import Obstacle, WhyNotAnswer, WhyNotExplainer
 from .verbalizer import (
     AGGREGATE_PHRASES,
@@ -45,11 +69,23 @@ from .verbalizer import (
 __all__ = [
     "AGGREGATE_PHRASES",
     "ENHANCEMENT_PROMPT",
+    "CacheStats",
+    "CompilationError",
+    "CompileStats",
+    "CompiledPipeline",
+    "CompiledProgram",
     "DomainGlossary",
     "EnhancementReport",
     "BusinessReport",
     "Explainer",
     "Explanation",
+    "ExplanationService",
+    "ExplanationSession",
+    "LRUCache",
+    "ServiceMetrics",
+    "compilation_fingerprint",
+    "compile_program",
+    "program_key",
     "ReportBuilder",
     "ReportSection",
     "ExplanationTemplate",

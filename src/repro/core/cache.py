@@ -1,0 +1,125 @@
+"""A small thread-safe bounded LRU cache with hit/miss accounting.
+
+The explanation stack is pure over frozen inputs, which makes caching
+safe — but the seed implementation cached in plain unbounded dicts, one
+per :class:`~repro.core.explain.Explainer`.  Under service traffic
+(many instances, many queries) that is a slow memory leak.  This module
+provides the shared bounded replacement used by the runtime and service
+layers: an ordinary ``OrderedDict``-based LRU guarded by a lock, with
+counters that feed the service metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+#: Default number of explanations kept per shared cache.  Explanations
+#: are small (text plus provenance records already held by the chase),
+#: so a few thousand entries are cheap; the bound is what matters.
+DEFAULT_EXPLANATION_CACHE_SIZE = 4096
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters describing a cache's lifetime behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    All operations are O(1) and thread-safe; ``get`` refreshes recency.
+    ``capacity <= 0`` disables storage entirely (every lookup misses),
+    which gives benchmarks a switch to measure uncached latency.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EXPLANATION_CACHE_SIZE):
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Mapping operations
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, creating (and storing) it on a miss.
+
+        The factory runs outside the lock: explanation generation can
+        take milliseconds and must not serialize unrelated lookups.  Two
+        racing threads may both compute; the first stored value wins and
+        both calls return an equivalent object (the pipeline is pure).
+        """
+        sentinel = object()
+        found = self.get(key, sentinel)
+        if found is not sentinel:
+            return found
+        created = factory()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        self.put(key, created)
+        return created
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(list(self._entries))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

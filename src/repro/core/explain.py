@@ -1,13 +1,15 @@
-"""The explanation facade: from explanation query to final text.
+"""The runtime layer: from explanation query to final text.
 
-Given a reasoning result and a domain glossary, :class:`Explainer` wires
-together the whole pipeline of the paper's Figure 2:
+The explanation stack is split in two, mirroring the paper's Figure 2:
 
-1. structural analysis of the program (once);
-2. template generation for every reasoning-path variant (once), optionally
-   LLM-enhanced with the token guard (once);
-3. per query Q_e = {fact}: derivation-spine extraction, greedy mapping of
-   chase steps to reasoning paths, template instantiation, concatenation.
+* the **compile layer** (:mod:`repro.core.compiler`) runs the
+  database-independent phase — structural analysis, template generation,
+  optional LLM enhancement — once per program, producing a
+  :class:`~repro.core.compiler.CompiledProgram`;
+* the **runtime layer** (this module) binds one compiled artifact to one
+  :class:`~repro.engine.reasoning.ReasoningResult` and answers per-query
+  work: derivation-spine extraction, greedy mapping of chase steps to
+  reasoning paths, template instantiation, concatenation.
 
 The result carries the text plus full metadata — which paths explained
 which steps, which constants were substituted — so that completeness can
@@ -18,22 +20,35 @@ explainer can recursively cover *side branches*: derived facts feeding the
 spine whose own stories are not on it (e.g. a second, independently
 shocked debtor).  This keeps explanations complete for arbitrary proof
 DAGs and is on by default.
+
+For the legacy one-shot call ``Explainer(result, glossary, llm=...)``
+still compiles on the fly; pass ``compiled=`` (or go through
+:class:`~repro.core.service.ExplanationService`) to reuse one artifact
+across many instances.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from itertools import count
 from typing import Sequence
 
 from ..datalog.atoms import Fact
 from ..engine.provenance import DerivationSpine
 from ..engine.reasoning import ReasoningResult
-from .enhancer import EnhancementReport, SupportsComplete, TemplateEnhancer
+from .cache import DEFAULT_EXPLANATION_CACHE_SIZE, LRUCache
+from .compiler import CompiledProgram, compile_program
+from .enhancer import EnhancementReport, SupportsComplete
 from .glossary import DomainGlossary
 from .mapping import SegmentMatch, TemplateMapper
 from .structural import StructuralAnalysis
 from .templates import InstantiatedExplanation, TemplateStore
 from .verbalizer import Verbalizer
+
+#: Distinguishes cache entries of different runtime bindings inside a
+#: shared LRU (two bindings may explain equal facts of different
+#: instances; ``id()`` is unsafe across garbage collection).
+_BINDING_IDS = count(1)
 
 
 @dataclass(frozen=True)
@@ -103,60 +118,80 @@ class Explanation:
 
 
 class Explainer:
-    """End-to-end template-based explanation generator for one reasoning
-    result (one deployed KG application over one instance)."""
+    """Per-instance runtime binding of a compiled program.
+
+    Binds one :class:`~repro.core.compiler.CompiledProgram` to one
+    reasoning result (one deployed KG application over one instance) and
+    serves explanation queries off it.  When no pre-compiled artifact is
+    supplied the constructor compiles on the fly, which keeps the
+    historical one-object API working — but then the compile work is paid
+    per instance; services should compile once and share.
+    """
 
     def __init__(
         self,
         result: ReasoningResult,
-        glossary: DomainGlossary,
+        glossary: DomainGlossary | None = None,
         llm: SupportsComplete | None = None,
         enhanced_versions: int = 1,
+        *,
+        compiled: CompiledProgram | None = None,
+        cache: LRUCache | None = None,
     ):
+        if compiled is None:
+            if glossary is None:
+                raise ValueError(
+                    "Explainer needs either a glossary (to compile on the "
+                    "fly) or a pre-compiled program"
+                )
+            compiled = compile_program(
+                result.program, glossary, llm=llm,
+                enhanced_versions=enhanced_versions,
+            )
+        elif compiled.program != result.program:
+            raise ValueError(
+                f"compiled program {compiled.program.name!r} does not match "
+                f"the reasoning result's program {result.program.name!r}"
+            )
+        self.compiled = compiled
         self.result = result
-        self.glossary = glossary
-        self.analysis = StructuralAnalysis(result.program)
-        self.store = TemplateStore(self.analysis, glossary)
-        self.mapper = TemplateMapper(self.analysis)
-        self.verbalizer = Verbalizer(glossary)
-        self.enhancement_report: EnhancementReport | None = None
-        self._llm = llm
-        self._enhanced_versions = enhanced_versions
-        # Pipelines for explanation queries on non-goal predicates (e.g.
-        # Q_e = {Risk(...)}) are built lazily, one per target predicate.
-        self._secondary: dict[str, tuple[TemplateStore, TemplateMapper]] = {}
+        self.glossary = compiled.glossary
+        self.verbalizer = compiled.verbalizer
         # Explanations are pure functions of (query, options) over the
         # frozen reasoning result: cache them for interactive drill-down.
-        self._cache: dict[tuple, Explanation] = {}
-        if llm is not None:
-            enhancer = TemplateEnhancer(llm)
-            self.enhancement_report = enhancer.enhance_store(
-                self.store, versions=enhanced_versions
-            )
+        # The cache is bounded and may be shared across bindings (the
+        # service layer passes one per-service LRU); the binding id keeps
+        # entries of different instances apart.
+        self._binding_id = next(_BINDING_IDS)
+        self._cache = (
+            cache if cache is not None
+            else LRUCache(DEFAULT_EXPLANATION_CACHE_SIZE)
+        )
+
+    # ------------------------------------------------------------------
+    # Compiled-artifact views (stable public surface)
+    # ------------------------------------------------------------------
+    @property
+    def analysis(self) -> StructuralAnalysis:
+        return self.compiled.analysis
+
+    @property
+    def store(self) -> TemplateStore:
+        return self.compiled.store
+
+    @property
+    def mapper(self) -> TemplateMapper:
+        return self.compiled.mapper
+
+    @property
+    def enhancement_report(self) -> EnhancementReport | None:
+        return self.compiled.enhancement_report
 
     def _pipeline_for(self, predicate: str) -> tuple[TemplateStore, TemplateMapper]:
-        """The (store, mapper) pair able to explain facts of ``predicate``.
-
-        Reasoning paths end at the leaf or at critical nodes; explanation
-        queries on other intensional predicates (interactive drill-down on
-        intermediate facts) re-run the database-independent analysis with
-        that predicate as the goal — cached per predicate.
-        """
-        goal = self.result.program.goal
-        if predicate == goal or predicate in self.analysis.critical_nodes:
-            return self.store, self.mapper
-        cached = self._secondary.get(predicate)
-        if cached is not None:
-            return cached
-        analysis = StructuralAnalysis(self.result.program.with_goal(predicate))
-        store = TemplateStore(analysis, self.glossary)
-        if self._llm is not None:
-            TemplateEnhancer(self._llm).enhance_store(
-                store, versions=self._enhanced_versions
-            )
-        pipeline = (store, TemplateMapper(analysis))
-        self._secondary[predicate] = pipeline
-        return pipeline
+        """The (store, mapper) pair able to explain facts of ``predicate``
+        (delegated to the compiled artifact, shared across bindings)."""
+        pipeline = self.compiled.pipeline_for(predicate)
+        return pipeline.store, pipeline.mapper
 
     # ------------------------------------------------------------------
     # Explanation queries
@@ -174,15 +209,17 @@ class Explainer:
         Results are cached per (query, options) — the reasoning result is
         frozen, so explanations are pure.
         """
-        key = (query, prefer_enhanced, variant_index, include_side_branches)
-        cached = self._cache.get(key)
-        if cached is None:
-            cached = self._explain(
+        key = (
+            self._binding_id, query, prefer_enhanced, variant_index,
+            include_side_branches,
+        )
+        return self._cache.get_or_create(
+            key,
+            lambda: self._explain(
                 query, prefer_enhanced, variant_index, include_side_branches,
                 visited=set(),
-            )
-            self._cache[key] = cached
-        return cached
+            ),
+        )
 
     def _explain(
         self,
@@ -293,7 +330,7 @@ class Explainer:
                 )
                 parts.append(story.text)
         witness_texts = ", and ".join(
-            self.verbalizer._ground_atom_text(witness)
+            self.verbalizer.ground_atom_text(witness)
             for witness in violation.witnesses
         )
         parts.append(

@@ -93,6 +93,13 @@ class ReportBuilder:
     def __init__(self, explainer: Explainer):
         self.explainer = explainer
 
+    @classmethod
+    def for_result(cls, compiled, result, cache=None) -> "ReportBuilder":
+        """A builder over a pre-compiled program bound to ``result`` —
+        the service-layer construction path (compile once, report on many
+        instances)."""
+        return cls(Explainer(result, compiled=compiled, cache=cache))
+
     def build(
         self,
         targets: Iterable[Fact] | None = None,

@@ -1,0 +1,366 @@
+"""The service layer: compiled-program cache, sessions, batched serving.
+
+An :class:`ExplanationService` is the long-lived, production-facing front
+of the explanation stack.  It owns
+
+* a bounded cache of :class:`~repro.core.compiler.CompiledProgram`
+  artifacts keyed by content hash — a program/glossary/enhancer triple is
+  compiled once for the service lifetime (warm starts can pre-seed the
+  cache from disk via :meth:`ExplanationService.warm_start`);
+* a shared bounded LRU of generated explanations spanning all sessions;
+* a thread pool serving :meth:`ExplanationSession.explain_batch`;
+* per-service hit/miss/latency counters (:class:`ServiceMetrics`).
+
+A *session* binds one compiled program to one database instance: the
+service runs the chase and returns an :class:`ExplanationSession` whose
+``explain``/``explain_batch``/``report``/``why_not`` calls serve queries
+against the materialized instance.
+
+Typical use::
+
+    service = ExplanationService(llm=SimulatedLLM(seed=0, faithful=True))
+    session = service.session(app, database)       # compiles once
+    texts = session.explain_batch(session.answers())
+    other = service.session(app, other_database)   # compile-cache hit
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from ..datalog.atoms import Fact
+from ..datalog.program import Program
+from ..engine.database import Database
+from ..engine.reasoning import ReasoningResult, reason
+from .cache import DEFAULT_EXPLANATION_CACHE_SIZE, LRUCache
+from .compiler import (
+    CompiledProgram,
+    compilation_fingerprint,
+    compile_program,
+)
+from .enhancer import SupportsComplete
+from .explain import Explainer, Explanation
+from .glossary import DomainGlossary
+from .reports import BusinessReport, ReportBuilder
+from .whynot import WhyNotAnswer, WhyNotExplainer
+
+_UNSET = object()
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency accumulators for one service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, list[float]] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample under ``name`` (count/total/max)."""
+        with self._lock:
+            bucket = self._timers.setdefault(name, [0.0, 0.0, 0.0])
+            bucket[0] += 1
+            bucket[1] += seconds
+            bucket[2] = max(bucket[2], seconds)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            timers = {
+                name: {
+                    "count": int(bucket[0]),
+                    "total_s": bucket[1],
+                    "mean_s": bucket[1] / bucket[0] if bucket[0] else 0.0,
+                    "max_s": bucket[2],
+                }
+                for name, bucket in self._timers.items()
+            }
+            return {"counters": dict(self._counters), "latency": timers}
+
+
+class _Timed:
+    """Context manager feeding one latency sample into the metrics."""
+
+    def __init__(self, metrics: ServiceMetrics, name: str):
+        self._metrics = metrics
+        self._name = name
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._metrics.observe(self._name, self.elapsed)
+
+
+class ExplanationSession:
+    """One compiled program bound to one materialized instance."""
+
+    def __init__(
+        self,
+        service: "ExplanationService",
+        compiled: CompiledProgram,
+        result: ReasoningResult,
+    ):
+        self.service = service
+        self.compiled = compiled
+        self.result = result
+        self.explainer = Explainer(
+            result, compiled=compiled, cache=service.explanation_cache
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def answers(self, predicate: str | None = None) -> tuple[Fact, ...]:
+        return self.result.answers(predicate)
+
+    def explain(self, query: Fact, **options) -> Explanation:
+        with _Timed(self.service.metrics, "explain"):
+            explanation = self.explainer.explain(query, **options)
+        self.service.metrics.incr("explanations")
+        return explanation
+
+    def explain_batch(
+        self, queries: Iterable[Fact], **options
+    ) -> list[Explanation]:
+        """Explain many queries, preserving input order.
+
+        Queries fan out over the service thread pool; the pipeline is
+        pure over the frozen result, segments share the compiled
+        artifact, and the explanation cache is a thread-safe LRU, so
+        concurrent generation is safe.  Provenance is forced up front —
+        it is shared state all workers would otherwise race to build.
+        """
+        chosen: Sequence[Fact] = list(queries)
+        if not chosen:
+            return []
+        self.result.provenance  # materialize the shared lazy view once
+        with _Timed(self.service.metrics, "explain_batch"):
+            if len(chosen) == 1 or self.service.max_workers <= 1:
+                explanations = [
+                    self.explainer.explain(query, **options)
+                    for query in chosen
+                ]
+            else:
+                pool = self.service._thread_pool()
+                explanations = list(
+                    pool.map(
+                        lambda query: self.explainer.explain(query, **options),
+                        chosen,
+                    )
+                )
+        self.service.metrics.incr("explanations", len(chosen))
+        return explanations
+
+    def report(self, **options) -> BusinessReport:
+        """A business report over this instance (see ReportBuilder)."""
+        with _Timed(self.service.metrics, "report"):
+            report = ReportBuilder(self.explainer).build(**options)
+        self.service.metrics.incr("reports")
+        return report
+
+    def why(self, query: Fact) -> str:
+        return self.explainer.why(query)
+
+    def why_not(self, query: Fact) -> WhyNotAnswer:
+        with _Timed(self.service.metrics, "why_not"):
+            answer = WhyNotExplainer(
+                self.result, self.compiled.glossary
+            ).explain_why_not(query)
+        self.service.metrics.incr("why_not")
+        return answer
+
+
+class ExplanationService:
+    """Serves explanation workloads off a compiled-program cache.
+
+    Parameters
+    ----------
+    llm:
+        Default template enhancer for compilations that do not pass one
+        explicitly (``None`` keeps templates deterministic).
+    enhanced_versions:
+        Interchangeable enhanced versions collected per template.
+    max_compiled_programs:
+        Bound of the compiled-artifact LRU.
+    explanation_cache_size:
+        Bound of the shared cross-session explanation LRU.
+    max_workers:
+        Thread-pool width for ``explain_batch`` (1 disables threading).
+    """
+
+    def __init__(
+        self,
+        llm: SupportsComplete | None = None,
+        enhanced_versions: int = 1,
+        max_compiled_programs: int = 32,
+        explanation_cache_size: int = DEFAULT_EXPLANATION_CACHE_SIZE,
+        max_workers: int = 4,
+    ):
+        self.llm = llm
+        self.enhanced_versions = enhanced_versions
+        self.max_workers = max_workers
+        self.metrics = ServiceMetrics()
+        self.compiled_cache = LRUCache(max_compiled_programs)
+        self.explanation_cache = LRUCache(explanation_cache_size)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Compile layer access
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        program: Program,
+        glossary: DomainGlossary,
+        llm: SupportsComplete | None = _UNSET,  # type: ignore[assignment]
+        enhanced_versions: int | None = None,
+    ) -> CompiledProgram:
+        """The compiled artifact for (program, glossary, enhancer).
+
+        Cache hits are free; misses run the database-independent phase
+        once and store the artifact under its content hash.
+        """
+        chosen_llm = self.llm if llm is _UNSET else llm
+        versions = (
+            self.enhanced_versions if enhanced_versions is None
+            else enhanced_versions
+        )
+        fingerprint = compilation_fingerprint(
+            program, glossary, chosen_llm, versions
+        )
+        cached = self.compiled_cache.get(fingerprint)
+        if cached is not None:
+            self.metrics.incr("compile_hits")
+            return cached
+        self.metrics.incr("compile_misses")
+        with _Timed(self.metrics, "compile"):
+            compiled = compile_program(
+                program, glossary, llm=chosen_llm, enhanced_versions=versions
+            )
+        self.compiled_cache.put(fingerprint, compiled)
+        return compiled
+
+    def install(self, compiled: CompiledProgram) -> CompiledProgram:
+        """Pre-seed the compile cache with an existing artifact (e.g. one
+        deserialized from disk); returns the artifact that is now cached."""
+        self.compiled_cache.put(compiled.fingerprint, compiled)
+        self.metrics.incr("compile_installed")
+        return compiled
+
+    def warm_start(
+        self, path, program: Program, glossary: DomainGlossary
+    ) -> CompiledProgram:
+        """Load a serialized compiled artifact and install it.
+
+        The artifact keeps its compile-time fingerprint, so a later
+        :meth:`compile` with the matching enhancer configuration hits the
+        cache and skips both analysis and enhancement.
+        """
+        from ..io import load_compiled_program
+
+        with _Timed(self.metrics, "warm_start"):
+            compiled = load_compiled_program(
+                path, program, glossary, llm=self.llm
+            )
+        return self.install(compiled)
+
+    # ------------------------------------------------------------------
+    # Workloads
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        application_or_program,
+        database: Database | Iterable[Fact],
+        glossary: DomainGlossary | None = None,
+        llm: SupportsComplete | None = _UNSET,  # type: ignore[assignment]
+        max_rounds: int = 10_000,
+        strategy: str = "naive",
+    ) -> ExplanationSession:
+        """Accept one (program, database) workload.
+
+        ``application_or_program`` is either a
+        :class:`~repro.apps.base.KGApplication` (its glossary is used) or
+        a bare :class:`~repro.datalog.program.Program` plus ``glossary``.
+        Compiles (or reuses) the artifact, runs the chase over
+        ``database`` and returns the bound session.
+        """
+        program, chosen_glossary = _unpack_application(
+            application_or_program, glossary
+        )
+        compiled = self.compile(program, chosen_glossary, llm=llm)
+        with _Timed(self.metrics, "chase"):
+            result = reason(
+                program, database, max_rounds=max_rounds, strategy=strategy
+            )
+        self.metrics.incr("sessions")
+        return ExplanationSession(self, compiled, result)
+
+    def bind(self, application_or_program, result: ReasoningResult,
+             glossary: DomainGlossary | None = None) -> ExplanationSession:
+        """A session over an already-materialized reasoning result."""
+        program, chosen_glossary = _unpack_application(
+            application_or_program, glossary
+        )
+        compiled = self.compile(program, chosen_glossary)
+        self.metrics.incr("sessions")
+        return ExplanationSession(self, compiled, result)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-explain",
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def metrics_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["compiled_cache"] = self.compiled_cache.stats.snapshot()
+        snapshot["explanation_cache"] = self.explanation_cache.stats.snapshot()
+        return snapshot
+
+
+def _unpack_application(
+    application_or_program, glossary: DomainGlossary | None
+) -> tuple[Program, DomainGlossary]:
+    program = getattr(application_or_program, "program", None)
+    if program is not None and glossary is None:
+        glossary = getattr(application_or_program, "glossary", None)
+    if program is None:
+        program = application_or_program
+    if glossary is None:
+        raise ValueError(
+            "a glossary is required (pass a KGApplication or an explicit "
+            "glossary argument)"
+        )
+    return program, glossary

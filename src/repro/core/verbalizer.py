@@ -284,7 +284,11 @@ class Verbalizer:
     # ------------------------------------------------------------------
     # Instance rendering (deterministic proof explanation)
     # ------------------------------------------------------------------
-    def _ground_atom_text(self, atom: Atom) -> str:
+    def ground_atom_text(self, atom: Atom) -> str:
+        """Render one ground atom through its glossary entry, constants
+        substituted — the sentence fragment every instance-level
+        verbalization (steps, proofs, violations, why-not obstacles)
+        builds on."""
         entry = self.glossary.entry(atom.predicate)
         token_of = {
             position: (
@@ -294,6 +298,9 @@ class Verbalizer:
             for position, term in enumerate(atom.terms)
         }
         return entry.render_atom(atom, token_of).rstrip(".")
+
+    # Backwards-compatible alias for the pre-service-layer private name.
+    _ground_atom_text = ground_atom_text
 
     def _ground_condition_text(
         self, condition: Comparison, record: ChaseStepRecord
@@ -328,11 +335,11 @@ class Verbalizer:
         This is the building block of the deterministic instance
         explanation used as the LLM baselines' input (Section 6.2).
         """
-        clauses = [self._ground_atom_text(parent) for parent in record.parents]
+        clauses = [self.ground_atom_text(parent) for parent in record.parents]
         for negated in record.rule.negated:
             grounded = apply_substitution_for_display(negated, record.binding)
             clauses.append(
-                "there is no record that " + self._ground_atom_text(grounded)
+                "there is no record that " + self.ground_atom_text(grounded)
             )
         for variable, expression in record.rule.assignments:
             if variable in record.binding:
@@ -357,7 +364,7 @@ class Verbalizer:
             total = render_constant(Constant(record.aggregate_value))  # type: ignore[arg-type]
             clauses.append(f"{total} is given by {phrase} {values}")
         body_text = ", and ".join(clauses)
-        head_text = self._ground_atom_text(record.fact)
+        head_text = self.ground_atom_text(record.fact)
         return f"Since {body_text}, then {head_text}."
 
     def proof_text(self, records: list[ChaseStepRecord]) -> str:

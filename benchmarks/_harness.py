@@ -31,3 +31,22 @@ def once(benchmark, function, *args, **kwargs):
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+def emit_stats(name, metrics, tracer=None, chase=None, meta=None):
+    """Write a run's observability stats document next to its artifact.
+
+    Benchmarks emit ``<name>_stats.json`` alongside their ``BENCH_*.json``
+    so every recorded measurement carries its trajectory context (per-rule
+    firing counts, cache hit rates, stage latency percentiles).
+    """
+    from repro import obs
+
+    document = obs.stats_document(
+        metrics, tracer=tracer, chase=chase, meta=meta
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}_stats.json"
+    obs.write_stats(document, path)
+    print(f"stats document: {path}")
+    return path

@@ -21,12 +21,13 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.apps import generators
 from repro.core import Explainer, ExplanationService, compile_program
 from repro.io import load_compiled_program, save_compiled_program
 from repro.llm import SimulatedLLM
 
-from _harness import RESULTS_DIR
+from _harness import RESULTS_DIR, emit_stats
 
 WORKLOADS = {
     "company_control": lambda: generators.control_with_steps(9, seed=3),
@@ -49,7 +50,7 @@ def _median_seconds(function, repeats):
     return statistics.median(samples)
 
 
-def _measure_workload(builder, repeats):
+def _measure_workload(builder, repeats, metrics):
     scenario = builder()
     application = scenario.application
     result = scenario.run()
@@ -62,7 +63,7 @@ def _measure_workload(builder, repeats):
         ),
         repeats,
     )
-    service = ExplanationService(llm=_llm())
+    service = ExplanationService(llm=_llm(), metrics=metrics)
     compiled = service.compile(application.program, application.glossary)
     warm_hit_s = _median_seconds(
         lambda: service.compile(application.program, application.glossary),
@@ -136,13 +137,25 @@ def _measure_workload(builder, repeats):
 def run(quick=False):
     repeats = 3 if quick else 9
     payload = {"quick": quick, "repeats": repeats, "workloads": {}}
-    for name, builder in WORKLOADS.items():
-        payload["workloads"][name] = _measure_workload(builder, repeats)
+    # Observe the whole run: service latency histograms, cache telemetry
+    # and ambient chase/compile counters land in one registry; the stats
+    # document is written alongside the measurement payload.
+    tracer = obs.Tracer()
+    metrics = obs.ServiceMetrics()
+    with obs.observed(tracer=tracer, metrics=metrics):
+        for name, builder in WORKLOADS.items():
+            payload["workloads"][name] = _measure_workload(
+                builder, repeats, metrics
+            )
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_service.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n===== BENCH_service ({path}) =====")
     print(json.dumps(payload, indent=2))
+    emit_stats(
+        "BENCH_service", metrics, tracer=tracer,
+        meta={"benchmark": "service_warm_start", "quick": quick},
+    )
     return payload
 
 

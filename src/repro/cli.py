@@ -15,22 +15,31 @@ Examples::
     # Bring your own application (program + facts + glossary files)
     repro-explain --program rules.vada --data portfolio.facts \\
                   --glossary dictionary.json --query "Control(A, C)"
+
+    # Observability: trace + stats document for a canonical workload
+    repro-explain explain --app company_control --trace t.jsonl --stats s.json
+
+    # The stats document (or Prometheus text) on stdout
+    repro-explain stats --app stress_test
+    repro-explain stats --app company_control --format prometheus
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import os
 
+from . import obs
 from .apps import (
     close_links, company_control, figures, generators, golden_powers,
     integrated_ownership, stress_test,
 )
 from .apps.base import ScenarioInstance
 from .core.compiler import CompilationError
-from .core.service import ExplanationService
+from .core.service import ExplanationService, ServiceMetrics
 from .core.structural import StructuralAnalysis
 from .io import (
     load_facts, load_glossary, load_program, parse_fact,
@@ -55,6 +64,61 @@ _DEMOS = {
     "chain": lambda args: generators.control_with_steps(args.steps, seed=args.seed),
     "cascade": lambda args: generators.stress_with_steps(args.steps, seed=args.seed),
 }
+
+#: Canonical ready-to-run workload per application, for the ``explain``
+#: and ``stats`` subcommands (``--app NAME``).
+_APP_SCENARIOS = {
+    "company_control": lambda args: figures.figure15_instance(),
+    "stress_test": lambda args: figures.figure12_stress_instance(),
+    "figure8": lambda args: figures.figure8_instance(),
+    "chain": lambda args: generators.control_with_steps(
+        args.steps, seed=args.seed
+    ),
+    "cascade": lambda args: generators.stress_with_steps(
+        args.steps, seed=args.seed
+    ),
+}
+
+_SUBCOMMANDS = ("explain", "stats")
+
+
+class _ObsRun:
+    """One observed CLI run: tracer + registry + the dump destinations.
+
+    The tracer is only enabled when an output asks for spans (``--trace``
+    or a stats document), so plain runs keep the no-op fast path.
+    """
+
+    def __init__(
+        self, trace_path=None, stats_path=None, force_tracing=False,
+        meta=None,
+    ):
+        self.trace_path = trace_path
+        self.stats_path = stats_path
+        self.tracer = obs.Tracer(
+            enabled=force_tracing or bool(trace_path or stats_path)
+        )
+        self.metrics = ServiceMetrics()
+        self.chase_stats = None
+        self.meta = dict(meta or {})
+
+    def observed(self):
+        return obs.observed(tracer=self.tracer, metrics=self.metrics)
+
+    def capture(self, session) -> None:
+        self.chase_stats = session.result.chase_result.stats
+
+    def document(self) -> dict:
+        return obs.stats_document(
+            self.metrics, tracer=self.tracer, chase=self.chase_stats,
+            meta=self.meta,
+        )
+
+    def dump(self) -> None:
+        if self.trace_path:
+            obs.write_trace(self.tracer, self.trace_path)
+        if self.stats_path:
+            obs.write_stats(self.document(), self.stats_path)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -130,14 +194,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print service hit/miss/latency counters after the run",
     )
+    _add_obs_arguments(parser)
     return parser
 
 
-def _make_service(args: argparse.Namespace) -> ExplanationService:
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSON-lines span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--stats", metavar="FILE", dest="stats_file",
+        help="write the structured stats document (counters, latency "
+             "percentiles, cache and chase telemetry) to FILE",
+    )
+
+
+def _make_service(
+    args: argparse.Namespace, run: _ObsRun | None = None
+) -> ExplanationService:
     llm = None if args.deterministic else SimulatedLLM(
         seed=args.seed, faithful=True
     )
-    return ExplanationService(llm=llm)
+    metrics = run.metrics if run is not None else None
+    return ExplanationService(llm=llm, metrics=metrics)
 
 
 def _warm_start(service: ExplanationService, args, program, glossary) -> bool:
@@ -167,7 +247,7 @@ def _print_metrics(service: ExplanationService, args) -> None:
         print(_json.dumps(service.metrics_snapshot(), indent=2), file=sys.stderr)
 
 
-def _run_files(args: argparse.Namespace) -> int:
+def _run_files(args: argparse.Namespace, run: _ObsRun) -> int:
     if not args.data or not args.glossary:
         print("--program requires --data and --glossary", file=sys.stderr)
         return 2
@@ -181,9 +261,10 @@ def _run_files(args: argparse.Namespace) -> int:
         print(dependency_graph_dot(DependencyGraph(program), name=program.name))
         return 0
 
-    service = _make_service(args)
+    service = _make_service(args, run)
     loaded = _warm_start(service, args, program, glossary)
     session = service.session(program, database, glossary=glossary)
+    run.capture(session)
     _save_compiled(service, args, session.compiled, loaded)
     result = session.result
 
@@ -244,19 +325,20 @@ def _run_analysis(name: str, dot: bool) -> None:
 
 
 def _run_demo(
-    scenario: ScenarioInstance, args: argparse.Namespace
+    scenario: ScenarioInstance, args: argparse.Namespace, run: _ObsRun
 ) -> None:
     deterministic = args.deterministic
     if args.dot:
         print(chase_graph_dot(scenario.run().graph))
         return
     llm = None if deterministic else SimulatedLLM(seed=0, faithful=True)
-    service = ExplanationService(llm=llm)
+    service = ExplanationService(llm=llm, metrics=run.metrics)
     application = scenario.application
     loaded = _warm_start(
         service, args, application.program, application.glossary
     )
     session = service.session(application, scenario.database)
+    run.capture(session)
     _save_compiled(service, args, session.compiled, loaded)
     explanation = session.explain(
         scenario.target, prefer_enhanced=not deterministic
@@ -269,18 +351,151 @@ def _run_demo(
     _print_metrics(service, args)
 
 
+# ----------------------------------------------------------------------
+# Subcommands (observability-first interface)
+# ----------------------------------------------------------------------
+
+def _build_subcommand_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explain",
+        description="Observability subcommands of the explanation service.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--app", required=True, choices=sorted(_APP_SCENARIOS),
+            help="canonical workload to run",
+        )
+        sub.add_argument(
+            "--steps", type=int, default=5,
+            help="proof length for generated workloads (chain/cascade)",
+        )
+        sub.add_argument("--seed", type=int, default=0, help="generator seed")
+        sub.add_argument(
+            "--deterministic", action="store_true",
+            help="skip template enhancement (no simulated LLM)",
+        )
+
+    explain = subparsers.add_parser(
+        "explain",
+        help="run a canonical workload and explain its derived facts",
+    )
+    add_workload_arguments(explain)
+    explain.add_argument(
+        "--query", metavar="FACT", help="explain one derived fact only"
+    )
+    explain.add_argument(
+        "--query-all", action="store_true",
+        help="explain every derived goal fact (default: the scenario target)",
+    )
+    explain.add_argument(
+        "--metrics", action="store_true",
+        help="print service hit/miss/latency counters after the run",
+    )
+    _add_obs_arguments(explain)
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="run a canonical workload and print its stats document",
+    )
+    add_workload_arguments(stats)
+    stats.add_argument(
+        "--format", choices=("json", "prometheus"), default="json",
+        help="stats rendering (default: json stats document)",
+    )
+    stats.add_argument(
+        "--output", metavar="FILE",
+        help="write the rendering to FILE instead of stdout",
+    )
+    _add_obs_arguments(stats)
+    return parser
+
+
+def _run_workload(args: argparse.Namespace, run: _ObsRun):
+    """Run one canonical ``--app`` workload under the observed context."""
+    scenario = _APP_SCENARIOS[args.app](args)
+    with run.observed():
+        service = _make_service(args, run)
+        session = service.session(scenario.application, scenario.database)
+        run.capture(session)
+        if getattr(args, "query", None):
+            targets = [parse_fact(args.query)]
+        elif getattr(args, "query_all", False) or args.command == "stats":
+            targets = list(session.answers())
+        else:
+            targets = [scenario.target]
+        explanations = session.explain_batch(
+            targets, prefer_enhanced=not args.deterministic
+        )
+    return scenario, service, targets, explanations
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    run = _ObsRun(
+        trace_path=args.trace, stats_path=args.stats_file,
+        meta={"command": "explain", "app": args.app},
+    )
+    scenario, service, targets, explanations = _run_workload(args, run)
+    print(f"Scenario: {scenario.description}")
+    for target, explanation in zip(targets, explanations):
+        print(f"Q_e = {{{target}}}  "
+              f"(paths: {', '.join(explanation.paths_used())})")
+        print(explanation.text)
+        print()
+    _print_metrics(service, args)
+    run.dump()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    run = _ObsRun(
+        trace_path=args.trace, stats_path=args.stats_file,
+        force_tracing=True, meta={"command": "stats", "app": args.app},
+    )
+    _run_workload(args, run)
+    run.dump()
+    if args.format == "prometheus":
+        rendering = obs.render_prometheus(run.metrics)
+    else:
+        rendering = json.dumps(run.document(), indent=2, default=str) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendering)
+    else:
+        sys.stdout.write(rendering)
+    return 0
+
+
+def _run_subcommand(argv: list[str]) -> int:
+    args = _build_subcommand_parser().parse_args(argv)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    return _cmd_stats(args)
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        return _run_subcommand(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.program:
-        return _run_files(args)
-    if args.analyse:
-        _run_analysis(args.analyse, args.dot)
-        return 0
-    if args.demo:
-        scenario = _DEMOS[args.demo](args)
-        _run_demo(scenario, args)
-        return 0
+    run = _ObsRun(trace_path=args.trace, stats_path=args.stats_file,
+                  meta={"command": "legacy", "argv": argv})
+    try:
+        if args.program:
+            with run.observed():
+                return _run_files(args, run)
+        if args.analyse:
+            _run_analysis(args.analyse, args.dot)
+            return 0
+        if args.demo:
+            scenario = _DEMOS[args.demo](args)
+            with run.observed():
+                _run_demo(scenario, args, run)
+            return 0
+    finally:
+        run.dump()
     parser.print_help()
     return 1
 

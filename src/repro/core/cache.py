@@ -92,22 +92,44 @@ class LRUCache:
         take milliseconds and must not serialize unrelated lookups.  Two
         racing threads may both compute; the first stored value wins and
         both calls return an equivalent object (the pipeline is pure).
+
+        Hit/miss accounting happens under the same lock as the lookup it
+        describes — one logical lookup, one counted outcome — and the
+        post-factory recheck and insert share a single critical section,
+        so a concurrent :meth:`snapshot` always sees counters consistent
+        with the entries.
         """
         sentinel = object()
-        found = self.get(key, sentinel)
+        found = self.get(key, sentinel)  # counts the hit/miss under lock
         if found is not sentinel:
             return found
         created = factory()
         with self._lock:
-            if key in self._entries:
+            existing = self._entries.get(key, sentinel)
+            if existing is not sentinel:
+                # A racing thread stored first; its value wins.  The miss
+                # was already counted for this logical lookup.
                 self._entries.move_to_end(key)
-                return self._entries[key]
-        self.put(key, created)
+                return existing
+            if self.capacity > 0:
+                self._entries[key] = created
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
         return created
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stats plus occupancy, read atomically under the cache lock
+        (the view the obs registry exports for each attached cache)."""
+        with self._lock:
+            data = self.stats.snapshot()
+            data["size"] = len(self._entries)
+            data["capacity"] = self.capacity
+            return data
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

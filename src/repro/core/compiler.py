@@ -31,6 +31,7 @@ import hashlib
 import threading
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..datalog.program import Program
 from .enhancer import EnhancementReport, SupportsComplete, TemplateEnhancer
 from .glossary import DomainGlossary
@@ -339,21 +340,32 @@ def _build_pipeline(
     stats: CompileStats,
     report: EnhancementReport | None = None,
 ) -> CompiledPipeline:
-    analysis = StructuralAnalysis(program)
+    with obs.span("compile.analysis", goal=program.goal) as analysis_span:
+        analysis = StructuralAnalysis(program)
+        # Path enumeration is lazy; force it here so the span covers it
+        # (and per-stage timing is not smeared into template building).
+        with obs.span("compile.paths", goal=program.goal):
+            paths = analysis.all_paths
+        analysis_span.set(paths=len(paths))
     stats.structural_analyses += 1
-    store = TemplateStore(analysis, glossary)
+    with obs.span("compile.verbalize", goal=program.goal) as store_span:
+        store = TemplateStore(analysis, glossary)
+        store_span.set(templates=len(store))
     stats.template_stores += 1
     if llm is not None:
         enhancer = TemplateEnhancer(llm)
-        if report is not None:
-            enhancer_report = enhancer.enhance_store(
-                store, versions=enhanced_versions
-            )
-            report.enhanced += enhancer_report.enhanced
-            report.rejected += enhancer_report.rejected
-            report.failures.extend(enhancer_report.failures)
-        else:
-            enhancer.enhance_store(store, versions=enhanced_versions)
+        with obs.span(
+            "compile.enhance", goal=program.goal, versions=enhanced_versions
+        ):
+            if report is not None:
+                enhancer_report = enhancer.enhance_store(
+                    store, versions=enhanced_versions
+                )
+                report.enhanced += enhancer_report.enhanced
+                report.rejected += enhancer_report.rejected
+                report.failures.extend(enhancer_report.failures)
+            else:
+                enhancer.enhance_store(store, versions=enhanced_versions)
         stats.enhancement_runs += 1
     assert program.goal is not None  # StructuralAnalysis guarantees it
     return CompiledPipeline(
@@ -380,9 +392,14 @@ def compile_program(
     report: EnhancementReport | None = None
     if llm is not None:
         report = EnhancementReport()
-    primary = _build_pipeline(
-        program, glossary, llm, enhanced_versions, stats, report
-    )
+    with obs.span(
+        "compile.program", program=program.name, goal=program.goal,
+        enhanced=llm is not None,
+    ):
+        primary = _build_pipeline(
+            program, glossary, llm, enhanced_versions, stats, report
+        )
+    obs.incr("compile.programs")
     return CompiledProgram(
         program=program,
         glossary=glossary,

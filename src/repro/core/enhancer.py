@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from .. import obs
 from .templates import ExplanationTemplate, TemplateStore
 from .validation import missing_tokens
 
@@ -63,17 +64,23 @@ class TemplateEnhancer:
         """
         original = template.deterministic_text
         for _ in range(self.max_attempts):
+            obs.incr("llm.enhance_attempts")
             candidate = self.llm.complete(ENHANCEMENT_PROMPT + original)
             missing = missing_tokens(original, candidate)
             if not missing:
                 template.add_enhanced(candidate)
+                obs.incr("llm.enhanced_templates")
                 if report is not None:
                     report.enhanced += 1
                 return True
+            # Token guard tripped (Section 4.4): count the retry so the
+            # stats document shows how hard the model fought the guard.
+            obs.incr("llm.enhance_rejections")
             if report is not None:
                 report.record_rejection(
                     template.path.name or str(template.path.labels), missing
                 )
+        obs.incr("llm.enhance_gave_up")
         return False
 
     def enhance_store(

@@ -31,10 +31,16 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..datalog.atoms import Fact
 from ..datalog.program import Program
 from ..engine.database import Database
 from ..engine.reasoning import ReasoningResult, reason
+
+# Deprecation alias: the historical service-metrics surface now lives in
+# the observability layer (repro.obs.metrics) backed by the registry;
+# import from there going forward.
+from ..obs.metrics import ServiceMetrics
 from .cache import DEFAULT_EXPLANATION_CACHE_SIZE, LRUCache
 from .compiler import (
     CompiledProgram,
@@ -50,46 +56,9 @@ from .whynot import WhyNotAnswer, WhyNotExplainer
 _UNSET = object()
 
 
-class ServiceMetrics:
-    """Thread-safe counters and latency accumulators for one service."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
-        self._timers: dict[str, list[float]] = {}
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
-
-    def observe(self, name: str, seconds: float) -> None:
-        """Record one latency sample under ``name`` (count/total/max)."""
-        with self._lock:
-            bucket = self._timers.setdefault(name, [0.0, 0.0, 0.0])
-            bucket[0] += 1
-            bucket[1] += seconds
-            bucket[2] = max(bucket[2], seconds)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            timers = {
-                name: {
-                    "count": int(bucket[0]),
-                    "total_s": bucket[1],
-                    "mean_s": bucket[1] / bucket[0] if bucket[0] else 0.0,
-                    "max_s": bucket[2],
-                }
-                for name, bucket in self._timers.items()
-            }
-            return {"counters": dict(self._counters), "latency": timers}
-
-
 class _Timed:
-    """Context manager feeding one latency sample into the metrics."""
+    """Context manager feeding one latency sample into the metrics and
+    one ``service.<name>`` span into the ambient tracer."""
 
     def __init__(self, metrics: ServiceMetrics, name: str):
         self._metrics = metrics
@@ -97,11 +66,14 @@ class _Timed:
         self.elapsed = 0.0
 
     def __enter__(self) -> "_Timed":
+        self._span = obs.span(f"service.{self._name}")
+        self._span.__enter__()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.elapsed = time.perf_counter() - self._start
+        self._span.__exit__(*exc_info)
         self._metrics.observe(self._name, self.elapsed)
 
 
@@ -148,21 +120,42 @@ class ExplanationSession:
         if not chosen:
             return []
         self.result.provenance  # materialize the shared lazy view once
-        with _Timed(self.service.metrics, "explain_batch"):
+        metrics = self.service.metrics
+        with _Timed(metrics, "explain_batch") as timed:
             if len(chosen) == 1 or self.service.max_workers <= 1:
                 explanations = [
                     self.explainer.explain(query, **options)
                     for query in chosen
                 ]
             else:
-                pool = self.service._thread_pool()
-                explanations = list(
-                    pool.map(
-                        lambda query: self.explainer.explain(query, **options),
-                        chosen,
+                tracer = obs.get_tracer()
+                batch_span = tracer.current()
+
+                def run_one(query: Fact, submitted: float) -> Explanation:
+                    # Queue wait (submit -> worker pickup) vs. execution
+                    # time, per worker task: the two numbers that say
+                    # whether a slow batch is under-provisioned (wait
+                    # dominates) or generation-bound (execute dominates).
+                    started = time.perf_counter()
+                    metrics.observe("explain_queue_wait", started - submitted)
+                    with tracer.span(
+                        "service.explain_task", parent=batch_span,
+                        query=str(query),
+                    ):
+                        explanation = self.explainer.explain(query, **options)
+                    metrics.observe(
+                        "explain_execute", time.perf_counter() - started
                     )
-                )
-        self.service.metrics.incr("explanations", len(chosen))
+                    return explanation
+
+                pool = self.service._thread_pool()
+                futures = [
+                    pool.submit(run_one, query, time.perf_counter())
+                    for query in chosen
+                ]
+                explanations = [future.result() for future in futures]
+        metrics.incr("explanations", len(chosen))
+        metrics.observe("explain_batch_size", len(chosen))
         return explanations
 
     def report(self, **options) -> BusinessReport:
@@ -200,6 +193,11 @@ class ExplanationService:
         Bound of the shared cross-session explanation LRU.
     max_workers:
         Thread-pool width for ``explain_batch`` (1 disables threading).
+    metrics:
+        The :class:`~repro.obs.metrics.ServiceMetrics` registry to report
+        into; pass one to pool service telemetry with ambient chase and
+        compile counters in a single stats document.  A fresh registry is
+        created when omitted.
     """
 
     def __init__(
@@ -209,13 +207,16 @@ class ExplanationService:
         max_compiled_programs: int = 32,
         explanation_cache_size: int = DEFAULT_EXPLANATION_CACHE_SIZE,
         max_workers: int = 4,
+        metrics: ServiceMetrics | None = None,
     ):
         self.llm = llm
         self.enhanced_versions = enhanced_versions
         self.max_workers = max_workers
-        self.metrics = ServiceMetrics()
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.compiled_cache = LRUCache(max_compiled_programs)
         self.explanation_cache = LRUCache(explanation_cache_size)
+        self.metrics.register_cache("compiled_cache", self.compiled_cache)
+        self.metrics.register_cache("explanation_cache", self.explanation_cache)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 

@@ -35,6 +35,7 @@ from functools import cached_property
 from itertools import chain, combinations, product
 from typing import Iterator, Sequence
 
+from .. import obs
 from ..datalog.depgraph import DependencyGraph
 from ..datalog.errors import DatalogError
 from ..datalog.program import Program
@@ -97,7 +98,8 @@ class StructuralAnalysis:
                 "structural analysis (the dependency-graph leaf)"
             )
         self.program = program
-        self.graph = DependencyGraph(program)
+        with obs.span("compile.depgraph", program=program.name):
+            self.graph = DependencyGraph(program)
         self.max_paths = max_paths
 
     # ------------------------------------------------------------------

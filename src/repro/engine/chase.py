@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
+from .. import obs
 from ..datalog.atoms import Atom, Fact
 from ..datalog.conditions import Comparison, evaluate_expression
 from ..datalog.errors import DatalogError, EvaluationError
@@ -116,6 +117,50 @@ class ChaseStepRecord:
 
 
 @dataclass
+class ChaseStats:
+    """Aggregated behaviour of one chase run, for reports and tests.
+
+    Everything here is derivable from the trace, but reports and
+    regression tests want to assert on chase behaviour (how many rounds,
+    which rules fired how often, what got deduplicated) without parsing
+    span dumps.  Maintained inline by the engine — plain dict updates,
+    cheap enough for the hot loop.
+    """
+
+    rounds: int = 0
+    strata: int = 0
+    rule_firings: dict[str, int] = field(default_factory=dict)
+    facts_by_predicate: dict[str, int] = field(default_factory=dict)
+    facts_derived: int = 0
+    facts_deduplicated: int = 0
+    constraint_checks: int = 0
+    violations: int = 0
+    rounds_per_stratum: list[int] = field(default_factory=list)
+    delta_sizes: list[int] = field(default_factory=list)
+
+    def record_firing(self, rule_label: str, predicate: str) -> None:
+        self.rule_firings[rule_label] = self.rule_firings.get(rule_label, 0) + 1
+        self.facts_by_predicate[predicate] = (
+            self.facts_by_predicate.get(predicate, 0) + 1
+        )
+        self.facts_derived += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "strata": self.strata,
+            "rule_firings": dict(sorted(self.rule_firings.items())),
+            "facts_by_predicate": dict(sorted(self.facts_by_predicate.items())),
+            "facts_derived": self.facts_derived,
+            "facts_deduplicated": self.facts_deduplicated,
+            "constraint_checks": self.constraint_checks,
+            "violations": self.violations,
+            "rounds_per_stratum": list(self.rounds_per_stratum),
+            "delta_sizes": list(self.delta_sizes),
+        }
+
+
+@dataclass
 class ChaseResult:
     """Outcome of a chase run: the materialized instance plus provenance."""
 
@@ -126,6 +171,7 @@ class ChaseResult:
     superseded: set[Fact] = field(default_factory=set)
     violations: list[ConstraintViolation] = field(default_factory=list)
     rounds: int = 0
+    stats: ChaseStats = field(default_factory=ChaseStats)
 
     # ------------------------------------------------------------------
     # Queries over the materialized instance
@@ -211,14 +257,52 @@ class ChaseEngine:
         else:
             rule_groups = (program.rules,)
 
-        total_rounds = 0
-        for rules in rule_groups:
-            total_rounds += self._run_stratum(
-                rules, result, nulls, aggregate_state, total_rounds
+        stats = result.stats
+        with obs.span(
+            "chase.run", program=program.name, strategy=self.strategy
+        ) as run_span:
+            total_rounds = 0
+            for stratum_index, rules in enumerate(rule_groups):
+                with obs.span(
+                    "chase.stratum", stratum=stratum_index, rules=len(rules)
+                ) as stratum_span:
+                    stratum_rounds = self._run_stratum(
+                        rules, result, nulls, aggregate_state, total_rounds
+                    )
+                    stratum_span.set(rounds=stratum_rounds)
+                stats.rounds_per_stratum.append(stratum_rounds)
+                total_rounds += stratum_rounds
+            result.rounds = total_rounds
+            stats.rounds = total_rounds
+            stats.strata = len(rule_groups)
+            with obs.span(
+                "chase.constraints", constraints=len(program.constraints)
+            ):
+                self._check_constraints(program, result)
+            stats.violations = len(result.violations)
+            run_span.set(
+                rounds=total_rounds,
+                facts_derived=stats.facts_derived,
+                violations=stats.violations,
             )
-        result.rounds = total_rounds
-        self._check_constraints(program, result)
+        self._flush_metrics(stats)
         return result
+
+    @staticmethod
+    def _flush_metrics(stats: ChaseStats) -> None:
+        """Publish one run's aggregate counts to the ambient registry.
+
+        Flushed once per run (not per fact) so the hot loop only touches
+        the lock-free :class:`ChaseStats` dicts.
+        """
+        obs.incr("chase.runs")
+        obs.incr("chase.facts_derived", stats.facts_derived)
+        obs.incr("chase.facts_deduplicated", stats.facts_deduplicated)
+        obs.incr("chase.constraint_checks", stats.constraint_checks)
+        obs.incr("chase.constraint_violations", stats.violations)
+        for label, firings in stats.rule_firings.items():
+            obs.incr(f"chase.firings.{label}", firings)
+        obs.observe("chase.rounds", stats.rounds)
 
     def _run_stratum(
         self,
@@ -286,6 +370,7 @@ class ChaseEngine:
                         delta=None if round_number == 1 else delta,
                     )
             new_records = result.records[before:]
+            result.stats.delta_sizes.append(len(new_records))
             if not new_records:
                 return round_number
             delta = frozenset(record.fact for record in new_records)
@@ -300,6 +385,7 @@ class ChaseEngine:
     def _check_constraints(self, program: Program, result: ChaseResult) -> None:
         exclude = frozenset(result.superseded)
         for constraint in program.constraints:
+            result.stats.constraint_checks += 1
             for binding, used in self._match_conjunction(
                 constraint.body, constraint.conditions, constraint.negated,
                 result, exclude,
@@ -429,6 +515,9 @@ class ChaseEngine:
                 )
                 result.records.append(record)
                 result.derivation[derived] = record
+                result.stats.record_firing(rule.label, derived.predicate)
+            else:
+                result.stats.facts_deduplicated += 1
         return changed
 
     # ------------------------------------------------------------------
@@ -499,11 +588,14 @@ class ChaseEngine:
                 )
                 result.records.append(record)
                 result.derivation[derived] = record
+                result.stats.record_firing(rule.label, derived.predicate)
                 # Monotonic supersession: the refreshed aggregate replaces
                 # the stale value for future rule applications.
                 if previous is not None and previous != derived:
                     result.superseded.add(previous)
                 aggregate_state[state_key] = derived
+            else:
+                result.stats.facts_deduplicated += 1
         return changed
 
     @staticmethod

@@ -1,0 +1,119 @@
+"""``repro.obs`` — unified tracing, metrics and profiling.
+
+The observability layer the rest of the system reports into:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer (monotonic clock,
+  parent/child nesting, shared no-op span when disabled);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with p50/p95/p99 summaries, plus cache telemetry;
+* :mod:`repro.obs.export` — JSON-lines traces, the stats document and
+  Prometheus text;
+* :mod:`repro.obs.log` — structured key=value logging bridge.
+
+Instrumented modules (chase engine, compiler, enhancer, service) do not
+take tracer/registry parameters; they report to the **ambient** pair
+installed with :func:`observed`::
+
+    tracer, registry = Tracer(), MetricsRegistry()
+    with observed(tracer=tracer, metrics=registry):
+        session = service.session(app, database)   # spans + counters land
+    write_trace(tracer, "run.jsonl")
+
+Outside an ``observed`` block the ambient tracer is permanently disabled
+(every ``span()`` returns the shared no-op object) and counters go to a
+process-default registry — both cheap enough to leave the call sites in
+hot paths unconditionally.  The ambient pair is process-global on
+purpose: thread-pool workers spawned inside an observed region report to
+the same sinks as the thread that installed it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .export import (
+    STATS_DOCUMENT_KEYS,
+    STATS_FORMAT,
+    TRACE_FORMAT,
+    parse_trace_jsonl,
+    render_prometheus,
+    span_aggregate,
+    span_tree,
+    stats_document,
+    trace_jsonl,
+    write_stats,
+    write_trace,
+)
+from .log import configure, get_logger, install_span_logging, kv_line, log_event
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    ServiceMetrics,
+)
+from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS", "DEFAULT_REGISTRY", "Histogram", "MetricsRegistry",
+    "NULL_SPAN", "NULL_TRACER", "STATS_DOCUMENT_KEYS", "STATS_FORMAT",
+    "ServiceMetrics", "Span", "TRACE_FORMAT", "Tracer", "configure",
+    "get_logger", "get_metrics", "get_tracer", "incr", "install_span_logging",
+    "kv_line", "log_event", "observe", "observed", "parse_trace_jsonl",
+    "render_prometheus", "set_gauge", "span", "span_aggregate", "span_tree",
+    "stats_document", "trace_jsonl", "write_stats", "write_trace",
+]
+
+_active_tracer: Tracer = NULL_TRACER
+_active_metrics: MetricsRegistry = DEFAULT_REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The ambient tracer (disabled no-op outside ``observed`` blocks)."""
+    return _active_tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient metrics registry."""
+    return _active_metrics
+
+
+def span(name: str, **attrs):
+    """Open a span on the ambient tracer (no-op when tracing is off)."""
+    return _active_tracer.span(name, **attrs)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment a counter on the ambient registry."""
+    _active_metrics.increment(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the ambient registry."""
+    _active_metrics.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the ambient registry."""
+    _active_metrics.set_gauge(name, value)
+
+
+@contextmanager
+def observed(
+    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+):
+    """Install an ambient tracer/registry pair for the enclosed work.
+
+    Either side may be omitted to keep the current one.  The previous
+    pair is restored on exit, so observed regions nest.
+    """
+    global _active_tracer, _active_metrics
+    previous = (_active_tracer, _active_metrics)
+    if tracer is not None:
+        _active_tracer = tracer
+    if metrics is not None:
+        _active_metrics = metrics
+    try:
+        yield (_active_tracer, _active_metrics)
+    finally:
+        _active_tracer, _active_metrics = previous

@@ -1,0 +1,102 @@
+"""The structured logging bridge.
+
+Telemetry wants machine-readable key=value lines, not prose.  This
+module renders events as ``event key=value ...`` lines through the
+stdlib :mod:`logging` machinery (so deployments keep their handlers,
+levels and routing) and can mirror finished tracer spans into the log
+stream for environments where a log pipeline is the only sink available.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from .trace import Span, Tracer
+
+#: Root logger of the observability layer.
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    return logging.getLogger(
+        LOGGER_NAME if name is None else f"{LOGGER_NAME}.{name}"
+    )
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6f}"
+    else:
+        text = str(value)
+    if " " in text or '"' in text or "=" in text:
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def kv_line(event: str, fields: dict[str, Any] | None = None) -> str:
+    """Render one structured event: ``event key=value key=value ...``.
+
+    Values containing spaces, quotes or ``=`` are double-quoted with
+    embedded quotes escaped, so the line splits unambiguously.
+    """
+    parts = [event]
+    for key, value in (fields or {}).items():
+        parts.append(f"{key}={_format_value(value)}")
+    return " ".join(parts)
+
+
+def log_event(
+    event: str,
+    fields: dict[str, Any] | None = None,
+    logger: logging.Logger | None = None,
+    level: int = logging.INFO,
+) -> None:
+    """Emit one structured event line through the logging machinery."""
+    (logger or get_logger()).log(level, "%s", kv_line(event, fields))
+
+
+def span_log_fields(span: Span) -> dict[str, Any]:
+    fields: dict[str, Any] = {
+        "span": span.name,
+        "id": span.span_id,
+        "duration_s": span.duration_s,
+    }
+    if span.parent_id is not None:
+        fields["parent"] = span.parent_id
+    fields.update(span.attrs)
+    return fields
+
+
+def install_span_logging(
+    tracer: Tracer,
+    logger: logging.Logger | None = None,
+    level: int = logging.DEBUG,
+) -> Tracer:
+    """Mirror every finished span of ``tracer`` into the log stream.
+
+    Sets the tracer's ``on_close`` hook; returns the tracer for
+    chaining.  Spans log at DEBUG by default — they are high-volume.
+    """
+    target = logger or get_logger("trace")
+
+    def emit(span: Span) -> None:
+        target.log(level, "%s", kv_line("span.close", span_log_fields(span)))
+
+    tracer.on_close = emit
+    return tracer
+
+
+def configure(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Opinionated default setup for CLI runs: one stream handler with a
+    timestamped structured-friendly format on the ``repro`` logger."""
+    logger = get_logger()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s %(message)s")
+    )
+    logger.handlers = [handler]
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

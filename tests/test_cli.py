@@ -1,8 +1,11 @@
 """Tests for the repro-explain command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import STATS_DOCUMENT_KEYS, parse_trace_jsonl, span_tree
 
 
 class TestAnalyse:
@@ -53,3 +56,91 @@ class TestHelp:
     def test_no_arguments_prints_help(self, capsys):
         assert main([]) == 1
         assert "repro-explain" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_explain_subcommand_trace_and_stats(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        stats_path = tmp_path / "stats.json"
+        assert main([
+            "explain", "--app", "company_control",
+            "--trace", str(trace_path), "--stats", str(stats_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Q_e" in output
+
+        spans = parse_trace_jsonl(trace_path.read_text(encoding="utf-8"))
+        names = {span["name"] for span in spans}
+        assert any(name.startswith("chase.") for name in names)
+        assert any(name.startswith("compile.") for name in names)
+        by_name = {span["name"]: span for span in spans}
+        # chase.stratum nests under chase.run; the chase nests under the
+        # service.chase timer span.
+        assert (by_name["chase.stratum"]["parent"]
+                == by_name["chase.run"]["id"])
+        assert (by_name["chase.run"]["parent"]
+                == by_name["service.chase"]["id"])
+        assert span_tree(spans)  # reconstructs without orphan errors
+
+        document = json.loads(stats_path.read_text(encoding="utf-8"))
+        for key in STATS_DOCUMENT_KEYS:
+            assert key in document
+        assert document["chase"]["rule_firings"]
+        assert sum(document["chase"]["rule_firings"].values()) > 0
+        assert "hit_rate" in document["caches"]["explanation_cache"]
+        assert "p50" in document["histograms"]["explain_batch"]
+        assert document["counters"]["chase.runs"] == 1
+
+    def test_explain_subcommand_without_obs_flags(self, capsys):
+        assert main(["explain", "--app", "figure8",
+                     "--deterministic"]) == 0
+        assert "Q_e = {Default(C)}" in capsys.readouterr().out
+
+    def test_stats_subcommand_json(self, capsys):
+        assert main(["stats", "--app", "company_control"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        for key in STATS_DOCUMENT_KEYS:
+            assert key in document
+        assert document["spans"]  # stats forces tracing on
+        assert document["chase"]["rounds"] >= 1
+
+    def test_stats_subcommand_prometheus(self, capsys):
+        assert main(["stats", "--app", "figure8",
+                     "--format", "prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "repro_chase_runs 1" in text
+        assert "# TYPE" in text
+        assert 'quantile="0.95"' in text
+
+    def test_stats_subcommand_output_file(self, tmp_path):
+        output = tmp_path / "doc.json"
+        assert main(["stats", "--app", "figure8",
+                     "--output", str(output)]) == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["format"] == "repro-stats/1"
+
+    def test_legacy_flags_accept_obs_arguments(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        stats_path = tmp_path / "stats.json"
+        assert main([
+            "--demo", "figure8",
+            "--trace", str(trace_path), "--stats", str(stats_path),
+        ]) == 0
+        spans = parse_trace_jsonl(trace_path.read_text(encoding="utf-8"))
+        assert {span["name"] for span in spans} >= {
+            "chase.run", "service.explain",
+        }
+        document = json.loads(stats_path.read_text(encoding="utf-8"))
+        assert document["counters"]["explanations"] == 1
+
+    def test_instrumented_output_matches_uninstrumented(self, capsys, tmp_path):
+        """Tracing must not change what the pipeline produces."""
+        assert main(["explain", "--app", "company_control", "--query-all"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "explain", "--app", "company_control", "--query-all",
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--stats", str(tmp_path / "s.json"),
+        ]) == 0
+        traced = capsys.readouterr().out
+        assert traced == plain

@@ -47,6 +47,7 @@ from .io import (
 )
 from .llm.simulated import SimulatedLLM
 from .render.dot import chase_graph_dot, dependency_graph_dot
+from .resilience.faults import FaultInjectingLLM, FaultSpecError
 
 _APPLICATIONS = {
     "company_control": company_control.build,
@@ -194,8 +195,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print service hit/miss/latency counters after the run",
     )
+    _add_resilience_arguments(parser)
     _add_obs_arguments(parser)
     return parser
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC", dest="inject_faults",
+        help=(
+            "wrap the enhancement LLM in a seeded fault injector; SPEC is "
+            "comma-separated directives, e.g. 'transient:3', 'rate:0.3', "
+            "'slow:5:0.2,drop:2' (see README, Fault tolerance)"
+        ),
+    )
+    parser.add_argument(
+        "--strategy", choices=("naive", "semi-naive"), default="naive",
+        help=(
+            "chase evaluation strategy (semi-naive is faster on recursive "
+            "workloads; default: naive)"
+        ),
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -216,6 +236,16 @@ def _make_service(
     llm = None if args.deterministic else SimulatedLLM(
         seed=args.seed, faithful=True
     )
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        # Fault injection exercises the enhancement path even under
+        # --deterministic (which otherwise skips the LLM entirely): the
+        # point of the flag is to drive retries/fallbacks, and the seeded
+        # schedule keeps the run reproducible either way.
+        inner = llm if llm is not None else SimulatedLLM(
+            seed=args.seed, faithful=True
+        )
+        llm = FaultInjectingLLM(inner, spec, seed=args.seed)
     metrics = run.metrics if run is not None else None
     return ExplanationService(llm=llm, metrics=metrics)
 
@@ -263,7 +293,9 @@ def _run_files(args: argparse.Namespace, run: _ObsRun) -> int:
 
     service = _make_service(args, run)
     loaded = _warm_start(service, args, program, glossary)
-    session = service.session(program, database, glossary=glossary)
+    session = service.session(
+        program, database, glossary=glossary, strategy=args.strategy
+    )
     run.capture(session)
     _save_compiled(service, args, session.compiled, loaded)
     result = session.result
@@ -331,13 +363,14 @@ def _run_demo(
     if args.dot:
         print(chase_graph_dot(scenario.run().graph))
         return
-    llm = None if deterministic else SimulatedLLM(seed=0, faithful=True)
-    service = ExplanationService(llm=llm, metrics=run.metrics)
+    service = _make_service(args, run)
     application = scenario.application
     loaded = _warm_start(
         service, args, application.program, application.glossary
     )
-    session = service.session(application, scenario.database)
+    session = service.session(
+        application, scenario.database, strategy=args.strategy
+    )
     run.capture(session)
     _save_compiled(service, args, session.compiled, loaded)
     explanation = session.explain(
@@ -376,6 +409,7 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
             "--deterministic", action="store_true",
             help="skip template enhancement (no simulated LLM)",
         )
+        _add_resilience_arguments(sub)
 
     explain = subparsers.add_parser(
         "explain",
@@ -417,7 +451,9 @@ def _run_workload(args: argparse.Namespace, run: _ObsRun):
     scenario = _APP_SCENARIOS[args.app](args)
     with run.observed():
         service = _make_service(args, run)
-        session = service.session(scenario.application, scenario.database)
+        session = service.session(
+            scenario.application, scenario.database, strategy=args.strategy
+        )
         run.capture(session)
         if getattr(args, "query", None):
             targets = [parse_fact(args.query)]
@@ -469,9 +505,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _run_subcommand(argv: list[str]) -> int:
     args = _build_subcommand_parser().parse_args(argv)
-    if args.command == "explain":
-        return _cmd_explain(args)
-    return _cmd_stats(args)
+    try:
+        if args.command == "explain":
+            return _cmd_explain(args)
+        return _cmd_stats(args)
+    except FaultSpecError as error:
+        print(f"invalid --inject-faults spec: {error}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -494,6 +534,9 @@ def main(argv: list[str] | None = None) -> int:
             with run.observed():
                 _run_demo(scenario, args, run)
             return 0
+    except FaultSpecError as error:
+        print(f"invalid --inject-faults spec: {error}", file=sys.stderr)
+        return 2
     finally:
         run.dump()
     parser.print_help()

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .. import obs
@@ -41,6 +43,7 @@ from ..engine.reasoning import ReasoningResult, reason
 # the observability layer (repro.obs.metrics) backed by the registry;
 # import from there going forward.
 from ..obs.metrics import ServiceMetrics
+from ..resilience.policy import Deadline, DeadlineExceeded, RetryPolicy
 from .cache import DEFAULT_EXPLANATION_CACHE_SIZE, LRUCache
 from .compiler import (
     CompiledProgram,
@@ -54,6 +57,51 @@ from .reports import BusinessReport, ReportBuilder
 from .whynot import WhyNotAnswer, WhyNotExplainer
 
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Per-query result of a deadline-bounded ``explain_batch``.
+
+    ``status`` is ``"ok"`` (``explanation`` is set),
+    ``"deadline_exceeded"`` (the per-batch budget ran out before this
+    query was served) or ``"error"`` (the query itself failed; ``error``
+    carries ``TypeName: message``).  Partial service beats no service: a
+    batch under deadline returns one outcome per query, in input order,
+    instead of hanging the pool behind the slowest straggler.
+    """
+
+    query: Fact
+    explanation: Explanation | None = None
+    status: str = "ok"
+    error: str | None = None
+
+    STATUS_OK = "ok"
+    STATUS_DEADLINE = "deadline_exceeded"
+    STATUS_ERROR = "error"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == self.STATUS_OK
+
+    @classmethod
+    def success(cls, query: Fact, explanation: Explanation) -> "BatchOutcome":
+        return cls(query=query, explanation=explanation)
+
+    @classmethod
+    def missed(cls, query: Fact, error: BaseException | None = None) -> "BatchOutcome":
+        message = (
+            f"{type(error).__name__}: {error}" if error is not None
+            else "DeadlineExceeded: batch budget spent before this query"
+        )
+        return cls(query=query, status=cls.STATUS_DEADLINE, error=message)
+
+    @classmethod
+    def failed(cls, query: Fact, error: BaseException) -> "BatchOutcome":
+        return cls(
+            query=query, status=cls.STATUS_ERROR,
+            error=f"{type(error).__name__}: {error}",
+        )
 
 
 class _Timed:
@@ -106,8 +154,11 @@ class ExplanationSession:
         return explanation
 
     def explain_batch(
-        self, queries: Iterable[Fact], **options
-    ) -> list[Explanation]:
+        self,
+        queries: Iterable[Fact],
+        deadline: Deadline | float | None = None,
+        **options,
+    ) -> list[Explanation] | list[BatchOutcome]:
         """Explain many queries, preserving input order.
 
         Queries fan out over the service thread pool; the pipeline is
@@ -115,8 +166,19 @@ class ExplanationSession:
         artifact, and the explanation cache is a thread-safe LRU, so
         concurrent generation is safe.  Provenance is forced up front —
         it is shared state all workers would otherwise race to build.
+
+        With ``deadline`` (a :class:`~repro.resilience.policy.Deadline`
+        or a budget in seconds) the batch degrades instead of blocking:
+        the return value becomes a list of :class:`BatchOutcome`, one per
+        query in input order, where queries the budget could not cover
+        carry ``status="deadline_exceeded"`` and queued work is abandoned
+        rather than left hanging the pool.  Without a deadline the
+        historical ``list[Explanation]`` contract is unchanged.
         """
         chosen: Sequence[Fact] = list(queries)
+        bounded = Deadline.coerce(deadline)
+        if bounded is not None:
+            return self._explain_batch_bounded(chosen, bounded, options)
         if not chosen:
             return []
         self.result.provenance  # materialize the shared lazy view once
@@ -158,6 +220,89 @@ class ExplanationSession:
         metrics.observe("explain_batch_size", len(chosen))
         return explanations
 
+    def _explain_batch_bounded(
+        self,
+        chosen: Sequence[Fact],
+        deadline: Deadline,
+        options: dict,
+    ) -> list[BatchOutcome]:
+        """Deadline-bounded batch: partial results, never a hung pool.
+
+        Workers check the deadline before starting, so queued tasks whose
+        budget is already spent fail fast instead of occupying threads; a
+        task that *began* within budget is allowed to finish and its
+        result is returned (computed work is never discarded).
+        """
+        if not chosen:
+            return []
+        metrics = self.service.metrics
+        outcomes: list[BatchOutcome | None] = [None] * len(chosen)
+        with _Timed(metrics, "explain_batch"):
+            try:
+                deadline.check("explain_batch provenance")
+                self.result.provenance  # materialize the shared view once
+            except DeadlineExceeded:
+                outcomes = [BatchOutcome.missed(query) for query in chosen]
+                metrics.incr("explain_deadline_exceeded", len(chosen))
+                metrics.observe("explain_batch_size", len(chosen))
+                return outcomes
+            if len(chosen) == 1 or self.service.max_workers <= 1:
+                for index, query in enumerate(chosen):
+                    if deadline.expired:
+                        outcomes[index] = BatchOutcome.missed(query)
+                        continue
+                    outcomes[index] = self._bounded_one(query, options)
+            else:
+                tracer = obs.get_tracer()
+                batch_span = tracer.current()
+                pool = self.service._thread_pool()
+
+                def run_one(query: Fact) -> Explanation:
+                    deadline.check("explain_batch task")
+                    with tracer.span(
+                        "service.explain_task", parent=batch_span,
+                        query=str(query),
+                    ):
+                        return self.explainer.explain(query, **options)
+
+                futures = [pool.submit(run_one, query) for query in chosen]
+                for index, (query, future) in enumerate(zip(chosen, futures)):
+                    try:
+                        explanation = future.result(
+                            timeout=deadline.remaining()
+                        )
+                        outcomes[index] = BatchOutcome.success(
+                            query, explanation
+                        )
+                    except FuturesTimeout:
+                        future.cancel()
+                        outcomes[index] = BatchOutcome.missed(query)
+                    except DeadlineExceeded as error:
+                        outcomes[index] = BatchOutcome.missed(query, error)
+                    except Exception as error:
+                        outcomes[index] = BatchOutcome.failed(query, error)
+        final = [outcome for outcome in outcomes if outcome is not None]
+        served = sum(1 for outcome in final if outcome.ok)
+        missed = sum(
+            1 for outcome in final
+            if outcome.status == BatchOutcome.STATUS_DEADLINE
+        )
+        metrics.incr("explanations", served)
+        if missed:
+            metrics.incr("explain_deadline_exceeded", missed)
+        metrics.observe("explain_batch_size", len(chosen))
+        return final
+
+    def _bounded_one(self, query: Fact, options: dict) -> BatchOutcome:
+        try:
+            return BatchOutcome.success(
+                query, self.explainer.explain(query, **options)
+            )
+        except DeadlineExceeded as error:
+            return BatchOutcome.missed(query, error)
+        except Exception as error:
+            return BatchOutcome.failed(query, error)
+
     def report(self, **options) -> BusinessReport:
         """A business report over this instance (see ReportBuilder)."""
         with _Timed(self.service.metrics, "report"):
@@ -198,6 +343,10 @@ class ExplanationService:
         into; pass one to pool service telemetry with ambient chase and
         compile counters in a single stats document.  A fresh registry is
         created when omitted.
+    retry_policy:
+        The :class:`~repro.resilience.policy.RetryPolicy` applied to
+        enhancement calls during compilation (``None`` uses the default
+        policy; the enhancer degrades to base templates either way).
     """
 
     def __init__(
@@ -208,9 +357,11 @@ class ExplanationService:
         explanation_cache_size: int = DEFAULT_EXPLANATION_CACHE_SIZE,
         max_workers: int = 4,
         metrics: ServiceMetrics | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.llm = llm
         self.enhanced_versions = enhanced_versions
+        self.retry_policy = retry_policy
         self.max_workers = max_workers
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.compiled_cache = LRUCache(max_compiled_programs)
@@ -250,7 +401,8 @@ class ExplanationService:
         self.metrics.incr("compile_misses")
         with _Timed(self.metrics, "compile"):
             compiled = compile_program(
-                program, glossary, llm=chosen_llm, enhanced_versions=versions
+                program, glossary, llm=chosen_llm, enhanced_versions=versions,
+                retry_policy=self.retry_policy,
             )
         self.compiled_cache.put(fingerprint, compiled)
         return compiled

@@ -6,12 +6,15 @@ calibrated omission model reproducing the length-dependent information
 loss of Section 6.3.
 """
 
+from ..resilience.faults import FaultInjectingLLM
 from .client import (
     LLMClient,
     PARAPHRASE_PROMPT,
+    PermanentLLMError,
     PromptKind,
     REPHRASE_PROMPT,
     SUMMARY_PROMPT,
+    TransientLLMError,
     classify_prompt,
 )
 from .omission import (
@@ -25,8 +28,11 @@ from .rewriting import ParsedSentence, RewritingEngine, parse_sentence, split_se
 from .simulated import LLMUsage, SimulatedLLM
 
 __all__ = [
+    "FaultInjectingLLM",
     "LLMClient",
     "LLMUsage",
+    "PermanentLLMError",
+    "TransientLLMError",
     "OmissionModel",
     "OmissionProfile",
     "PARAPHRASE_PROFILE",

@@ -12,12 +12,24 @@ Any object exposing ``complete(prompt) -> str`` can stand in for the
 model; this repository ships :class:`repro.llm.simulated.SimulatedLLM`, an
 offline deterministic simulator (see DESIGN.md for the substitution
 rationale).
+
+A client signals backend trouble through the typed taxonomy of
+:mod:`repro.resilience` (re-exported here): raise
+:class:`TransientLLMError` for retryable conditions (timeouts, rate
+limits, 5xx) and :class:`PermanentLLMError` for non-retryable ones — the
+enhancement path retries the former per policy behind a circuit breaker
+and degrades to the deterministic base template when it gives up.
 """
 
 from __future__ import annotations
 
 from enum import Enum
 from typing import Protocol, runtime_checkable
+
+from ..resilience.policy import (  # noqa: F401  (re-exported taxonomy)
+    PermanentLLMError,
+    TransientLLMError,
+)
 
 #: The paper's exact prompt strings.
 REPHRASE_PROMPT = "Rephrase the following text: "

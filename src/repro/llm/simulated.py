@@ -83,6 +83,12 @@ class SimulatedLLM:
         if profiles:
             self._profiles.update(profiles)
 
+    def signature(self) -> str:
+        """Stable identity for compile fingerprints (see
+        :func:`repro.core.compiler.llm_signature`); kept byte-identical
+        to the knob-derived fallback so existing artifacts stay valid."""
+        return f"SimulatedLLM:seed={self.seed}:faithful={self.faithful}"
+
     # ------------------------------------------------------------------
     # LLMClient protocol
     # ------------------------------------------------------------------

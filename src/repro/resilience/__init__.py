@@ -1,0 +1,67 @@
+"""``repro.resilience`` — retries, deadlines, circuit breaking, faults.
+
+The explanation pipeline's only external dependency is the per-template
+LLM call (§4.4), and the paper treats enhanced templates as an optional
+refinement over the always-valid deterministic base templates.  This
+package makes that degradation path explicit and production-grade:
+
+* :mod:`repro.resilience.policy` — the typed error taxonomy
+  (:class:`TransientLLMError`, :class:`PermanentLLMError`,
+  :class:`DeadlineExceeded`, :class:`CircuitOpen` under
+  :class:`ResilienceError`), :class:`RetryPolicy` (bounded attempts,
+  exponential backoff, deterministic jitter, injectable sleep/clock) and
+  :class:`Deadline` (a monotonic budget threaded through nested calls);
+* :mod:`repro.resilience.breaker` — a thread-safe
+  :class:`CircuitBreaker` (closed/open/half-open, sliding failure-rate
+  window, cooldown) plus the per-client :func:`breaker_for` registry;
+* :mod:`repro.resilience.faults` — :class:`FaultInjectingLLM`, a seeded
+  fault-schedule wrapper (exceptions, delays, token-dropping responses)
+  driving the ``--inject-faults`` CLI flag and the fault-injected CI job.
+
+Degradation semantics: the enhancer falls back to the base template
+per reasoning path (recorded in ``EnhancementReport`` and the
+``enhance.fallback_total`` counter); the service's ``explain_batch``
+honours a per-batch deadline and returns partial results with per-query
+error status.  See DESIGN.md §8.
+"""
+
+from .breaker import CircuitBreaker, breaker_for
+from .faults import (
+    FaultInjectingLLM,
+    FaultRule,
+    FaultSpecError,
+    parse_fault_spec,
+    strip_tokens,
+)
+from .policy import (
+    DEFAULT_RETRY_POLICY,
+    DEFAULT_RETRYABLE,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    PermanentLLMError,
+    ResilienceError,
+    RetryPolicy,
+    TransientLLMError,
+    resilient_complete,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DEFAULT_RETRYABLE",
+    "DEFAULT_RETRY_POLICY",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjectingLLM",
+    "FaultRule",
+    "FaultSpecError",
+    "PermanentLLMError",
+    "ResilienceError",
+    "RetryPolicy",
+    "TransientLLMError",
+    "breaker_for",
+    "parse_fault_spec",
+    "resilient_complete",
+    "strip_tokens",
+]

@@ -1,0 +1,214 @@
+"""A thread-safe circuit breaker guarding each LLM client.
+
+Classic three-state breaker (Nygard, *Release It!*):
+
+* **closed** — calls flow through; outcomes are recorded in a sliding
+  window.  When the window holds at least ``min_calls`` outcomes and the
+  failure rate reaches ``failure_threshold``, the breaker opens.
+* **open** — calls are rejected immediately with
+  :class:`~repro.resilience.policy.CircuitOpen`; no backend call is made.
+  After ``cooldown_s`` (monotonic, injectable clock) the breaker moves to
+  half-open.
+* **half-open** — exactly one probe call is let through; success closes
+  the breaker (window reset), failure re-opens it for another cooldown.
+
+State transitions are counted in the ambient :mod:`repro.obs` registry
+(``llm.breaker_opened`` / ``llm.breaker_closed`` / ``llm.breaker_rejected``
+/ ``llm.breaker_probes``), so a flapping backend is visible in the stats
+document.
+
+:func:`breaker_for` keeps one breaker per LLM client instance (weakly
+referenced), which is what "guarding each LLMClient" means operationally:
+every enhancer wrapping the same client shares the same failure window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Callable, TypeVar
+
+from .. import obs
+from .policy import CircuitOpen
+
+T = TypeVar("T")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with cooldown and probe.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent outcomes considered for the failure rate.
+    failure_threshold:
+        Failure fraction (0-1] at which the breaker opens.
+    min_calls:
+        Minimum outcomes in the window before the rate is meaningful.
+    cooldown_s:
+        Seconds the breaker stays open before allowing a half-open probe.
+    clock:
+        Injectable monotonic clock (tests advance it manually).
+    name:
+        Label used in error messages and snapshots.
+    """
+
+    def __init__(
+        self,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "llm",
+    ):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold}"
+            )
+        self.name = name
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_calls = max(1, min_calls)
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def _tick_locked(self) -> None:
+        """Open → half-open once the cooldown has elapsed."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick_locked()
+            return self._state
+
+    def _open_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self._probe_in_flight = False
+        obs.incr("llm.breaker_opened")
+
+    def _close_locked(self) -> None:
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probe_in_flight = False
+        obs.incr("llm.breaker_closed")
+
+    # ------------------------------------------------------------------
+    # Protocol: allow / record
+    # ------------------------------------------------------------------
+    def allow(self) -> None:
+        """Admit one call or raise :class:`CircuitOpen` without calling
+        the backend (the short-circuit is what protects the pool)."""
+        with self._lock:
+            self._tick_locked()
+            if self._state == OPEN:
+                obs.incr("llm.breaker_rejected")
+                raise CircuitOpen(
+                    f"circuit {self.name!r} is open "
+                    f"(cooldown {self.cooldown_s:.1f}s)"
+                )
+            if self._state == HALF_OPEN:
+                if self._probe_in_flight:
+                    obs.incr("llm.breaker_rejected")
+                    raise CircuitOpen(
+                        f"circuit {self.name!r} is half-open with a probe "
+                        f"in flight"
+                    )
+                self._probe_in_flight = True
+                obs.incr("llm.breaker_probes")
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._close_locked()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._open_locked()
+                return
+            if self._state == OPEN:
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) >= self.min_calls:
+                failures = self._outcomes.count(False)
+                if failures / len(self._outcomes) >= self.failure_threshold:
+                    self._open_locked()
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` through the breaker, recording its outcome."""
+        self.allow()
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._tick_locked()
+            outcomes = list(self._outcomes)
+            return {
+                "name": self.name,
+                "state": self._state,
+                "window": len(outcomes),
+                "failures_in_window": outcomes.count(False),
+            }
+
+
+# ----------------------------------------------------------------------
+# Per-client registry
+# ----------------------------------------------------------------------
+
+_BREAKERS: "weakref.WeakKeyDictionary[object, CircuitBreaker]" = (
+    weakref.WeakKeyDictionary()
+)
+_BREAKERS_LOCK = threading.Lock()
+
+
+def breaker_for(client: object, **kwargs) -> CircuitBreaker:
+    """The shared breaker guarding ``client`` (one per LLM instance).
+
+    Entries are weakly keyed so breakers die with their clients.  Clients
+    that cannot be weak-referenced get a private, unshared breaker.
+    """
+    try:
+        with _BREAKERS_LOCK:
+            found = _BREAKERS.get(client)
+            if found is None:
+                found = CircuitBreaker(
+                    name=type(client).__qualname__, **kwargs
+                )
+                _BREAKERS[client] = found
+            return found
+    except TypeError:  # not weak-referenceable
+        return CircuitBreaker(name=type(client).__qualname__, **kwargs)

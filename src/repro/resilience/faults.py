@@ -1,0 +1,224 @@
+"""Deterministic fault injection for the LLM boundary.
+
+:class:`FaultInjectingLLM` wraps any :class:`~repro.llm.client.LLMClient`
+and perturbs its behaviour according to a seeded schedule, so tests and
+CI can exercise every degradation path of the pipeline — retries, circuit
+breaking, per-template fallback, deadline expiry — without a flaky real
+backend.  The same (spec, seed) pair produces the same fault sequence on
+every run.
+
+The SPEC grammar (also accepted by the ``--inject-faults`` CLI flag)::
+
+    SPEC      := directive ("," directive)*
+    directive := "transient:" N           first N calls raise TransientLLMError
+               | "permanent:" N           first N calls raise PermanentLLMError
+               | "slow:" N ":" SECONDS    first N calls are delayed by SECONDS
+               | "drop:" N                first N responses lose their <tokens>
+               | "rate:" P                every call fails transiently w.p. P
+               | "rate:" P ":" KIND       ... with KIND in {transient,
+                                          permanent, drop}
+
+Examples: ``transient:3`` (exhaust one template's retry budget),
+``rate:0.3`` (a 30%-flaky backend), ``slow:5:0.2,drop:2`` (directives
+compose; counted directives fire on the earliest calls).
+
+Delays use an injectable ``sleep`` — the timeouts-as-delays idiom: tests
+pass a recording stub and assert the schedule instead of actually
+waiting.  Token-dropping responses are the §4.4 failure mode the token
+guard must catch, so ``drop`` faults surface as guard rejections, not
+exceptions.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .. import obs
+from .policy import PermanentLLMError, TransientLLMError
+
+_TOKEN_PATTERN = re.compile(r"<[^<>]+>")
+
+#: Directive kinds that fire on the first N calls.
+_COUNTED_KINDS = ("transient", "permanent", "slow", "drop")
+#: Error kinds a ``rate:`` directive may inject.
+_RATE_KINDS = ("transient", "permanent", "drop")
+
+
+class FaultSpecError(ValueError):
+    """Raised for a malformed ``--inject-faults`` SPEC string."""
+
+
+@dataclass
+class FaultRule:
+    """One parsed directive of a fault SPEC."""
+
+    kind: str
+    count: int | None = None
+    seconds: float = 0.0
+    probability: float = 0.0
+    error_kind: str = "transient"
+    fired: int = field(default=0, compare=False)
+
+    def describe(self) -> str:
+        if self.kind == "rate":
+            return f"rate:{self.probability}:{self.error_kind}"
+        if self.kind == "slow":
+            return f"slow:{self.count}:{self.seconds}"
+        return f"{self.kind}:{self.count}"
+
+
+def parse_fault_spec(spec: str) -> list[FaultRule]:
+    """Parse a SPEC string (see module docstring) into fault rules."""
+    rules: list[FaultRule] = []
+    for raw in spec.split(","):
+        directive = raw.strip()
+        if not directive:
+            continue
+        parts = directive.split(":")
+        kind = parts[0].strip().lower()
+        try:
+            if kind in ("transient", "permanent", "drop"):
+                if len(parts) != 2:
+                    raise FaultSpecError(
+                        f"{kind!r} takes exactly one argument: {kind}:N"
+                    )
+                rules.append(FaultRule(kind=kind, count=int(parts[1])))
+            elif kind == "slow":
+                if len(parts) != 3:
+                    raise FaultSpecError(
+                        "'slow' takes two arguments: slow:N:SECONDS"
+                    )
+                rules.append(FaultRule(
+                    kind=kind, count=int(parts[1]), seconds=float(parts[2]),
+                ))
+            elif kind == "rate":
+                if len(parts) not in (2, 3):
+                    raise FaultSpecError(
+                        "'rate' takes one or two arguments: rate:P[:KIND]"
+                    )
+                probability = float(parts[1])
+                if not 0.0 <= probability <= 1.0:
+                    raise FaultSpecError(
+                        f"rate probability must be in [0, 1], got {probability}"
+                    )
+                error_kind = parts[2].strip().lower() if len(parts) == 3 else "transient"
+                if error_kind not in _RATE_KINDS:
+                    raise FaultSpecError(
+                        f"rate kind must be one of {_RATE_KINDS}, "
+                        f"got {error_kind!r}"
+                    )
+                rules.append(FaultRule(
+                    kind=kind, probability=probability, error_kind=error_kind,
+                ))
+            else:
+                raise FaultSpecError(
+                    f"unknown fault directive {kind!r} "
+                    f"(expected one of {_COUNTED_KINDS + ('rate',)})"
+                )
+        except ValueError as error:
+            if isinstance(error, FaultSpecError):
+                raise
+            raise FaultSpecError(
+                f"malformed fault directive {directive!r}: {error}"
+            ) from error
+    return rules
+
+
+def strip_tokens(text: str) -> str:
+    """Remove every ``<token>`` — the §4.4 token-dropping failure mode."""
+    return _TOKEN_PATTERN.sub("", text)
+
+
+class FaultInjectingLLM:
+    """An :class:`~repro.llm.client.LLMClient` wrapper injecting faults.
+
+    Parameters
+    ----------
+    inner:
+        The real client to delegate healthy calls to.
+    spec:
+        A SPEC string (see module docstring) or a pre-parsed rule list.
+    seed:
+        Seed for the per-call RNG driving ``rate:`` directives.
+    sleep:
+        Injectable delay function for ``slow:`` directives.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: str | list[FaultRule] = "",
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.inner = inner
+        self.spec = spec if isinstance(spec, str) else ",".join(
+            rule.describe() for rule in spec
+        )
+        self.rules = parse_fault_spec(spec) if isinstance(spec, str) else list(spec)
+        self.seed = seed
+        self.calls = 0
+        self.injected: dict[str, int] = {}
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # LLMClient protocol
+    # ------------------------------------------------------------------
+    def complete(self, prompt: str) -> str:
+        self.calls += 1
+        rng = random.Random(f"{self.seed}:{self.calls}")
+        drop_response = False
+        for rule in self.rules:
+            if rule.kind == "rate":
+                if rng.random() < rule.probability:
+                    if rule.error_kind == "drop":
+                        drop_response = True
+                    else:
+                        self._raise(rule.error_kind)
+                continue
+            if rule.count is not None and rule.fired >= rule.count:
+                continue
+            rule.fired += 1
+            if rule.kind == "slow":
+                self._count("slow")
+                self._sleep(rule.seconds)
+            elif rule.kind == "drop":
+                drop_response = True
+            else:
+                self._raise(rule.kind)
+        response = self.inner.complete(prompt)
+        if drop_response:
+            self._count("drop")
+            return strip_tokens(response)
+        return response
+
+    def _raise(self, kind: str) -> None:
+        self._count(kind)
+        if kind == "permanent":
+            raise PermanentLLMError(
+                f"injected permanent fault (call #{self.calls})"
+            )
+        raise TransientLLMError(
+            f"injected transient fault (call #{self.calls})"
+        )
+
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        obs.incr(f"llm.faults_injected_{kind}")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Compile fingerprints must distinguish fault-injected runs from
+        healthy ones, or a degraded artifact could poison warm starts."""
+        from ..core.compiler import llm_signature
+
+        return (
+            f"faults(spec={self.spec!r},seed={self.seed})"
+            f"->{llm_signature(self.inner)}"
+        )

@@ -2,8 +2,13 @@
 
 import pytest
 
-from repro.core.enhancer import ENHANCEMENT_PROMPT, TemplateEnhancer
+from repro.core.enhancer import (
+    ENHANCEMENT_PROMPT,
+    EnhancementReport,
+    TemplateEnhancer,
+)
 from repro.core.templates import TemplateStore, extract_tokens
+from repro.resilience import CircuitBreaker, FaultInjectingLLM, RetryPolicy
 
 
 class RecordingLLM:
@@ -96,4 +101,94 @@ class TestStoreEnhancement:
                 assert extract_tokens(text) >= extract_tokens(
                     template.deterministic_text
                 )
+            template.enhanced_texts.clear()
+
+
+def fast_policy(**kwargs):
+    kwargs.setdefault("sleep", lambda _: None)
+    return RetryPolicy(**kwargs)
+
+
+class TestResilientEnhancement:
+    """The token guard and the retry policy compose (satellite of PR 3):
+    the guard retries bad *answers*, the policy retries failed *calls*."""
+
+    def test_transient_fault_then_success(self, store):
+        template = store.templates()[0]
+        inner = RecordingLLM([])  # echoes the template back (tokens kept)
+        llm = FaultInjectingLLM(inner, "transient:1")
+        enhancer = TemplateEnhancer(
+            llm, retry_policy=fast_policy(max_attempts=3), breaker=False
+        )
+        report = EnhancementReport()
+        assert enhancer.enhance_template(template, report)
+        assert report.enhanced == 1
+        assert report.fallbacks == 0
+        assert len(inner.prompts) == 1  # fault fired before the backend
+        template.enhanced_texts.clear()
+
+    def test_retry_exhaustion_falls_back_to_base_text(self, store):
+        template = store.templates()[0]
+        inner = RecordingLLM([])
+        llm = FaultInjectingLLM(inner, "transient:3")
+        enhancer = TemplateEnhancer(
+            llm, retry_policy=fast_policy(max_attempts=3), breaker=False
+        )
+        report = EnhancementReport()
+        base_text = template.deterministic_text
+        assert not enhancer.enhance_template(template, report)
+        assert report.fallbacks == 1
+        assert report.enhanced == 0
+        assert report.fallback_errors[0][1].startswith("TransientLLMError")
+        # The path is degraded, never dropped: base text intact, no
+        # partially enhanced version stored.
+        assert template.deterministic_text == base_text
+        assert template.enhanced_texts == []
+        assert inner.prompts == []
+
+    def test_open_breaker_short_circuits_without_llm_call(self, store):
+        template = store.templates()[0]
+        inner = RecordingLLM([])
+        breaker = CircuitBreaker(window=4, failure_threshold=0.5,
+                                 min_calls=2, cooldown_s=3600.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        enhancer = TemplateEnhancer(
+            inner, retry_policy=fast_policy(), breaker=breaker
+        )
+        report = EnhancementReport()
+        assert not enhancer.enhance_template(template, report)
+        assert report.fallbacks == 1
+        assert report.fallback_errors[0][1].startswith("CircuitOpen")
+        assert inner.prompts == []  # the backend was never reached
+        assert template.enhanced_texts == []
+
+    def test_guard_rejections_are_not_fallbacks(self, store):
+        """Token-dropping *responses* trip the guard (§4.4), not the
+        resilience fallback path — the two counters stay separate."""
+        template = store.templates()[0]
+        inner = RecordingLLM([])
+        llm = FaultInjectingLLM(inner, "drop:3")
+        enhancer = TemplateEnhancer(
+            llm, max_attempts=3, retry_policy=fast_policy(), breaker=False
+        )
+        report = EnhancementReport()
+        assert not enhancer.enhance_template(template, report)
+        assert report.fallbacks == 0
+        assert report.rejected == 3
+        assert template.enhanced_texts == []
+
+    def test_store_enhancement_degrades_per_template(self, store):
+        """One template exhausts its retry budget; the rest enhance."""
+        inner = RecordingLLM([])
+        llm = FaultInjectingLLM(inner, "transient:3")
+        enhancer = TemplateEnhancer(
+            llm, retry_policy=fast_policy(max_attempts=3), breaker=False
+        )
+        report = enhancer.enhance_store(store)
+        assert report.fallbacks == 1
+        assert report.enhanced == len(store) - 1
+        for template in store.templates():
+            assert template.deterministic_text
             template.enhanced_texts.clear()

@@ -5,6 +5,7 @@ import pytest
 
 from repro.apps import company_control, figures, stress_test
 from repro.core import ExplanationService, LRUCache
+from repro.core.service import BatchOutcome
 from repro.datalog import fact
 from repro.io import load_compiled_program, save_compiled_program
 from repro.llm import SimulatedLLM
@@ -181,3 +182,94 @@ class TestWarmStart:
             load_compiled_program(
                 artifact, stress_app.program, stress_app.glossary
             )
+
+
+class TestBatchDeadlines:
+    """Deadline-bounded explain_batch: partial results, never a hang."""
+
+    @staticmethod
+    def make_session(service, control_app):
+        session = service.session(control_app, [
+            company_control.own("A", "B", 0.6),
+            company_control.own("B", "C", 0.7),
+            company_control.own("C", "D", 0.9),
+        ])
+        return session, list(session.answers())
+
+    @staticmethod
+    def slow_down(session, seconds):
+        """Make every explanation take at least ``seconds``."""
+        import time as _time
+
+        original = session.explainer.explain
+
+        def slow(query, **options):
+            _time.sleep(seconds)
+            return original(query, **options)
+
+        session.explainer.explain = slow
+
+    def test_no_deadline_keeps_plain_explanation_list(
+        self, service, control_app
+    ):
+        session, queries = self.make_session(service, control_app)
+        explanations = session.explain_batch(queries)
+        assert all(not isinstance(e, BatchOutcome) for e in explanations)
+        assert [e.query for e in explanations] == queries
+
+    def test_spent_deadline_misses_everything_in_order(
+        self, service, control_app
+    ):
+        session, queries = self.make_session(service, control_app)
+        outcomes = session.explain_batch(queries, deadline=0.0)
+        assert len(outcomes) == len(queries)
+        assert [o.query for o in outcomes] == queries
+        for outcome in outcomes:
+            assert isinstance(outcome, BatchOutcome)
+            assert not outcome.ok
+            assert outcome.status == BatchOutcome.STATUS_DEADLINE
+            assert outcome.explanation is None
+        counters = service.metrics_snapshot()["counters"]
+        assert counters["explain_deadline_exceeded"] == len(queries)
+
+    def test_sequential_batch_returns_partial_results(self, control_app):
+        with ExplanationService(max_workers=1) as svc:
+            session, queries = self.make_session(svc, control_app)
+            queries = (queries * 3)[:4]
+            self.slow_down(session, 0.05)
+            outcomes = session.explain_batch(queries, deadline=0.08)
+            assert len(outcomes) == 4
+            assert outcomes[0].ok  # started with the full budget
+            assert outcomes[0].explanation is not None
+            assert not outcomes[-1].ok
+            assert outcomes[-1].status == BatchOutcome.STATUS_DEADLINE
+            counters = svc.metrics_snapshot()["counters"]
+            assert counters["explain_deadline_exceeded"] >= 1
+            assert counters["explanations"] == sum(o.ok for o in outcomes)
+
+    def test_pool_batch_returns_partial_results_without_hanging(
+        self, control_app
+    ):
+        import time as _time
+
+        with ExplanationService(max_workers=2) as svc:
+            session, queries = self.make_session(svc, control_app)
+            queries = (queries * 6)[:6]
+            self.slow_down(session, 0.1)
+            started = _time.perf_counter()
+            outcomes = session.explain_batch(queries, deadline=0.15)
+            elapsed = _time.perf_counter() - started
+            assert len(outcomes) == 6
+            assert [o.query for o in outcomes] == queries
+            # The first wave fits the budget; the tail is abandoned.
+            assert outcomes[0].ok and outcomes[1].ok
+            missed = [
+                o for o in outcomes
+                if o.status == BatchOutcome.STATUS_DEADLINE
+            ]
+            assert len(missed) >= 2
+            for outcome in missed:
+                assert outcome.explanation is None
+            # Partial collection, not a drained queue: six 100ms tasks on
+            # two workers would take ~300ms; the deadline cuts that short.
+            assert elapsed < 1.0

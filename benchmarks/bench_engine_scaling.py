@@ -1,26 +1,43 @@
-"""Engine ablation: naive vs semi-naive chase evaluation.
+"""Engine ablation: naive vs semi-naive vs planned chase evaluation.
 
 Not a paper figure — an ablation of the reproduction's own substrate
 (DESIGN.md §5 spirit).  On recursive workloads (transitive-closure-style
 control chains and dense random ownership graphs) the semi-naive strategy
-performs the same derivations with markedly less join work; the benchmark
-asserts result equality and reports the speedup.
+performs the same derivations with markedly less join work, and the
+``planned`` strategy (compiled join plans + hash joins, DESIGN.md §9)
+beats both by replacing the tuple-at-a-time nested-loop walk with
+selectivity-ordered indexed joins.
+
+Emits ``BENCH_engine.json`` with per-strategy wall-clock at each workload
+size.  Runs standalone (``python benchmarks/bench_engine_scaling.py
+[--quick]``) for CI — where a regression gate asserts the planned
+strategy stays ≥ 2x faster than naive on the largest transitive-closure
+size — or under pytest with the other benchmarks.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
 
+from repro import obs
 from repro.apps import company_control, generators
 from repro.datalog import fact, parse_program
 from repro.engine import Database, chase
 
-from _harness import emit, once
+from _harness import RESULTS_DIR, emit, emit_stats, once
+
+STRATEGIES = ("naive", "semi-naive", "planned")
 
 TRANSITIVE = parse_program(
     "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
     name="tc", goal="T",
 )
+
+#: (nodes, edges) per transitive-closure size, ascending.
+TC_SIZES = ((30, 70), (50, 120), (80, 200))
+TC_SIZES_QUICK = ((30, 70), (50, 120))
 
 
 def _random_edges(nodes: int, edges: int, seed: int) -> Database:
@@ -41,23 +58,106 @@ def _timed(program, database, strategy):
     return time.perf_counter() - started, result
 
 
+def _compare(program, database, goal):
+    """Time every strategy on one workload; assert identical results."""
+    timings = {}
+    results = {}
+    for strategy in STRATEGIES:
+        timings[strategy], results[strategy] = _timed(
+            program, database, strategy
+        )
+    baseline = set(results["naive"].database.facts(goal))
+    for strategy in STRATEGIES[1:]:
+        assert set(results[strategy].database.facts(goal)) == baseline, (
+            f"{strategy} diverged from naive on {goal}"
+        )
+    return timings, results["naive"]
+
+
+def run(quick=False):
+    """Measure all strategies across the workloads; emit BENCH_engine.json."""
+    sizes = TC_SIZES_QUICK if quick else TC_SIZES
+    payload = {"quick": quick, "transitive_closure": [], "workloads": {}}
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    with obs.observed(tracer=tracer, metrics=metrics):
+        for nodes, edges in sizes:
+            database = _random_edges(nodes=nodes, edges=edges, seed=7)
+            timings, reference = _compare(TRANSITIVE, database, "T")
+            payload["transitive_closure"].append({
+                "nodes": nodes,
+                "edges": edges,
+                "derivations": len(reference.records),
+                "seconds": timings,
+                "planned_speedup_vs_naive": (
+                    timings["naive"] / timings["planned"]
+                    if timings["planned"] else None
+                ),
+            })
+
+        application = company_control.build()
+        ownership = generators.random_ownership_database(
+            entities=30, edges=90, seed=11
+        )
+        timings, reference = _compare(
+            application.program, ownership, "Control"
+        )
+        payload["workloads"]["ownership_network"] = {
+            "entities": 30,
+            "edges": 90,
+            "controls": len(reference.database.facts("Control")),
+            "seconds": timings,
+        }
+
+        scenario = generators.control_chain(40, seed=3)
+        timings, reference = _compare(
+            scenario.application.program, scenario.database, "Control"
+        )
+        payload["workloads"]["control_chain"] = {
+            "hops": 40,
+            "seconds": timings,
+        }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_engine ({path}) =====")
+    print(json.dumps(payload, indent=2))
+    emit_stats(
+        "BENCH_engine", metrics, tracer=tracer,
+        meta={"benchmark": "engine_scaling", "quick": quick},
+    )
+    return payload
+
+
+def check(payload):
+    """The regression gate: planned ≥ 2x naive on the largest TC size."""
+    largest = payload["transitive_closure"][-1]
+    speedup = largest["planned_speedup_vs_naive"]
+    assert speedup is not None and speedup >= 2.0, (
+        f"planned strategy regressed: {speedup:.2f}x vs naive on "
+        f"{largest['nodes']} nodes / {largest['edges']} edges (need ≥ 2x)"
+    )
+    for entry in payload["transitive_closure"]:
+        seconds = entry["seconds"]
+        assert seconds["planned"] <= seconds["naive"], (
+            f"planned slower than naive at {entry['nodes']} nodes"
+        )
+
+
 def test_transitive_closure_scaling(benchmark):
     database = _random_edges(nodes=50, edges=120, seed=7)
-
-    def compare():
-        naive_time, naive = _timed(TRANSITIVE, database, "naive")
-        semi_time, semi = _timed(TRANSITIVE, database, "semi-naive")
-        return naive_time, naive, semi_time, semi
-
-    naive_time, naive, semi_time, semi = once(benchmark, compare)
+    timings, reference = once(benchmark, _compare, TRANSITIVE, database, "T")
     emit(
         "engine_scaling_transitive_closure",
         f"random graph (50 nodes, 120 edges): "
-        f"naive {naive_time * 1000:.0f} ms, semi-naive {semi_time * 1000:.0f} ms "
-        f"({naive_time / semi_time:.1f}x), {len(naive.records)} derivations",
+        f"naive {timings['naive'] * 1000:.0f} ms, "
+        f"semi-naive {timings['semi-naive'] * 1000:.0f} ms, "
+        f"planned {timings['planned'] * 1000:.0f} ms "
+        f"({timings['naive'] / timings['planned']:.1f}x), "
+        f"{len(reference.records)} derivations",
     )
-    assert set(naive.database.facts("T")) == set(semi.database.facts("T"))
-    assert semi_time < naive_time
+    assert timings["planned"] < timings["naive"]
 
 
 def test_ownership_network_scaling(benchmark):
@@ -67,40 +167,49 @@ def test_ownership_network_scaling(benchmark):
     database = generators.random_ownership_database(
         entities=30, edges=90, seed=11
     )
-
-    def compare():
-        naive_time, naive = _timed(application.program, database, "naive")
-        semi_time, semi = _timed(application.program, database, "semi-naive")
-        return naive_time, naive, semi_time, semi
-
-    naive_time, naive, semi_time, semi = once(benchmark, compare)
+    timings, reference = once(
+        benchmark, _compare, application.program, database, "Control"
+    )
     emit(
         "engine_scaling_ownership",
         f"ownership network (30 entities, 90 stakes): "
-        f"naive {naive_time * 1000:.0f} ms, semi-naive {semi_time * 1000:.0f} ms; "
-        f"controls derived: {len(naive.facts('Control'))}",
+        f"naive {timings['naive'] * 1000:.0f} ms, "
+        f"semi-naive {timings['semi-naive'] * 1000:.0f} ms, "
+        f"planned {timings['planned'] * 1000:.0f} ms; "
+        f"controls derived: {len(reference.database.facts('Control'))}",
     )
-    assert set(naive.facts("Control")) == set(semi.facts("Control"))
 
 
 def test_long_chain_scaling(benchmark):
     """Control chains: the semi-naive delta shrinks to one fact per round,
     where naive re-joins the whole instance every round."""
     scenario = generators.control_chain(40, seed=3)
-
-    def compare():
-        naive_time, naive = _timed(
-            scenario.application.program, scenario.database, "naive"
-        )
-        semi_time, semi = _timed(
-            scenario.application.program, scenario.database, "semi-naive"
-        )
-        return naive_time, semi_time, naive, semi
-
-    naive_time, semi_time, naive, semi = once(benchmark, compare)
+    timings, _reference = once(
+        benchmark, _compare,
+        scenario.application.program, scenario.database, "Control",
+    )
     emit(
         "engine_scaling_chain",
-        f"40-hop control chain: naive {naive_time * 1000:.0f} ms, "
-        f"semi-naive {semi_time * 1000:.0f} ms",
+        f"40-hop control chain: naive {timings['naive'] * 1000:.0f} ms, "
+        f"semi-naive {timings['semi-naive'] * 1000:.0f} ms, "
+        f"planned {timings['planned'] * 1000:.0f} ms",
     )
-    assert set(naive.facts("Control")) == set(semi.facts("Control"))
+
+
+def test_engine_benchmark_payload(benchmark):
+    payload = once(benchmark, run, quick=True)
+    check(payload)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer workload sizes (CI mode)",
+    )
+    arguments = parser.parse_args()
+    check(run(quick=arguments.quick))
+
+
+if __name__ == "__main__":
+    main()

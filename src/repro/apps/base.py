@@ -46,9 +46,13 @@ class KGApplication:
             enhanced_versions=enhanced_versions,
         )
 
-    def reason(self, facts: Database | Iterable[Fact]) -> ReasoningResult:
+    def reason(
+        self,
+        facts: Database | Iterable[Fact],
+        strategy: str = "naive",
+    ) -> ReasoningResult:
         """Materialize the application over an extensional database."""
-        return reason(self.program, facts)
+        return reason(self.program, facts, strategy=strategy)
 
     def explainer(self, result: ReasoningResult, llm=None, **kwargs):
         """An :class:`~repro.core.explain.Explainer` wired to this

@@ -210,10 +210,13 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
-        "--strategy", choices=("naive", "semi-naive"), default="naive",
+        "--strategy", choices=("naive", "semi-naive", "planned"),
+        default="naive",
         help=(
             "chase evaluation strategy (semi-naive is faster on recursive "
-            "workloads; default: naive)"
+            "workloads; planned compiles selectivity-ordered join plans "
+            "with hash joins and is fastest on join-heavy programs; "
+            "default: naive)"
         ),
     )
 

@@ -449,7 +449,8 @@ class ExplanationService:
         :class:`~repro.apps.base.KGApplication` (its glossary is used) or
         a bare :class:`~repro.datalog.program.Program` plus ``glossary``.
         Compiles (or reuses) the artifact, runs the chase over
-        ``database`` and returns the bound session.
+        ``database`` with the chosen evaluation ``strategy`` (naive,
+        semi-naive or planned) and returns the bound session.
         """
         program, chosen_glossary = _unpack_application(
             application_or_program, glossary

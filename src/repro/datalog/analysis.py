@@ -188,6 +188,55 @@ def _find_ward(
 
 
 # ----------------------------------------------------------------------
+# Binding-order analysis (used by the join planner)
+# ----------------------------------------------------------------------
+
+def canonical_binding_order(rule: Rule) -> tuple[Variable, ...]:
+    """The order in which naive evaluation first binds the rule's variables.
+
+    Body atoms left to right, positions left to right, then assignment
+    targets in declaration order.  The planned strategy reorders atoms for
+    execution but re-serializes every recorded binding in this order, so
+    provenance records render byte-identically across strategies.
+    """
+    ordered: list[Variable] = []
+    seen: set[Variable] = set()
+    for atom in rule.body:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.add(term)
+                ordered.append(term)
+    for variable, _expression in rule.assignments:
+        if variable not in seen:
+            seen.add(variable)
+            ordered.append(variable)
+    return tuple(ordered)
+
+
+def atom_binding_profile(
+    atom: Atom, bound: frozenset[Variable] | set[Variable]
+) -> tuple[int, int, int]:
+    """Selectivity signals of matching ``atom`` given already-``bound`` vars.
+
+    Returns ``(constants, bound_positions, free_positions)`` — the counts
+    the planner's greedy ordering ranks on (constants > bound variables >
+    free positions).
+    """
+    constants = 0
+    bound_positions = 0
+    free_positions = 0
+    for term in atom.terms:
+        if isinstance(term, Variable):
+            if term in bound:
+                bound_positions += 1
+            else:
+                free_positions += 1
+        else:
+            constants += 1
+    return constants, bound_positions, free_positions
+
+
+# ----------------------------------------------------------------------
 # Termination verdict
 # ----------------------------------------------------------------------
 

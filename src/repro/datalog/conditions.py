@@ -98,6 +98,26 @@ def evaluate_expression(expr: Expression, binding: Mapping[Variable, Term]) -> o
     raise EvaluationError(f"cannot evaluate expression leaf {expr!r}")
 
 
+def evaluate_assignment(
+    expression: Expression, binding: Mapping[Variable, Term]
+) -> Constant:
+    """Evaluate a body assignment ``r = <expression>`` to its constant.
+
+    Floating-point results are rounded to 9 decimals (and collapsed to
+    ``int`` when integral) so that arithmetically equal derivations
+    produce *equal* facts regardless of evaluation order.  Both the
+    tuple-at-a-time engine and the planned join executor must go through
+    this helper — a rounding divergence would split one derived fact
+    into two.
+    """
+    value = evaluate_expression(expression, binding)
+    if isinstance(value, float):
+        value = round(value, 9)
+        if value.is_integer():
+            value = int(value)
+    return Constant(value)
+
+
 # ----------------------------------------------------------------------
 # Comparisons
 # ----------------------------------------------------------------------

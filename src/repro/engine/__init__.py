@@ -17,6 +17,8 @@ from .chase import (
 )
 from .chase_graph import ChaseEdge, ChaseGraph
 from .database import Database
+from .join import execute_rule_plan
+from .planner import JoinPlan, JoinStep, RulePlan, plan_conjunction, plan_rule
 from .provenance import DerivationSpine, ProvenanceTracker, SpineStep
 from .reasoning import ReasoningResult, reason
 
@@ -31,9 +33,15 @@ __all__ = [
     "Contribution",
     "Database",
     "DerivationSpine",
+    "JoinPlan",
+    "JoinStep",
     "ProvenanceTracker",
     "ReasoningResult",
+    "RulePlan",
     "SpineStep",
     "chase",
+    "execute_rule_plan",
+    "plan_conjunction",
+    "plan_rule",
     "reason",
 ]

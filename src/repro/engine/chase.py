@@ -29,18 +29,20 @@ from typing import Iterator, Mapping
 
 from .. import obs
 from ..datalog.atoms import Atom, Fact
-from ..datalog.conditions import Comparison, evaluate_expression
+from ..datalog.conditions import (
+    Comparison,
+    evaluate_assignment,
+    evaluate_expression,
+)
 from ..datalog.errors import DatalogError, EvaluationError
 from ..datalog.program import Program
 from ..datalog.rules import Constraint, Rule
 from ..datalog.stratification import stratify
 from ..datalog.terms import Constant, NullFactory, Term, Variable
-from ..datalog.unify import (
-    MutableSubstitution,
-    apply_substitution,
-    exists_homomorphism,
-)
+from ..datalog.unify import MutableSubstitution, apply_substitution
 from .database import Database
+from .join import execute_rule_plan, group_by_predicate
+from .planner import RulePlan, plan_rule
 
 
 class ChaseError(DatalogError):
@@ -137,6 +139,10 @@ class ChaseStats:
     violations: int = 0
     rounds_per_stratum: list[int] = field(default_factory=list)
     delta_sizes: list[int] = field(default_factory=list)
+    #: Per-rule join-plan facts and runtime counters (planned strategy
+    #: only): atom order, hoisted conditions, probes/scanned/matches.
+    plans: dict[str, dict] = field(default_factory=dict)
+    plans_compiled: int = 0
 
     def record_firing(self, rule_label: str, predicate: str) -> None:
         self.rule_firings[rule_label] = self.rule_firings.get(rule_label, 0) + 1
@@ -157,6 +163,11 @@ class ChaseStats:
             "violations": self.violations,
             "rounds_per_stratum": list(self.rounds_per_stratum),
             "delta_sizes": list(self.delta_sizes),
+            "plans_compiled": self.plans_compiled,
+            "plans": {
+                label: dict(entry)
+                for label, entry in sorted(self.plans.items())
+            },
         }
 
 
@@ -219,11 +230,17 @@ class ChaseEngine:
         ``"naive"`` re-evaluates every rule against the whole instance in
         every round; ``"semi-naive"`` restricts plain-rule joins to
         homomorphisms touching the previous round's delta — same facts and
-        provenance, less join work on recursive workloads.
+        provenance, less join work on recursive workloads;
+        ``"planned"`` additionally compiles each rule body into a
+        selectivity-ordered hash-join plan at stratum entry
+        (:mod:`repro.engine.planner`) and executes it set-at-a-time over
+        composite indexes (:mod:`repro.engine.join`), firing matches in
+        naive enumeration order so derived facts and provenance stay
+        byte-identical to ``naive``.
     """
 
     #: Supported evaluation strategies.
-    STRATEGIES = ("naive", "semi-naive")
+    STRATEGIES = ("naive", "semi-naive", "planned")
 
     def __init__(self, max_rounds: int = 10_000, strategy: str = "naive"):
         if strategy not in self.STRATEGIES:
@@ -303,6 +320,20 @@ class ChaseEngine:
         for label, firings in stats.rule_firings.items():
             obs.incr(f"chase.firings.{label}", firings)
         obs.observe("chase.rounds", stats.rounds)
+        if stats.plans_compiled:
+            obs.incr("chase.plan_compiled", stats.plans_compiled)
+            for key in ("probes", "scanned", "matches", "pruned"):
+                total = sum(
+                    entry.get(key, 0) for entry in stats.plans.values()
+                )
+                obs.incr(f"chase.plan_{key}", total)
+            obs.incr(
+                "chase.plan_hoisted_conditions",
+                sum(
+                    entry.get("hoisted_conditions", 0)
+                    for entry in stats.plans.values()
+                ),
+            )
 
     def _run_stratum(
         self,
@@ -314,6 +345,10 @@ class ChaseEngine:
     ) -> int:
         if self.strategy == "semi-naive":
             return self._run_stratum_semi_naive(
+                rules, result, nulls, aggregate_state, rounds_so_far
+            )
+        if self.strategy == "planned":
+            return self._run_stratum_planned(
                 rules, result, nulls, aggregate_state, rounds_so_far
             )
         for round_number in range(1, self.max_rounds + 1):
@@ -379,6 +414,83 @@ class ChaseEngine:
             f"for program {result.program.name!r}"
         )
 
+    def _run_stratum_planned(
+        self,
+        rules,
+        result: ChaseResult,
+        nulls: NullFactory,
+        aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
+        rounds_so_far: int,
+    ) -> int:
+        """Delta-driven evaluation over compiled join plans.
+
+        Each rule body is compiled once at stratum entry
+        (:func:`repro.engine.planner.plan_rule`, cardinalities read from
+        the live instance) and executed as hash joins.  Unlike the
+        classic semi-naive round delta, each rule keeps a **rolling
+        window**: the facts added since that rule's own last match
+        materialization.  Naive evaluation lets a rule see facts fired by
+        earlier rules *within the same round*, so a per-round delta would
+        discover some derivations one round late; the rolling window
+        reproduces naive's visibility — and hence round numbers, firing
+        order and provenance — exactly, while still never re-joining old
+        facts against old facts.
+        """
+        stats = result.stats
+        plans: list[RulePlan] = []
+        with obs.span("chase.plan", rules=len(rules)):
+            for rule in rules:
+                compiled = plan_rule(rule, result.database)
+                plans.append(compiled)
+                stats.plans_compiled += 1
+                entry = stats.plans.setdefault(rule.label, {})
+                entry.update(compiled.snapshot())
+        # Insertion-ordered view of the instance; windows are slices of it.
+        timeline: list[Fact] = list(result.database.facts())
+        last_seen = [0] * len(rules)
+        body_predicates = [frozenset(rule.body_predicates()) for rule in rules]
+        for round_number in range(1, self.max_rounds + 1):
+            before_round = len(result.records)
+            for index, (rule, compiled) in enumerate(zip(rules, plans)):
+                seen_at_start = len(timeline)
+                window = timeline[last_seen[index]:]
+                last_seen[index] = seen_at_start
+                delta_map: dict[str, list[Fact]] | None = None
+                if round_number > 1:
+                    if not window:
+                        continue
+                    delta_map = group_by_predicate(window)
+                    if not any(
+                        predicate in delta_map
+                        for predicate in body_predicates[index]
+                    ):
+                        continue
+                before_rule = len(result.records)
+                if rule.has_aggregate:
+                    # Aggregates are always re-evaluated whole (their
+                    # set-at-a-time semantics needs every group member),
+                    # but only when the window touches their body.
+                    self._apply_aggregate_rule(
+                        rule, result, aggregate_state,
+                        rounds_so_far + round_number, plan=compiled,
+                    )
+                else:
+                    self._apply_plain_rule(
+                        rule, result, nulls, rounds_so_far + round_number,
+                        plan=compiled, delta_map=delta_map,
+                    )
+                timeline.extend(
+                    record.fact for record in result.records[before_rule:]
+                )
+            new_this_round = len(result.records) - before_round
+            stats.delta_sizes.append(new_this_round)
+            if not new_this_round:
+                return round_number
+        raise ChaseError(
+            f"chase did not reach fixpoint within {self.max_rounds} rounds "
+            f"for program {result.program.name!r}"
+        )
+
     # ------------------------------------------------------------------
     # Negative constraints
     # ------------------------------------------------------------------
@@ -407,15 +519,27 @@ class ChaseEngine:
         result: ChaseResult,
         conditions: tuple[Comparison, ...],
         delta: frozenset[Fact] | None = None,
+        plan: RulePlan | None = None,
+        delta_map: dict[str, list[Fact]] | None = None,
     ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
         """Enumerate homomorphisms of the rule body into the active facts,
         filtered by the given (pre-aggregation) conditions and by the
         rule's negated atoms (no matching active fact may exist).
 
         With ``delta``, only homomorphisms using at least one delta fact
-        are produced (semi-naive evaluation), each exactly once.
+        are produced (semi-naive evaluation), each exactly once.  With a
+        compiled ``plan``, the hash-join executor replaces the
+        tuple-at-a-time walk (conditions and delta restriction are baked
+        into the plan; ``delta_map`` carries the delta grouped by
+        predicate) — matches come back in naive enumeration order.
         """
         exclude = frozenset(result.superseded)
+        if plan is not None:
+            yield from execute_rule_plan(
+                plan, result.database, exclude, delta_map,
+                stats=result.stats.plans.get(rule.label),
+            )
+            return
         if delta is None:
             yield from self._match_conjunction(
                 rule.body, conditions, rule.negated, result, exclude,
@@ -458,12 +582,9 @@ class ChaseEngine:
         ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
             if index == len(atoms):
                 for variable, expression in assignments:
-                    value = evaluate_expression(expression, binding)
-                    if isinstance(value, float):
-                        value = round(value, 9)
-                        if value.is_integer():
-                            value = int(value)
-                    binding[variable] = Constant(value)
+                    binding[variable] = evaluate_assignment(
+                        expression, binding
+                    )
                 if all(condition.holds(binding) for condition in conditions):
                     if negation_holds(binding):
                         yield binding, used
@@ -486,15 +607,23 @@ class ChaseEngine:
         nulls: NullFactory,
         round_number: int,
         delta: frozenset[Fact] | None = None,
+        plan: RulePlan | None = None,
+        delta_map: dict[str, list[Fact]] | None = None,
     ) -> bool:
         changed = False
         # Materialize matches first: firing must not see this round's output.
-        matches = list(self._body_matches(rule, result, rule.conditions, delta))
+        matches = list(
+            self._body_matches(
+                rule, result, rule.conditions, delta,
+                plan=plan, delta_map=delta_map,
+            )
+        )
         for binding, used in matches:
             if rule.is_existential:
-                # Restricted chase: skip when the head is already satisfied.
+                # Restricted chase: skip when the head is already satisfied
+                # (indexed lookup; pattern variables are the existentials).
                 head_pattern = apply_substitution(rule.head, binding)
-                if exists_homomorphism([head_pattern], result.database, None):
+                if next(result.database.match(head_pattern), None) is not None:
                     continue
                 for variable in rule.existentials:
                     binding[variable] = nulls.fresh()
@@ -529,6 +658,7 @@ class ChaseEngine:
         result: ChaseResult,
         aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
         round_number: int,
+        plan: RulePlan | None = None,
     ) -> bool:
         aggregate = rule.aggregate
         assert aggregate is not None
@@ -549,7 +679,7 @@ class ChaseEngine:
                     key_vars.append(variable)
 
         groups: dict[tuple[Term, ...], list[Contribution]] = {}
-        for binding, used in self._body_matches(rule, result, pre):
+        for binding, used in self._body_matches(rule, result, pre, plan=plan):
             key = tuple(binding[v] for v in key_vars)
             value = evaluate_expression(aggregate.argument, binding)
             groups.setdefault(key, []).append(

@@ -3,28 +3,46 @@
 A :class:`Database` is the extensional component of an EKG: a set of facts
 over the schema.  During the chase it also accumulates the derived
 (intensional) facts.  Facts are kept in insertion order — the chase relies
-on this for deterministic rule application — and indexed by predicate and
-by (predicate, position, constant) for fast matching.
+on this for deterministic rule application — and indexed by predicate, by
+(predicate, position, constant) for single-column matching, and by
+lazily built **composite** (predicate, positions) indexes that the join
+planner probes with multi-column keys (:mod:`repro.engine.join`).
+
+Every fact also carries its global insertion *sequence number*
+(:meth:`Database.sequence`): the planned strategy sorts hash-join output
+by the sequence tuple of the matched body facts, which reproduces the
+naive engine's depth-first enumeration order exactly and keeps derived
+facts and provenance byte-identical across strategies.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from ..datalog.atoms import Atom, Fact
 from ..datalog.errors import ArityError
-from ..datalog.terms import Constant, Null, Variable
+from ..datalog.terms import Constant, Null, Term, Variable
 from ..datalog.unify import MutableSubstitution, Substitution, match_atom
+
+#: An empty candidate sequence, shared so misses allocate nothing.
+_EMPTY: tuple[Fact, ...] = ()
 
 
 class Database:
     """A mutable set of facts with predicate and constant-position indexes."""
 
     def __init__(self, facts: Iterable[Fact] = ()):
-        # dict used as an insertion-ordered set.
-        self._facts: dict[Fact, None] = {}
+        # Insertion-ordered; the value is the fact's sequence number.
+        self._facts: dict[Fact, int] = {}
         self._by_predicate: dict[str, list[Fact]] = {}
         self._by_position: dict[tuple[str, int, object], list[Fact]] = {}
+        # Composite indexes: predicate -> positions -> key tuple -> facts.
+        # Built on first use (index_on) and maintained incrementally by add.
+        self._composite: dict[
+            str, dict[tuple[int, ...], dict[tuple[Term, ...], list[Fact]]]
+        ] = {}
+        # Memoized tuples handed out by facts(); invalidated per predicate.
+        self._facts_cache: dict[str | None, tuple[Fact, ...]] = {}
         self._arities: dict[str, int] = {}
         for current in facts:
             self.add(current)
@@ -46,12 +64,21 @@ class Database:
             )
         if new_fact in self._facts:
             return False
-        self._facts[new_fact] = None
+        self._facts[new_fact] = len(self._facts)
         self._by_predicate.setdefault(new_fact.predicate, []).append(new_fact)
-        for position, term in enumerate(new_fact.terms):
+        terms = new_fact.terms
+        for position, term in enumerate(terms):
             if isinstance(term, (Constant, Null)):
                 key = (new_fact.predicate, position, term)
                 self._by_position.setdefault(key, []).append(new_fact)
+        composite = self._composite.get(new_fact.predicate)
+        if composite:
+            for positions, buckets in composite.items():
+                key = tuple(terms[position] for position in positions)
+                buckets.setdefault(key, []).append(new_fact)
+        if self._facts_cache:
+            self._facts_cache.pop(new_fact.predicate, None)
+            self._facts_cache.pop(None, None)
         return True
 
     def add_all(self, facts: Iterable[Fact]) -> int:
@@ -74,35 +101,81 @@ class Database:
         return frozenset(self._by_predicate)
 
     def facts(self, predicate: str | None = None) -> tuple[Fact, ...]:
-        """All facts, or the facts of one predicate, in insertion order."""
-        if predicate is None:
-            return tuple(self._facts)
-        return tuple(self._by_predicate.get(predicate, ()))
+        """All facts, or the facts of one predicate, in insertion order.
+
+        The returned tuple is memoized until the next :meth:`add` touching
+        the predicate, so repeated calls in the chase hot loop do not copy
+        the underlying index lists.
+        """
+        cached = self._facts_cache.get(predicate)
+        if cached is None:
+            if predicate is None:
+                cached = tuple(self._facts)
+            else:
+                cached = tuple(self._by_predicate.get(predicate, _EMPTY))
+            self._facts_cache[predicate] = cached
+        return cached
 
     def count(self, predicate: str) -> int:
-        return len(self._by_predicate.get(predicate, ()))
+        return len(self._by_predicate.get(predicate, _EMPTY))
+
+    def sequence(self, current: Fact) -> int:
+        """The global insertion rank of a stored fact (0-based).
+
+        Candidate lists of every index enumerate facts in increasing
+        sequence order, which is what makes sequence-tuple sorting
+        reproduce naive enumeration order (see module docstring).
+        """
+        return self._facts[current]
 
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
-    def candidates(self, pattern: Atom, binding: Substitution) -> tuple[Fact, ...]:
+    def candidates(self, pattern: Atom, binding: Substitution) -> Sequence[Fact]:
         """Facts that could match ``pattern`` under ``binding``.
 
         Uses the most selective constant-position index available; falls
-        back to the predicate index.
+        back to the predicate index.  Returns a live read-only view of the
+        stored index list — callers must not mutate it, and must finish
+        iterating before adding facts.
         """
-        best: tuple[Fact, ...] | None = None
+        best: Sequence[Fact] | None = None
         for position, term in enumerate(pattern.terms):
             if isinstance(term, Variable):
                 term = binding.get(term, term)
             if isinstance(term, (Constant, Null)):
-                key = (pattern.predicate, position, term)
-                indexed = tuple(self._by_position.get(key, ()))
+                indexed = self._by_position.get((pattern.predicate, position, term))
+                if indexed is None:
+                    return _EMPTY
                 if best is None or len(indexed) < len(best):
                     best = indexed
         if best is not None:
             return best
-        return tuple(self._by_predicate.get(pattern.predicate, ()))
+        return self._by_predicate.get(pattern.predicate, _EMPTY)
+
+    def index_on(
+        self, predicate: str, positions: tuple[int, ...]
+    ) -> dict[tuple[Term, ...], list[Fact]]:
+        """The composite hash index of ``predicate`` keyed on ``positions``.
+
+        Built from the current facts on first use and maintained
+        incrementally by :meth:`add` afterwards; bucket lists keep
+        insertion order.  ``positions`` must be strictly increasing.
+        """
+        composite = self._composite.setdefault(predicate, {})
+        buckets = composite.get(positions)
+        if buckets is None:
+            buckets = {}
+            for current in self._by_predicate.get(predicate, _EMPTY):
+                terms = current.terms
+                key = tuple(terms[position] for position in positions)
+                buckets.setdefault(key, []).append(current)
+            composite[positions] = buckets
+        return buckets
+
+    def composite_index_count(self) -> int:
+        """How many composite indexes are currently materialized."""
+        return sum(len(by_positions) for by_positions in self._composite.values())
 
     def match(
         self,
@@ -129,8 +202,10 @@ class Database:
         Facts are immutable, so the indexes can be duplicated structurally
         (dict/list shallow copies) instead of re-deriving them fact by
         fact through :meth:`add` — O(facts + index entries) with no
-        hashing or arity re-checks.  Mutating either database afterwards
-        never affects the other.
+        hashing or arity re-checks.  Composite indexes and memoized fact
+        tuples are caches; the copy starts without them and rebuilds on
+        demand.  Mutating either database afterwards never affects the
+        other.
         """
         clone = Database.__new__(Database)
         clone._facts = dict(self._facts)
@@ -141,6 +216,8 @@ class Database:
         clone._by_position = {
             key: list(facts) for key, facts in self._by_position.items()
         }
+        clone._composite = {}
+        clone._facts_cache = {}
         clone._arities = dict(self._arities)
         return clone
 

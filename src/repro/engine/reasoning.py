@@ -97,8 +97,9 @@ def reason(
     """Run the reasoning task (Σ, goal) over ``database``.
 
     Accepts either a :class:`Database` or any iterable of facts.
-    ``strategy`` selects naive or semi-naive chase evaluation (same
-    result, different join work; see :class:`~repro.engine.chase.ChaseEngine`).
+    ``strategy`` selects naive, semi-naive or planned (compiled join
+    plans) chase evaluation — same result and provenance, different join
+    work; see :class:`~repro.engine.chase.ChaseEngine`.
     """
     if not isinstance(database, Database):
         database = Database(database)

@@ -208,9 +208,44 @@ class TestStrategyFlag:
         assert main(["explain", "--app", "company_control",
                      "--query-all"]) == 0
         naive = capsys.readouterr().out
-        assert main(["explain", "--app", "company_control",
-                     "--query-all", "--strategy", "semi-naive"]) == 0
-        assert capsys.readouterr().out == naive
+        for strategy in ("semi-naive", "planned"):
+            assert main(["explain", "--app", "company_control",
+                         "--query-all", "--strategy", strategy]) == 0
+            assert capsys.readouterr().out == naive
+
+    def test_planned_on_explain_subcommand(self, capsys):
+        assert main([
+            "explain", "--app", "company_control",
+            "--strategy", "planned",
+        ]) == 0
+        assert "Q_e" in capsys.readouterr().out
+
+    def test_planned_on_legacy_demo(self, capsys):
+        assert main([
+            "--demo", "figure8", "--deterministic",
+            "--strategy", "planned",
+        ]) == 0
+        assert "Q_e" in capsys.readouterr().out
+
+    def test_planned_metrics_expose_planner_counters(self, capsys):
+        assert main([
+            "explain", "--app", "company_control",
+            "--strategy", "planned", "--metrics",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().err)
+        assert snapshot["counters"]["chase.plan_compiled"] >= 1
+        assert snapshot["counters"]["chase.plan_matches"] >= 1
+
+    def test_planned_stats_document_has_plans(self, capsys, tmp_path):
+        stats_file = tmp_path / "stats.json"
+        assert main([
+            "stats", "--app", "company_control",
+            "--strategy", "planned", "--stats", str(stats_file),
+        ]) == 0
+        document = json.loads(stats_file.read_text())
+        chase_section = document["chase"]
+        assert chase_section["plans_compiled"] >= 1
+        assert chase_section["plans"]
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(SystemExit):

@@ -91,12 +91,55 @@ class TestMatching:
     def test_candidates_use_most_selective_index(self):
         pattern = Atom("Own", (Constant("B"), v("y"), v("s")))
         candidates = self.DB.candidates(pattern, {})
-        assert candidates == (fact("Own", "B", "C", 0.7),)
+        assert tuple(candidates) == (fact("Own", "B", "C", 0.7),)
 
     def test_match_binding_extension(self):
         pattern = Atom("Own", (v("x"), v("y"), v("s")))
         __, binding = next(self.DB.match(pattern))
         assert binding[v("x")] == Constant("A")
+
+
+class TestSequencesAndCompositeIndexes:
+    def test_sequence_reflects_insertion_order(self):
+        database = Database([fact("P", "B"), fact("Q", "X"), fact("P", "A")])
+        assert database.sequence(fact("P", "B")) == 0
+        assert database.sequence(fact("Q", "X")) == 1
+        assert database.sequence(fact("P", "A")) == 2
+
+    def test_index_on_groups_by_key(self):
+        database = Database([
+            fact("Own", "A", "B", 0.6),
+            fact("Own", "A", "C", 0.3),
+            fact("Own", "B", "C", 0.7),
+        ])
+        buckets = database.index_on("Own", (0,))
+        assert [f.terms[1].value for f in buckets[(Constant("A"),)]] == ["B", "C"]
+        assert len(buckets[(Constant("B"),)]) == 1
+
+    def test_index_on_maintained_incrementally_by_add(self):
+        database = Database([fact("Own", "A", "B", 0.6)])
+        buckets = database.index_on("Own", (0,))
+        database.add(fact("Own", "A", "C", 0.9))
+        assert len(buckets[(Constant("A"),)]) == 2
+
+    def test_facts_cache_invalidated_on_add(self):
+        database = Database([fact("P", "A")])
+        before = database.facts("P")
+        database.add(fact("P", "B"))
+        assert before == (fact("P", "A"),)
+        assert database.facts("P") == (fact("P", "A"), fact("P", "B"))
+        assert len(database.facts()) == 2
+
+    def test_copy_does_not_share_composite_indexes(self):
+        original = Database([fact("Own", "A", "B", 0.6)])
+        original.index_on("Own", (0,))
+        assert original.composite_index_count() == 1
+        clone = original.copy()
+        assert clone.composite_index_count() == 0
+        clone.add(fact("Own", "A", "C", 0.9))
+        buckets = clone.index_on("Own", (0,))
+        assert len(buckets[(Constant("A"),)]) == 2
+        assert len(original.index_on("Own", (0,))[(Constant("A"),)]) == 1
 
 
 class TestCopy:

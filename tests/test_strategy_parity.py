@@ -1,0 +1,268 @@
+"""Three-way strategy parity: naive, semi-naive and planned evaluation
+must be observationally identical on every bundled application.
+
+The planned strategy additionally promises *byte-identical* provenance
+(DESIGN.md §9): not just the same derived facts, but the same
+:class:`ChaseStepRecord` sequence — indexes, rounds, parents, bindings
+and labelled nulls all render equal against naive evaluation.
+"""
+
+import pytest
+
+from repro.apps import (
+    close_links,
+    company_control,
+    figures,
+    generators,
+    golden_powers,
+    integrated_ownership,
+    stress_test,
+)
+from repro.core import Explainer
+from repro.datalog import fact, parse_program
+from repro.engine import ChaseEngine, ChaseGraph, Database, chase, reason
+
+STRATEGIES = ("naive", "semi-naive", "planned")
+
+WORKLOADS = {
+    "figure8": lambda: figures.figure8_instance(),
+    "figure12_stress": lambda: figures.figure12_stress_instance(),
+    "figure12_control": lambda: figures.figure12_control_instance(),
+    "figure15": lambda: figures.figure15_instance(),
+    "control_chain": lambda: generators.control_chain(8, seed=3),
+    "control_aggregation": lambda: generators.control_chain_with_aggregation(
+        6, seed=5
+    ),
+    "stress_cascade": lambda: generators.stress_cascade(
+        4, seed=3, dual_final=True
+    ),
+    "close_links": lambda: generators.close_links_common_control(seed=3),
+}
+
+
+def _scenario(name):
+    return WORKLOADS[name]()
+
+
+def _facts_by_predicate(result):
+    grouped = {}
+    for current in result.database.facts():
+        grouped.setdefault(current.predicate, set()).add(current)
+    return grouped
+
+
+def _record_fingerprint(result):
+    """Everything a provenance record renders: byte-level comparison."""
+    return [
+        (
+            record.index,
+            record.round,
+            record.rule.label,
+            repr(record.fact),
+            tuple(repr(parent) for parent in record.parents),
+            repr(record.binding),
+            repr(record.aggregate_value),
+        )
+        for record in result.records
+    ]
+
+
+class TestPlannedStrategySelection:
+    def test_planned_accepted(self):
+        assert ChaseEngine(strategy="planned").strategy == "planned"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ChaseEngine(strategy="compiled")
+
+
+class TestScenarioParity:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_facts_and_records_identical(self, name):
+        scenario = _scenario(name)
+        program = scenario.application.program
+        results = {
+            strategy: chase(program, scenario.database, strategy=strategy)
+            for strategy in STRATEGIES
+        }
+        naive = results["naive"]
+        for strategy in ("semi-naive", "planned"):
+            other = results[strategy]
+            assert _facts_by_predicate(naive) == _facts_by_predicate(other)
+            assert naive.superseded == other.superseded
+            assert len(naive.violations) == len(other.violations)
+        # Byte-identical provenance is promised for planned only.
+        assert _record_fingerprint(naive) == _record_fingerprint(
+            results["planned"]
+        )
+        assert naive.rounds == results["planned"].rounds
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_chase_graph_edges_identical(self, name):
+        scenario = _scenario(name)
+        program = scenario.application.program
+        graphs = {
+            strategy: ChaseGraph(
+                chase(program, scenario.database, strategy=strategy)
+            )
+            for strategy in STRATEGIES
+        }
+        naive_edges = {
+            (edge.source, edge.target, edge.rule_label)
+            for edge in graphs["naive"].edges
+        }
+        for strategy in ("semi-naive", "planned"):
+            edges = {
+                (edge.source, edge.target, edge.rule_label)
+                for edge in graphs[strategy].edges
+            }
+            assert edges == naive_edges, f"{strategy} chase graph diverged"
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_explanation_texts_identical(self, name):
+        scenario = _scenario(name)
+        texts = []
+        for strategy in STRATEGIES:
+            result = reason(
+                scenario.application.program, scenario.database,
+                strategy=strategy,
+            )
+            explainer = Explainer(result, scenario.application.glossary)
+            texts.append(
+                explainer.explain(scenario.target, prefer_enhanced=False).text
+            )
+        assert texts[0] == texts[1] == texts[2]
+
+
+class TestApplicationParity:
+    """The bundled apps beyond the scenario generators: golden powers,
+    integrated ownership, and the direct build() entry points."""
+
+    CASES = {
+        "golden_powers": (
+            golden_powers.build,
+            lambda: [
+                golden_powers.own("F", "S", 0.9),
+                golden_powers.own("G", "S2", 0.8),
+                golden_powers.foreign("F"), golden_powers.foreign("G"),
+                golden_powers.strategic("S"), golden_powers.strategic("S2"),
+                golden_powers.vetoed("F"), golden_powers.exempt("G"),
+            ],
+        ),
+        "integrated_ownership": (
+            integrated_ownership.build,
+            lambda: [
+                integrated_ownership.own("A", "B", 0.5),
+                integrated_ownership.own("B", "C", 0.4),
+                integrated_ownership.own("A", "C", 0.1),
+                integrated_ownership.own("C", "D", 0.6),
+            ],
+        ),
+        "company_control": (
+            company_control.build,
+            lambda: list(generators.control_chain(6, seed=9).database.facts()),
+        ),
+        "close_links": (
+            close_links.build,
+            lambda: list(
+                generators.close_links_common_control(seed=5).database.facts()
+            ),
+        ),
+        "stress_test": (
+            stress_test.build_simple,
+            lambda: list(
+                generators.stress_cascade(3, seed=7).database.facts()
+            ),
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_app_reason_parity(self, name):
+        builder, load = self.CASES[name]
+        application = builder()
+        results = {
+            strategy: application.reason(load(), strategy=strategy)
+            for strategy in STRATEGIES
+        }
+        naive = results["naive"].chase_result
+        for strategy in ("semi-naive", "planned"):
+            other = results[strategy].chase_result
+            assert _facts_by_predicate(naive) == _facts_by_predicate(other)
+        assert _record_fingerprint(naive) == _record_fingerprint(
+            results["planned"].chase_result
+        )
+
+
+class TestPlannedCornerCases:
+    def test_transitive_closure_records_byte_identical(self):
+        program = parse_program(
+            "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+            name="tc", goal="T",
+        )
+        database = Database([
+            fact("E", "A", "B"), fact("E", "B", "C"),
+            fact("E", "C", "D"), fact("E", "D", "B"),
+        ])
+        naive = chase(program, database)
+        planned = chase(program, database, strategy="planned")
+        assert _record_fingerprint(naive) == _record_fingerprint(planned)
+
+    def test_negation_program_parity(self):
+        program = parse_program(
+            """
+            base: E(x, y) -> T(x, y).
+            rec:  T(x, y), E(y, z) -> T(x, z).
+            sep:  Node(x), Node(y), x != y, not T(x, y) -> Unreachable(x, y).
+            """,
+            name="p", goal="Unreachable",
+        )
+        database = Database([
+            fact("Node", "A"), fact("Node", "B"), fact("Node", "C"),
+            fact("E", "A", "B"),
+        ])
+        naive = chase(program, database)
+        planned = chase(program, database, strategy="planned")
+        assert _record_fingerprint(naive) == _record_fingerprint(planned)
+
+    def test_existential_nulls_identical(self):
+        program = parse_program(
+            "r: Person(x) -> HasParent(x, z).",
+            name="nulls", goal="HasParent",
+        )
+        database = Database([fact("Person", "A"), fact("Person", "B")])
+        naive = chase(program, database)
+        planned = chase(program, database, strategy="planned")
+        assert _record_fingerprint(naive) == _record_fingerprint(planned)
+
+    def test_constraint_violations_identical(self):
+        program = parse_program(
+            """
+            r1: Own(x, y, s), s > 0.5 -> Control(x, y).
+            c1: Control(x, y), Control(y, x), x != y -> false.
+            """,
+            name="mutual", goal="Control",
+        )
+        database = Database([
+            fact("Own", "A", "B", 0.7), fact("Own", "B", "A", 0.6),
+        ])
+        naive = chase(program, database)
+        planned = chase(program, database, strategy="planned")
+        assert len(naive.violations) == len(planned.violations)
+        assert [v.binding for v in naive.violations] == [
+            v.binding for v in planned.violations
+        ]
+
+    def test_planner_stats_populated(self):
+        program = parse_program(
+            "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+            name="tc", goal="T",
+        )
+        database = Database([fact("E", "A", "B"), fact("E", "B", "C")])
+        planned = chase(program, database, strategy="planned")
+        stats = planned.stats.snapshot()
+        assert stats["plans_compiled"] >= 2
+        assert set(stats["plans"]) == {"base", "rec"}
+        rec = stats["plans"]["rec"]
+        assert rec["steps"] == 2
+        assert rec["matches"] >= 1
+        assert "plan" in rec

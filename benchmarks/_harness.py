@@ -9,9 +9,40 @@ a complete experimental record behind.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Phases:
+    """Per-phase wall-clock accounting for a benchmark run.
+
+    Benchmarks wrap their stages (chase, compile, measurement sweeps,
+    parity checks) in :meth:`phase` blocks; the accumulated seconds are
+    attached to the run's stats document by :func:`emit_stats`, so a slow
+    CI run says *which* stage regressed without re-profiling.  Re-entering
+    a name accumulates (phases may run once per workload).
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> dict:
+        return {
+            name: round(seconds, 6)
+            for name, seconds in self._seconds.items()
+        }
 
 
 def emit(name: str, artifact: str) -> None:
@@ -33,18 +64,24 @@ def once(benchmark, function, *args, **kwargs):
                               rounds=1, iterations=1)
 
 
-def emit_stats(name, metrics, tracer=None, chase=None, meta=None):
+def emit_stats(name, metrics, tracer=None, chase=None, meta=None, phases=None):
     """Write a run's observability stats document next to its artifact.
 
     Benchmarks emit ``<name>_stats.json`` alongside their ``BENCH_*.json``
     so every recorded measurement carries its trajectory context (per-rule
-    firing counts, cache hit rates, stage latency percentiles).
+    firing counts, cache hit rates, stage latency percentiles).  Passing a
+    :class:`Phases` (or a plain mapping of name -> seconds) adds a
+    ``phases`` section with per-stage wall times.
     """
     from repro import obs
 
     document = obs.stats_document(
         metrics, tracer=tracer, chase=chase, meta=meta
     )
+    if phases is not None:
+        document["phases"] = (
+            phases.snapshot() if hasattr(phases, "snapshot") else dict(phases)
+        )
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}_stats.json"
     obs.write_stats(document, path)

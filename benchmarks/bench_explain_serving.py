@@ -1,0 +1,241 @@
+"""Explanation serving: cold vs. warm vs. batched latency off the
+provenance index and the memoized sub-explanation cache.
+
+Not a paper figure: quantifies the serve-many fast path.  A *cold* serve
+pays the per-session provenance index build plus spine extraction,
+mapping and verbalization; a *warm* serve of the same query is a bounded
+LRU hit; a warm *batch* re-run serves every conclusion from memoized
+subtrees.  The parity sweep proves the fast path is a pure acceleration:
+over every bundled application instance, explanations served with the
+cache disabled (capacity 0) are byte-identical to the cached ones.
+
+Emits ``BENCH_explain.json`` plus a stats document with per-phase wall
+times.  Runs standalone (``python benchmarks/bench_explain_serving.py
+[--quick]``) for CI, or under pytest with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+from repro import obs
+from repro.apps import figures, generators
+from repro.core import Explainer, ExplanationService
+from repro.core.cache import LRUCache
+from repro.engine.reasoning import ReasoningResult
+
+from _harness import RESULTS_DIR, Phases, emit_stats
+
+WORKLOADS = {
+    "company_control": lambda: generators.control_with_steps(9, seed=3),
+    "stress_test": lambda: generators.stress_with_steps(
+        9, seed=3, debts_per_hop=2
+    ),
+}
+
+#: Every bundled application instance, for the byte-parity sweep.
+PARITY_SCENARIOS = (
+    lambda: figures.figure8_instance(),
+    lambda: figures.figure12_stress_instance(),
+    lambda: figures.figure12_control_instance(),
+    lambda: figures.figure15_instance(),
+    lambda: generators.close_links_common_control(seed=0),
+    lambda: generators.control_with_steps(6, seed=1),
+    lambda: generators.stress_with_steps(6, seed=1),
+)
+
+
+def _median_seconds(function, repeats):
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _fresh_result(result: ReasoningResult) -> ReasoningResult:
+    """A result sharing the materialized chase but nothing derived from
+    it — forcing the next explain to rebuild the provenance index (the
+    honest definition of a cold serve)."""
+    return ReasoningResult(
+        program=result.program, chase_result=result.chase_result
+    )
+
+
+def _measure_workload(builder, repeats, phases):
+    scenario = builder()
+    application = scenario.application
+    with phases.phase("chase"):
+        result = scenario.run()
+    with phases.phase("compile"):
+        compiled = application.compile()
+
+    # Cold: fresh index, fresh binding, first touch of the target.
+    with phases.phase("cold_serve"):
+        cold_s = _median_seconds(
+            lambda: Explainer(
+                _fresh_result(result), compiled=compiled
+            ).explain(scenario.target),
+            repeats,
+        )
+
+    # Warm: same binding, the LRU serves the rendered explanation.
+    explainer = Explainer(result, compiled=compiled)
+    cold_text = explainer.explain(scenario.target).text
+    with phases.phase("warm_serve"):
+        warm_s = _median_seconds(
+            lambda: explainer.explain(scenario.target), repeats
+        )
+    assert explainer.explain(scenario.target).text == cold_text
+
+    # Batch: first pass generates (grouped by shared subtrees), the
+    # re-run is served entirely from the memoized regions.
+    with phases.phase("batch"):
+        service = ExplanationService()
+        session = service.bind(application, _fresh_result(result))
+        queries = [
+            query for query in session.answers()
+            if session.result.chase_result.is_derived(query)
+        ]
+        started = time.perf_counter()
+        first = session.explain_batch(queries)
+        batch_cold_s = time.perf_counter() - started
+        # The warm re-run is pure cache hits; best-of-N isolates the
+        # serving path from scheduler jitter on small batches.
+        batch_warm_s = None
+        for _ in range(max(3, repeats)):
+            started = time.perf_counter()
+            second = session.explain_batch(queries)
+            elapsed = time.perf_counter() - started
+            if batch_warm_s is None or elapsed < batch_warm_s:
+                batch_warm_s = elapsed
+            assert [e.text for e in first] == [e.text for e in second]
+        service.shutdown()
+
+    index = session.result.index
+    return {
+        "description": scenario.description,
+        "index": index.snapshot(),
+        "explain": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": cold_s / warm_s if warm_s else None,
+        },
+        "batch": {
+            "queries": len(queries),
+            "cold_s": batch_cold_s,
+            "warm_s": batch_warm_s,
+            "speedup": batch_cold_s / batch_warm_s if batch_warm_s else None,
+            "throughput_qps": (
+                len(queries) / batch_cold_s if batch_cold_s else None
+            ),
+        },
+    }
+
+
+def _parity_sweep():
+    """Cached and uncached serving must render byte-identical text.
+
+    ``LRUCache(0)`` disables storage entirely (every lookup misses), so
+    the uncached explainer re-runs the full recursion per query — the
+    ground truth the memoized path must reproduce exactly.
+    """
+    scenarios = 0
+    queries = 0
+    for build in PARITY_SCENARIOS:
+        scenario = build()
+        result = scenario.run()
+        compiled = scenario.application.compile()
+        cached = Explainer(result, compiled=compiled)
+        uncached = Explainer(result, compiled=compiled, cache=LRUCache(0))
+        targets = [
+            query for query in result.derived()
+            if query.predicate == scenario.target.predicate
+        ] or [scenario.target]
+        for query in targets:
+            baseline = uncached.explain(query)
+            served_cold = cached.explain(query)
+            served_warm = cached.explain(query)
+            if not (
+                baseline.text == served_cold.text == served_warm.text
+            ):
+                return {
+                    "scenarios": scenarios, "queries": queries,
+                    "identical": False,
+                    "divergence": {
+                        "scenario": scenario.description,
+                        "query": str(query),
+                    },
+                }
+            queries += 1
+        scenarios += 1
+    return {"scenarios": scenarios, "queries": queries, "identical": True}
+
+
+def run(quick=False):
+    repeats = 3 if quick else 9
+    payload = {"quick": quick, "repeats": repeats, "workloads": {}}
+    phases = Phases()
+    tracer = obs.Tracer()
+    metrics = obs.ServiceMetrics()
+    with obs.observed(tracer=tracer, metrics=metrics):
+        for name, builder in WORKLOADS.items():
+            payload["workloads"][name] = _measure_workload(
+                builder, repeats, phases
+            )
+        with phases.phase("parity"):
+            payload["parity"] = _parity_sweep()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_explain.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_explain ({path}) =====")
+    print(json.dumps(payload, indent=2))
+    emit_stats(
+        "BENCH_explain", metrics, tracer=tracer,
+        meta={"benchmark": "explain_serving", "quick": quick},
+        phases=phases,
+    )
+    return payload
+
+
+def check(payload):
+    """Warm serving must beat cold by 5x and parity must be exact."""
+    for name, data in payload["workloads"].items():
+        explain = data["explain"]
+        assert explain["speedup"] and explain["speedup"] >= 5.0, (
+            f"{name}: warm serve only {explain['speedup']}x faster than cold"
+        )
+        batch = data["batch"]
+        assert batch["queries"] > 0
+        assert batch["speedup"] and batch["speedup"] >= 5.0, (
+            f"{name}: warm batch only {batch['speedup']}x faster than cold"
+        )
+        assert data["index"]["records"] > 0
+    parity = payload["parity"]
+    assert parity["identical"], f"parity diverged: {parity}"
+    assert parity["queries"] > 0
+
+
+def test_explain_serving(benchmark):
+    from _harness import once
+
+    payload = once(benchmark, run, quick=True)
+    check(payload)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats per measurement (CI mode)",
+    )
+    arguments = parser.parse_args()
+    check(run(quick=arguments.quick))
+
+
+if __name__ == "__main__":
+    main()

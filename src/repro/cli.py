@@ -430,6 +430,14 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print service hit/miss/latency counters after the run",
     )
+    explain.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help=(
+            "serve the batch N times (first pass generates, re-runs hit "
+            "the memoized serving path; pair with --metrics/--stats to "
+            "inspect the per-region cache hit rates)"
+        ),
+    )
     _add_obs_arguments(explain)
 
     stats = subparsers.add_parser(
@@ -467,6 +475,13 @@ def _run_workload(args: argparse.Namespace, run: _ObsRun):
         explanations = session.explain_batch(
             targets, prefer_enhanced=not args.deterministic
         )
+        # --repeat N re-serves the same batch: the extra passes land on
+        # the memoized serving path, and the region hit rates show up in
+        # --metrics / --stats.
+        for _ in range(getattr(args, "repeat", 1) - 1):
+            explanations = session.explain_batch(
+                targets, prefer_enhanced=not args.deterministic
+            )
     return scenario, service, targets, explanations
 
 

@@ -7,6 +7,18 @@ per :class:`~repro.core.explain.Explainer`.  Under service traffic
 provides the shared bounded replacement used by the runtime and service
 layers: an ordinary ``OrderedDict``-based LRU guarded by a lock, with
 counters that feed the service metrics.
+
+Two additions serve the memoized explanation fast path:
+
+* :meth:`LRUCache.get_or_create` installs a **per-key in-flight latch**,
+  so two threads racing on the same key never both run the factory —
+  the second waits for the first's value instead of duplicating
+  milliseconds of mapping/verbalization work (and instead of the old
+  compute-twice/first-store-wins behaviour);
+* :class:`CacheRegion` carves named, separately counted regions out of
+  one shared LRU (final explanations, memoized subtrees, ``why()``
+  sentences, violation reports), keeping the bound global while the
+  telemetry stays per-region (see :meth:`LRUCache.snapshot`).
 """
 
 from __future__ import annotations
@@ -20,6 +32,8 @@ from typing import Any, Callable, Hashable, Iterator
 #: are small (text plus provenance records already held by the chase),
 #: so a few thousand entries are cheap; the bound is what matters.
 DEFAULT_EXPLANATION_CACHE_SIZE = 4096
+
+_SENTINEL = object()
 
 
 @dataclass
@@ -48,6 +62,17 @@ class CacheStats:
         }
 
 
+class _InFlight:
+    """The latch other threads wait on while one runs the factory."""
+
+    __slots__ = ("event", "value", "failed")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.failed = False
+
+
 class LRUCache:
     """A bounded mapping evicting the least-recently-used entry.
 
@@ -59,6 +84,8 @@ class LRUCache:
     def __init__(self, capacity: int = DEFAULT_EXPLANATION_CACHE_SIZE):
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._pending: dict[Hashable, _InFlight] = {}
+        self._regions: dict[str, "CacheRegion"] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -89,45 +116,102 @@ class LRUCache:
         """Return the cached value, creating (and storing) it on a miss.
 
         The factory runs outside the lock: explanation generation can
-        take milliseconds and must not serialize unrelated lookups.  Two
-        racing threads may both compute; the first stored value wins and
-        both calls return an equivalent object (the pipeline is pure).
+        take milliseconds and must not serialize unrelated lookups.  A
+        per-key in-flight latch guarantees the factory runs **at most
+        once per concurrent miss**: the first thread to miss becomes the
+        owner and computes, racing threads park on the latch and are
+        served the owner's value (counted as hits — they never ran the
+        factory).  If the owner's factory raises, the error propagates
+        to the owner, the latch is torn down, and waiters retry from the
+        top (one of them becomes the next owner).
 
         Hit/miss accounting happens under the same lock as the lookup it
-        describes — one logical lookup, one counted outcome — and the
-        post-factory recheck and insert share a single critical section,
-        so a concurrent :meth:`snapshot` always sees counters consistent
-        with the entries.
+        describes — one logical lookup, one counted outcome — so a
+        concurrent :meth:`snapshot` always sees counters consistent with
+        the entries.
         """
-        sentinel = object()
-        found = self.get(key, sentinel)  # counts the hit/miss under lock
-        if found is not sentinel:
-            return found
-        created = factory()
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return self._entries[key]
+                latch = self._pending.get(key)
+                if latch is None:
+                    latch = _InFlight()
+                    self._pending[key] = latch
+                    self.stats.misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                latch.event.wait()
+                if latch.failed:
+                    continue  # the owner's factory raised: retry
+                with self._lock:
+                    self.stats.hits += 1
+                    if key in self._entries:
+                        self._entries.move_to_end(key)
+                return latch.value
+            try:
+                created = factory()
+            except BaseException:
+                with self._lock:
+                    if self._pending.get(key) is latch:
+                        del self._pending[key]
+                latch.failed = True
+                latch.event.set()
+                raise
+            with self._lock:
+                if self._pending.get(key) is latch:
+                    del self._pending[key]
+                existing = self._entries.get(key, _SENTINEL)
+                if existing is not _SENTINEL:
+                    # A direct put() raced in; the stored value wins.
+                    self._entries.move_to_end(key)
+                    created = existing
+                elif self.capacity > 0:
+                    self._entries[key] = created
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+            latch.value = created
+            latch.event.set()
+            return created
+
+    # ------------------------------------------------------------------
+    # Regions
+    # ------------------------------------------------------------------
+    def region(self, name: str) -> "CacheRegion":
+        """The named region view of this cache (created on first use).
+
+        Regions share the LRU's storage and global bound but namespace
+        their keys and keep their own hit/miss counters, so one shared
+        cache can back several memoization layers without collisions.
+        """
         with self._lock:
-            existing = self._entries.get(key, sentinel)
-            if existing is not sentinel:
-                # A racing thread stored first; its value wins.  The miss
-                # was already counted for this logical lookup.
-                self._entries.move_to_end(key)
-                return existing
-            if self.capacity > 0:
-                self._entries[key] = created
-                while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
-                    self.stats.evictions += 1
-        return created
+            found = self._regions.get(name)
+            if found is None:
+                found = CacheRegion(self, name)
+                self._regions[name] = found
+            return found
 
     # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Stats plus occupancy, read atomically under the cache lock
-        (the view the obs registry exports for each attached cache)."""
+        (the view the obs registry exports for each attached cache).
+        Carries a per-region breakdown when regions are in use."""
         with self._lock:
             data = self.stats.snapshot()
             data["size"] = len(self._entries)
             data["capacity"] = self.capacity
+            if self._regions:
+                data["regions"] = {
+                    name: region.stats.snapshot()
+                    for name, region in sorted(self._regions.items())
+                }
             return data
 
     def __len__(self) -> int:
@@ -145,3 +229,52 @@ class LRUCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+
+class CacheRegion:
+    """A named, separately counted view of a shared :class:`LRUCache`.
+
+    Keys are namespaced with the region name, so regions never collide;
+    storage, eviction and the in-flight latch all belong to the parent.
+    Obtain regions via :meth:`LRUCache.region` — constructing one
+    directly would bypass the parent's registry (and the snapshot).
+    """
+
+    def __init__(self, cache: LRUCache, name: str):
+        self.cache = cache
+        self.name = name
+        self.stats = CacheStats()
+
+    def _scoped(self, key: Hashable) -> Hashable:
+        return (self.name, key)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        found = self.cache.get(self._scoped(key), _SENTINEL)
+        with self.cache._lock:
+            if found is _SENTINEL:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return default if found is _SENTINEL else found
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self.cache.put(self._scoped(key), value)
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        ran = False
+
+        def wrapped() -> Any:
+            nonlocal ran
+            ran = True
+            return factory()
+
+        value = self.cache.get_or_create(self._scoped(key), wrapped)
+        with self.cache._lock:
+            if ran:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._scoped(key) in self.cache

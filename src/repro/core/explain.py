@@ -29,12 +29,15 @@ across many instances.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import count
 from typing import Sequence
 
+from .. import obs
 from ..datalog.atoms import Fact
 from ..engine.provenance import DerivationSpine
+from ..engine.provenance_index import ProvenanceIndex
 from ..engine.reasoning import ReasoningResult
 from .cache import DEFAULT_EXPLANATION_CACHE_SIZE, LRUCache
 from .compiler import CompiledProgram, compile_program
@@ -167,6 +170,18 @@ class Explainer:
             cache if cache is not None
             else LRUCache(DEFAULT_EXPLANATION_CACHE_SIZE)
         )
+        # Region views of the shared LRU: final explanations plus every
+        # memoized sub-explanation live in "explain"; one-step why()
+        # sentences and violation reports get their own regions so their
+        # hit rates stay separately inspectable in the snapshot.
+        self._explain_region = self._cache.region("explain")
+        self._why_region = self._cache.region("why")
+        self._violation_region = self._cache.region("violation")
+        # Entries are scoped by the binding id (instance identity — two
+        # bindings may explain equal facts of different instances) AND
+        # the compile fingerprint, so a key says exactly which program
+        # artifact and which materialized instance produced the text.
+        self._memo_scope = (self._binding_id, compiled.fingerprint)
 
     # ------------------------------------------------------------------
     # Compiled-artifact views (stable public surface)
@@ -193,6 +208,18 @@ class Explainer:
         pipeline = self.compiled.pipeline_for(predicate)
         return pipeline.store, pipeline.mapper
 
+    @property
+    def index(self) -> ProvenanceIndex:
+        """The per-session provenance index (built once per result)."""
+        return self.result.index
+
+    @property
+    def memo_scope(self) -> tuple:
+        """The prefix identifying this (instance, artifact) binding in
+        the shared cache — service layers reuse it to scope their own
+        memo entries (e.g. why-not answers) to this binding."""
+        return self._memo_scope
+
     # ------------------------------------------------------------------
     # Explanation queries
     # ------------------------------------------------------------------
@@ -206,20 +233,67 @@ class Explainer:
         """Answer the explanation query Q_e = {``query``}.
 
         Raises ``KeyError`` when the fact was not derived by the chase.
-        Results are cached per (query, options) — the reasoning result is
-        frozen, so explanations are pure.
+        Results are memoized per (binding, query, options) — the
+        reasoning result is frozen, so explanations are pure — and the
+        memoization extends to every *sub*-explanation (side branches),
+        so derivation subtrees shared across queries are mapped and
+        verbalized once per session (see :meth:`_explain_memoized`).
         """
+        started = time.perf_counter()
+        explanation = self._explain_memoized(
+            query, prefer_enhanced, variant_index, include_side_branches,
+            visited=set(),
+        )
+        obs.observe("explain.serve_s", time.perf_counter() - started)
+        return explanation
+
+    def _explain_memoized(
+        self,
+        query: Fact,
+        prefer_enhanced: bool,
+        variant_index: int,
+        include_side_branches: bool,
+        visited: set[Fact],
+    ) -> Explanation:
+        """The subtree-memoized serving path.
+
+        An explanation of ``query`` depends on the recursion context only
+        through ``visited ∩ derived-proof-subtree(query)`` — facts outside
+        the subtree are never tested by the side-branch logic.  Keying on
+        that (usually empty) overlap instead of the full visited set makes
+        cached subtrees shareable across queries while keeping the output
+        **byte-identical** to the uncached recursion.  A hit must still
+        replay the subtree's visited-set mutations (so sibling
+        side-branch decisions after the hit match the uncached run):
+        each entry therefore stores the explanation *plus* the facts its
+        recursion marked visited.
+        """
+        index = self.result.index
+        if visited:
+            subtree = index.derived_proof_facts(query)
+            relevant = frozenset(f for f in visited if f in subtree)
+        else:
+            relevant = frozenset()
         key = (
-            self._binding_id, query, prefer_enhanced, variant_index,
-            include_side_branches,
+            self._memo_scope, index.fact_key(query), prefer_enhanced,
+            variant_index, include_side_branches, relevant,
         )
-        return self._cache.get_or_create(
-            key,
-            lambda: self._explain(
+        hit = True
+
+        def build() -> tuple[Explanation, frozenset[Fact]]:
+            nonlocal hit
+            hit = False
+            local = set(relevant)
+            explanation = self._explain(
                 query, prefer_enhanced, variant_index, include_side_branches,
-                visited=set(),
-            ),
-        )
+                visited=local,
+            )
+            return explanation, frozenset(local - relevant)
+
+        explanation, marked = self._explain_region.get_or_create(key, build)
+        obs.incr("explain.index_hit" if hit else "explain.index_miss")
+        visited |= marked
+        return explanation
 
     def _explain(
         self,
@@ -285,9 +359,10 @@ class Explainer:
                         )
                         if needs_story:
                             sides.append(
-                                self._explain(
+                                self._explain_memoized(
                                     parent, prefer_enhanced, variant_index,
-                                    include_side_branches=True, visited=visited,
+                                    include_side_branches=True,
+                                    visited=visited,
                                 )
                             )
         return tuple(sides)
@@ -303,8 +378,12 @@ class Explainer:
         edge (the KG-Roar-style interaction of the paper's reference
         [10]): the applied rule verbalized with the actual premises.
         """
-        record = self.result.chase_result.record_for(query)
-        return self.verbalizer.step_sentence(record)
+        index = self.result.index
+        record = index.record(query)
+        return self._why_region.get_or_create(
+            (self._memo_scope, index.fact_key(query)),
+            lambda: self.verbalizer.step_sentence(record),
+        )
 
     # ------------------------------------------------------------------
     # Constraint violations
@@ -319,11 +398,32 @@ class Explainer:
 
         The witnesses' own derivations are explained first (when they are
         intensional), then the violated condition is stated — giving the
-        compliance officer the full story behind the ⊥.
+        compliance officer the full story behind the ⊥.  Reports are
+        memoized per (binding, constraint, witnesses, options), and the
+        witness stories go through the memoized serving path, so repeated
+        compliance checks over one session cost one rendering.
         """
+        key = (
+            self._memo_scope, violation.constraint.label,
+            violation.witnesses, prefer_enhanced, include_side_branches,
+        )
+        return self._violation_region.get_or_create(
+            key,
+            lambda: self._explain_violation(
+                violation, prefer_enhanced, include_side_branches
+            ),
+        )
+
+    def _explain_violation(
+        self,
+        violation,
+        prefer_enhanced: bool,
+        include_side_branches: bool,
+    ) -> str:
+        index = self.result.index
         parts: list[str] = []
         for witness in violation.witnesses:
-            if self.result.chase_result.is_derived(witness):
+            if index.is_derived(witness):
                 story = self.explain(
                     witness, prefer_enhanced=prefer_enhanced,
                     include_side_branches=include_side_branches,
@@ -350,5 +450,9 @@ class Explainer:
         return self.verbalizer.proof_text(records)
 
     def proof_constants(self, query: Fact) -> tuple[str, ...]:
-        """Ground truth for completeness checks (Section 6.3)."""
-        return self.result.provenance.proof_constants(query)
+        """Ground truth for completeness checks (Section 6.3).
+
+        Served from the provenance index, which memoizes the proof-DAG
+        walk per fact — repeated audits of one session are O(1).
+        """
+        return self.result.index.proof_constants(query)

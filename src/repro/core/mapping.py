@@ -65,6 +65,14 @@ class TemplateMapper:
 
     def __init__(self, analysis: StructuralAnalysis):
         self.analysis = analysis
+        # Per-rule-label candidate buckets, built lazily: a variant can
+        # only match at a position whose step rule belongs to it, so the
+        # linear scan over *all* variants per position collapses to the
+        # (usually tiny) bucket of variants containing that rule.  Pure
+        # acceleration — bucket order preserves the variant enumeration
+        # order, and `_prefer` breaks every tie deterministically anyway.
+        self._simple_buckets: Mapping[str, tuple[ReasoningPath, ...]] | None = None
+        self._cycle_buckets: Mapping[str, tuple[ReasoningPath, ...]] | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -116,10 +124,7 @@ class TemplateMapper:
         simple: bool,
         ignore_sides: bool = False,
     ) -> SegmentMatch | None:
-        candidates = (
-            self.analysis.simple_variants() if simple
-            else self.analysis.cycle_variants()
-        )
+        candidates = self._candidates(simple, steps[start].rule_label)
         best: SegmentMatch | None = None
         for variant in candidates:
             match = self._try_match(variant, steps, start, derivation, ignore_sides)
@@ -128,6 +133,33 @@ class TemplateMapper:
             if best is None or self._prefer(match, best):
                 best = match
         return best
+
+    def _candidates(
+        self, simple: bool, label: str
+    ) -> tuple[ReasoningPath, ...]:
+        """The variants that contain ``label`` (the only possible matches
+        at a position whose first step applies that rule)."""
+        if simple:
+            buckets = self._simple_buckets
+            if buckets is None:
+                buckets = self._bucket(self.analysis.simple_variants())
+                self._simple_buckets = buckets
+        else:
+            buckets = self._cycle_buckets
+            if buckets is None:
+                buckets = self._bucket(self.analysis.cycle_variants())
+                self._cycle_buckets = buckets
+        return buckets.get(label, ())
+
+    @staticmethod
+    def _bucket(
+        variants: Sequence[ReasoningPath],
+    ) -> Mapping[str, tuple[ReasoningPath, ...]]:
+        table: dict[str, list[ReasoningPath]] = {}
+        for variant in variants:
+            for label in dict.fromkeys(variant.labels):
+                table.setdefault(label, []).append(variant)
+        return {label: tuple(found) for label, found in table.items()}
 
     @staticmethod
     def _prefer(challenger: SegmentMatch, incumbent: SegmentMatch) -> bool:

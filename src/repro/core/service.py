@@ -140,6 +140,11 @@ class ExplanationSession:
         self.explainer = Explainer(
             result, compiled=compiled, cache=service.explanation_cache
         )
+        # The why-not prober is built lazily and kept for the session: it
+        # shares the session's provenance index, and its answers are
+        # memoized in their own region of the shared LRU.
+        self._whynot: WhyNotExplainer | None = None
+        self._whynot_region = service.explanation_cache.region("whynot")
 
     # ------------------------------------------------------------------
     # Queries
@@ -181,7 +186,7 @@ class ExplanationSession:
             return self._explain_batch_bounded(chosen, bounded, options)
         if not chosen:
             return []
-        self.result.provenance  # materialize the shared lazy view once
+        self.result.index  # materialize the shared provenance index once
         metrics = self.service.metrics
         with _Timed(metrics, "explain_batch") as timed:
             if len(chosen) == 1 or self.service.max_workers <= 1:
@@ -211,14 +216,55 @@ class ExplanationSession:
                     return explanation
 
                 pool = self.service._thread_pool()
-                futures = [
-                    pool.submit(run_one, query, time.perf_counter())
-                    for query in chosen
-                ]
-                explanations = [future.result() for future in futures]
+                explanations: list[Explanation | None] = [None] * len(chosen)
+                first, rest = self._subtree_waves(chosen)
+                metrics.observe("explain_batch_groups", len(first))
+                for wave in (first, rest):
+                    futures = {
+                        position: pool.submit(
+                            run_one, chosen[position], time.perf_counter()
+                        )
+                        for position in wave
+                    }
+                    for position, future in futures.items():
+                        explanations[position] = future.result()
         metrics.incr("explanations", len(chosen))
         metrics.observe("explain_batch_size", len(chosen))
         return explanations
+
+    def _subtree_waves(
+        self, chosen: Sequence[Fact]
+    ) -> tuple[list[int], list[int]]:
+        """Schedule a batch in two waves grouped by shared derivation
+        subtrees.
+
+        Queries whose derivation spines share a root share the bulk of
+        their proof subtree, so serving one *representative* per root
+        first pays the subtree's mapping/verbalization once; the rest of
+        the group then lands on warm memo entries instead of parking on
+        the in-flight latch behind it.  Returns (representatives,
+        followers) as input positions — callers place results back by
+        position, so input order is preserved.  Queries the index cannot
+        root (not derived — the error must surface from the worker, not
+        here) are scheduled as their own representatives.
+        """
+        index = self.result.index
+        seen: set[str] = set()
+        first: list[int] = []
+        rest: list[int] = []
+        for position, query in enumerate(chosen):
+            try:
+                spine = index.spine(query)
+                root = index.fact_key(spine.steps[0].record.fact)
+            except KeyError:
+                root = None
+            if root is None or root not in seen:
+                if root is not None:
+                    seen.add(root)
+                first.append(position)
+            else:
+                rest.append(position)
+        return first, rest
 
     def _explain_batch_bounded(
         self,
@@ -240,7 +286,7 @@ class ExplanationSession:
         with _Timed(metrics, "explain_batch"):
             try:
                 deadline.check("explain_batch provenance")
-                self.result.provenance  # materialize the shared view once
+                self.result.index  # materialize the shared index once
             except DeadlineExceeded:
                 outcomes = [BatchOutcome.missed(query) for query in chosen]
                 metrics.incr("explain_deadline_exceeded", len(chosen))
@@ -314,12 +360,62 @@ class ExplanationSession:
         return self.explainer.why(query)
 
     def why_not(self, query: Fact) -> WhyNotAnswer:
+        """Why ``query`` is *not* derived, memoized per session.
+
+        The prober is kept for the session (it shares the provenance
+        index's active-fact view) and its answers live in the shared
+        LRU's ``whynot`` region, scoped by the explainer's memo scope so
+        a re-reasoned session never serves stale reports.
+        """
         with _Timed(self.service.metrics, "why_not"):
-            answer = WhyNotExplainer(
-                self.result, self.compiled.glossary
-            ).explain_why_not(query)
+            answer = self._whynot_region.get_or_create(
+                (
+                    self.explainer.memo_scope,
+                    self.explainer.index.fact_key(query),
+                ),
+                lambda: self._whynot_explainer().explain_why_not(query),
+            )
         self.service.metrics.incr("why_not")
         return answer
+
+    def _whynot_explainer(self) -> WhyNotExplainer:
+        if self._whynot is None:
+            self._whynot = WhyNotExplainer(
+                self.result, self.compiled.glossary, index=self.result.index
+            )
+        return self._whynot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def re_reason(
+        self,
+        database: Database | Iterable[Fact],
+        max_rounds: int = 10_000,
+        strategy: str = "naive",
+    ) -> "ExplanationSession":
+        """Re-materialize this session over new data, in place.
+
+        Runs a fresh chase, which rebuilds the provenance index, and
+        rebinds the explainer under a fresh memo scope: every cache key
+        of the old instance carries the old binding id, so stale entries
+        can never be served again — they simply age out of the shared
+        LRU.  The compiled artifact is reused as-is (it is
+        database-independent).
+        """
+        with _Timed(self.service.metrics, "chase"):
+            result = reason(
+                self.compiled.program, database,
+                max_rounds=max_rounds, strategy=strategy,
+            )
+        self.result = result
+        self.explainer = Explainer(
+            result, compiled=self.compiled,
+            cache=self.service.explanation_cache,
+        )
+        self._whynot = None
+        self.service.metrics.incr("re_reasons")
+        return self
 
 
 class ExplanationService:
@@ -499,8 +595,10 @@ class ExplanationService:
 
     def metrics_snapshot(self) -> dict:
         snapshot = self.metrics.snapshot()
-        snapshot["compiled_cache"] = self.compiled_cache.stats.snapshot()
-        snapshot["explanation_cache"] = self.explanation_cache.stats.snapshot()
+        # Full cache snapshots (occupancy plus the per-region hit/miss
+        # breakdown of the memoized explanation-serving layers).
+        snapshot["compiled_cache"] = self.compiled_cache.snapshot()
+        snapshot["explanation_cache"] = self.explanation_cache.snapshot()
         return snapshot
 
 

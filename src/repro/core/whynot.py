@@ -23,6 +23,7 @@ from ..datalog.errors import EvaluationError
 from ..datalog.rules import Rule
 from ..datalog.terms import Constant, Variable
 from ..datalog.unify import MutableSubstitution, apply_substitution, match_atom
+from ..engine.provenance_index import ProvenanceIndex
 from ..engine.reasoning import ReasoningResult
 from .glossary import DomainGlossary
 from .verbalizer import OPERATOR_PHRASES, Verbalizer
@@ -54,12 +55,25 @@ class WhyNotAnswer:
 
 
 class WhyNotExplainer:
-    """Explains non-answers against a materialized reasoning result."""
+    """Explains non-answers against a materialized reasoning result.
 
-    def __init__(self, result: ReasoningResult, glossary: DomainGlossary):
+    Probing replays rule bodies against the *active* (non-superseded)
+    instance; that list is served by the session's
+    :class:`~repro.engine.provenance_index.ProvenanceIndex` instead of
+    being rebuilt per query (pass ``index=`` to share one, otherwise the
+    result's own index is used).
+    """
+
+    def __init__(
+        self,
+        result: ReasoningResult,
+        glossary: DomainGlossary,
+        index: ProvenanceIndex | None = None,
+    ):
         self.result = result
         self.glossary = glossary
         self.verbalizer = Verbalizer(glossary)
+        self.index = index if index is not None else result.index
 
     # ------------------------------------------------------------------
     # Public API
@@ -117,10 +131,7 @@ class WhyNotExplainer:
         Returns (atoms satisfied, binding, failing atom index, failing
         condition, blocking negated atom) for the best attempt.
         """
-        facts = self.result.chase_result
-        active = [
-            f for f in facts.database.facts() if f not in facts.superseded
-        ]
+        active = self.index.active_facts()
         best: tuple = (-1, dict(head_binding), 0, None, None)
 
         def consider(candidate: tuple) -> None:
@@ -197,10 +208,7 @@ class WhyNotExplainer:
 
         aggregate = rule.aggregate
         assert aggregate is not None
-        facts = self.result.chase_result
-        active = [
-            f for f in facts.database.facts() if f not in facts.superseded
-        ]
+        active = self.index.active_facts()
         group_binding = {
             variable: binding[variable]
             for variable in aggregate.group_by

@@ -20,6 +20,7 @@ from .database import Database
 from .join import execute_rule_plan
 from .planner import JoinPlan, JoinStep, RulePlan, plan_conjunction, plan_rule
 from .provenance import DerivationSpine, ProvenanceTracker, SpineStep
+from .provenance_index import ProvenanceIndex
 from .reasoning import ReasoningResult, reason
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "DerivationSpine",
     "JoinPlan",
     "JoinStep",
+    "ProvenanceIndex",
     "ProvenanceTracker",
     "ReasoningResult",
     "RulePlan",

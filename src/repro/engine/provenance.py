@@ -92,10 +92,19 @@ class DerivationSpine:
 
 
 class ProvenanceTracker:
-    """Extracts proofs and spines from a :class:`ChaseResult`."""
+    """Extracts proofs and spines from a :class:`ChaseResult`.
 
-    def __init__(self, result: ChaseResult):
+    With ``index`` (a :class:`~repro.engine.provenance_index.ProvenanceIndex`
+    over the same result), spine/proof extraction delegates to the
+    index's memoized, precomputed views — same answers, no repeated
+    graph walks.  Without one the tracker performs the walks itself,
+    which keeps it usable standalone (and as the parity ground truth the
+    index is tested against).
+    """
+
+    def __init__(self, result: ChaseResult, index=None):
         self.result = result
+        self.index = index
         self._intensional = result.program.intensional_predicates()
 
         @lru_cache(maxsize=None)
@@ -122,6 +131,8 @@ class ProvenanceTracker:
 
     def depth(self, current: Fact) -> int:
         """Length of the longest derivation chain below ``current``."""
+        if self.index is not None:
+            return self.index.depth(current)
         return self._depth(current)
 
     # ------------------------------------------------------------------
@@ -129,6 +140,8 @@ class ProvenanceTracker:
     # ------------------------------------------------------------------
     def proof_records(self, target: Fact) -> list[ChaseStepRecord]:
         """All chase steps in the proof of ``target``, in chase order."""
+        if self.index is not None:
+            return list(self.index.proof_records(target))
         collected: dict[int, ChaseStepRecord] = {}
         frontier = [target]
         while frontier:
@@ -151,6 +164,8 @@ class ProvenanceTracker:
         Section 6.3: an explanation is complete when it mentions all of
         them.
         """
+        if self.index is not None:
+            return self.index.proof_constants(target)
         seen: dict[str, None] = {}
         for record in self.proof_records(target):
             for parent in record.parents:
@@ -169,6 +184,8 @@ class ProvenanceTracker:
         Raises ``KeyError`` when ``target`` is extensional (nothing to
         explain: it was given, not derived).
         """
+        if self.index is not None:
+            return self.index.spine(target)
         if target not in self.result.derivation:
             raise KeyError(f"{target} was not derived by the chase")
         reversed_steps: list[SpineStep] = []

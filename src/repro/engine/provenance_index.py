@@ -1,0 +1,285 @@
+"""The provenance index: record-once, serve-many chase provenance.
+
+With compilation and the chase both fast, repeated ``explain()`` calls
+spend their time re-walking the chase graph: every query re-extracts its
+derivation spine fact by fact, re-filters intensional parents, re-walks
+the proof DAG for constants, and the why-not prober re-materializes the
+active-fact list.  The provenance-graph literature (Lee et al.,
+"Efficiently Computing Provenance Graphs for Queries with Negation") and
+the Vadalog system paper both arrive at the same shape: *materialize an
+indexed provenance structure once per chase, then answer many queries
+against it*.
+
+:class:`ProvenanceIndex` is that structure.  Built in a single pass over
+the :class:`~repro.engine.chase.ChaseResult` records (parents always
+precede children in record order, so depths need no recursion), it
+provides O(1) access to
+
+* the deriving step of a fact (``record``) and its precomputed
+  *intensional* parents (``intensional_parents`` — the filter the spine
+  walk and side-branch absorption used to redo per visit);
+* reverse adjacency (``children`` — every step consuming a fact);
+* per-predicate derivation buckets (``records_for_predicate``);
+* derivation depth (``depth``);
+* interned fact keys (``fact_key``) — stable strings shared across
+  memoization layers so cache keys compare by identity;
+
+plus per-fact memoized views shared by all queries of a session:
+derivation spines (``spine``), proof DAGs (``proof_records``,
+``proof_constants``, ``derived_proof_facts``) and the active
+(non-superseded) instance (``active_facts``).
+
+The index is a pure acceleration layer: every answer is byte-identical
+to the unindexed walks it replaces (``tests/test_explain_serving.py``
+asserts parity against :class:`~repro.engine.provenance.ProvenanceTracker`
+ground truth).  One index is built per chase session — see
+``ReasoningResult.index`` — and rebuilt only when the session re-reasons
+over new data.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from .. import obs
+from ..datalog.atoms import Fact
+from .chase import ChaseResult, ChaseStepRecord
+from .provenance import DerivationSpine, SpineStep
+
+
+class ProvenanceIndex:
+    """Indexed provenance over one materialized chase result."""
+
+    def __init__(self, result: ChaseResult):
+        started = time.perf_counter()
+        with obs.span(
+            "explain.index_build", program=result.program.name,
+            records=len(result.records),
+        ) as span:
+            self.result = result
+            self._build(result)
+            span.set(edges=self._edge_count)
+        self.build_seconds = time.perf_counter() - started
+        obs.incr("explain.index_build")
+        obs.observe("explain.index_build_s", self.build_seconds)
+
+    def _build(self, result: ChaseResult) -> None:
+        intensional = result.program.intensional_predicates()
+        derivation = result.derivation
+        parents: dict[int, tuple[Fact, ...]] = {}
+        children: dict[Fact, list[ChaseStepRecord]] = {}
+        buckets: dict[str, list[ChaseStepRecord]] = {}
+        depth: dict[Fact, int] = {}
+        edges = 0
+        # Records are index-ordered and every parent of a record was
+        # materialized before it fired, so one forward pass computes
+        # intensional-parent tuples and depths without recursion.
+        for record in result.records:
+            intensional_parents = tuple(
+                parent for parent in record.parents
+                if parent.predicate in intensional and parent in derivation
+            )
+            parents[record.index] = intensional_parents
+            if intensional_parents:
+                depth[record.fact] = 1 + max(
+                    depth[parent] for parent in intensional_parents
+                )
+            else:
+                depth[record.fact] = 1
+            for parent in record.parents:
+                children.setdefault(parent, []).append(record)
+                edges += 1
+            buckets.setdefault(record.fact.predicate, []).append(record)
+        self._derivation = derivation
+        self._parents = parents
+        self._children = children
+        self._buckets = buckets
+        self._depth = depth
+        self._edge_count = edges
+        # Memoized per-fact views, shared by every query of the session.
+        self._keys: dict[Fact, str] = {}
+        self._spines: dict[Fact, DerivationSpine] = {}
+        self._proofs: dict[Fact, tuple[ChaseStepRecord, ...]] = {}
+        self._proof_constants: dict[Fact, tuple[str, ...]] = {}
+        self._proof_facts: dict[Fact, frozenset[Fact]] = {}
+        self._active: tuple[Fact, ...] | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # O(1) lookups
+    # ------------------------------------------------------------------
+    def is_derived(self, current: Fact) -> bool:
+        return current in self._derivation
+
+    def record(self, current: Fact) -> ChaseStepRecord:
+        """The chase step deriving ``current``; raises for EDB facts."""
+        record = self._derivation.get(current)
+        if record is None:
+            raise KeyError(f"{current} was not derived by the chase")
+        return record
+
+    def intensional_parents(self, record: ChaseStepRecord) -> tuple[Fact, ...]:
+        """The record's parents that are themselves derived (precomputed)."""
+        return self._parents.get(record.index, ())
+
+    def children(self, current: Fact) -> tuple[ChaseStepRecord, ...]:
+        """Every chase step that consumed ``current`` (reverse adjacency)."""
+        return tuple(self._children.get(current, ()))
+
+    def records_for_predicate(self, predicate: str) -> tuple[ChaseStepRecord, ...]:
+        """All derivation steps producing ``predicate`` facts, in order."""
+        return tuple(self._buckets.get(predicate, ()))
+
+    def depth(self, current: Fact) -> int:
+        """Length of the longest derivation chain below ``current``
+        (0 for extensional facts)."""
+        return self._depth.get(current, 0)
+
+    def fact_key(self, current: Fact) -> str:
+        """An interned string key for ``current``.
+
+        Memoization layers key cache entries by these so equal facts of
+        the same session share one string object and key comparisons
+        short-circuit on identity.
+        """
+        key = self._keys.get(current)
+        if key is None:
+            key = sys.intern(str(current))
+            with self._lock:
+                key = self._keys.setdefault(current, key)
+        return key
+
+    def active_facts(self) -> tuple[Fact, ...]:
+        """The non-superseded instance, materialized once per session
+        (the list the why-not prober rebuilt on every query)."""
+        active = self._active
+        if active is None:
+            superseded = self.result.superseded
+            active = tuple(
+                fact for fact in self.result.database.facts()
+                if fact not in superseded
+            )
+            self._active = active
+        return active
+
+    # ------------------------------------------------------------------
+    # Memoized derivation spines
+    # ------------------------------------------------------------------
+    def spine(self, target: Fact) -> DerivationSpine:
+        """The root-to-leaf derivation path for ``target``, memoized.
+
+        Identical to :meth:`ProvenanceTracker.spine` (same deepest-parent
+        tie-breaks), but each fact's spine is extracted once per session.
+        """
+        cached = self._spines.get(target)
+        if cached is not None:
+            return cached
+        if target not in self._derivation:
+            raise KeyError(f"{target} was not derived by the chase")
+        reversed_steps: list[SpineStep] = []
+        current: Fact | None = target
+        while current is not None:
+            record = self._derivation[current]
+            parents = self._parents.get(record.index, ())
+            if parents:
+                depth = self._depth
+                spine_parent = max(
+                    parents,
+                    key=lambda p: (depth[p], -record.parents.index(p)),
+                )
+                side = tuple(
+                    self._derivation[p].rule_label
+                    for p in parents if p != spine_parent
+                )
+            else:
+                spine_parent = None
+                side = ()
+            reversed_steps.append(
+                SpineStep(
+                    record=record,
+                    spine_parent=spine_parent,
+                    side_rules=side,
+                    multi_contributor=record.multi_contributor,
+                )
+            )
+            current = spine_parent
+        spine = DerivationSpine(
+            target=target, steps=tuple(reversed(reversed_steps))
+        )
+        with self._lock:
+            return self._spines.setdefault(target, spine)
+
+    # ------------------------------------------------------------------
+    # Memoized proof DAGs
+    # ------------------------------------------------------------------
+    def proof_records(self, target: Fact) -> tuple[ChaseStepRecord, ...]:
+        """All chase steps in the proof of ``target``, in chase order."""
+        cached = self._proofs.get(target)
+        if cached is not None:
+            return cached
+        collected: dict[int, ChaseStepRecord] = {}
+        frontier = [target]
+        while frontier:
+            current = frontier.pop()
+            record = self._derivation.get(current)
+            if record is None or record.index in collected:
+                continue
+            collected[record.index] = record
+            frontier.extend(record.parents)
+        proof = tuple(collected[index] for index in sorted(collected))
+        with self._lock:
+            return self._proofs.setdefault(target, proof)
+
+    def proof_size(self, target: Fact) -> int:
+        return len(self.proof_records(target))
+
+    def proof_constants(self, target: Fact) -> tuple[str, ...]:
+        """The distinct constants in the proof of ``target`` (the ground
+        truth of the completeness checks), memoized per fact."""
+        cached = self._proof_constants.get(target)
+        if cached is not None:
+            return cached
+        seen: dict[str, None] = {}
+        for record in self.proof_records(target):
+            for parent in record.parents:
+                for constant in parent.constants():
+                    seen.setdefault(str(constant), None)
+            for constant in record.fact.constants():
+                seen.setdefault(str(constant), None)
+        constants = tuple(seen)
+        with self._lock:
+            return self._proof_constants.setdefault(target, constants)
+
+    def derived_proof_facts(self, target: Fact) -> frozenset[Fact]:
+        """The *derived* facts in the proof of ``target`` (the subtree a
+        memoized sub-explanation covers — the overlap domain of the
+        cross-query memoization keys)."""
+        cached = self._proof_facts.get(target)
+        if cached is not None:
+            return cached
+        facts = frozenset(
+            record.fact for record in self.proof_records(target)
+        )
+        with self._lock:
+            return self._proof_facts.setdefault(target, facts)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Size and build-cost figures for stats documents and tests."""
+        with self._lock:
+            return {
+                "records": len(self.result.records),
+                "edges": self._edge_count,
+                "predicates": len(self._buckets),
+                "build_s": self.build_seconds,
+                "spines_memoized": len(self._spines),
+                "proofs_memoized": len(self._proofs),
+                "interned_keys": len(self._keys),
+            }
+
+    def __len__(self) -> int:
+        return len(self.result.records)

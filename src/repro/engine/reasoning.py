@@ -19,6 +19,7 @@ from .chase import ChaseResult, chase
 from .chase_graph import ChaseGraph
 from .database import Database
 from .provenance import DerivationSpine, ProvenanceTracker
+from .provenance_index import ProvenanceIndex
 
 
 @dataclass
@@ -36,8 +37,19 @@ class ReasoningResult:
         return ChaseGraph(self.chase_result)
 
     @cached_property
+    def index(self) -> ProvenanceIndex:
+        """The indexed provenance structure, built once per result.
+
+        Everything the explanation stack asks repeatedly — derivation
+        records, intensional parents, depths, spines, proof DAGs, the
+        active instance — is answered from this index; a re-reasoned
+        session gets a fresh result and therefore a fresh index.
+        """
+        return ProvenanceIndex(self.chase_result)
+
+    @cached_property
     def provenance(self) -> ProvenanceTracker:
-        return ProvenanceTracker(self.chase_result)
+        return ProvenanceTracker(self.chase_result, index=self.index)
 
     @property
     def database(self) -> Database:

@@ -1,0 +1,152 @@
+"""The shared LRU's concurrency contract and region accounting.
+
+Regression focus: the historical ``get_or_create`` ran the factory
+outside the lock with no coordination, so two threads missing on the
+same key both computed (first store won).  The per-key in-flight latch
+must make the factory run at most once per concurrent miss, propagate
+factory errors to the owner only, and let waiters retry after a failure.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.cache import CacheRegion, LRUCache
+
+
+class TestInFlightLatch:
+    def test_concurrent_misses_run_factory_once(self):
+        cache = LRUCache(capacity=8)
+        calls = []
+        entered = threading.Barrier(parties=5)
+        release = threading.Event()
+
+        def factory():
+            calls.append(threading.get_ident())
+            release.wait(timeout=5)
+            return "value"
+
+        results = []
+
+        def worker():
+            entered.wait(timeout=5)
+            results.append(cache.get_or_create("key", factory))
+
+        threads = [threading.Thread(target=worker) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        # All five threads are past the barrier; the owner is inside the
+        # factory (holding the latch), the rest must be parked on it.
+        # Releasing once must serve all five from a single computation.
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert results == ["value"] * 5
+        assert len(calls) == 1, "racing threads duplicated the factory"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 4
+
+    def test_failed_factory_releases_waiters_to_retry(self):
+        cache = LRUCache(capacity=8)
+        attempts = []
+        entered = threading.Barrier(parties=2)
+        fail_first = threading.Event()
+
+        def factory():
+            attempts.append(1)
+            if len(attempts) == 1:
+                entered.wait(timeout=5)  # let the second thread park
+                fail_first.wait(timeout=5)
+                raise RuntimeError("boom")
+            return "recovered"
+
+        outcomes = []
+
+        def owner():
+            try:
+                cache.get_or_create("key", factory)
+            except RuntimeError as error:
+                outcomes.append(f"raised:{error}")
+
+        def waiter():
+            entered.wait(timeout=5)
+            outcomes.append(cache.get_or_create("key", factory))
+
+        first = threading.Thread(target=owner)
+        second = threading.Thread(target=waiter)
+        first.start()
+        second.start()
+        fail_first.set()
+        first.join(timeout=5)
+        second.join(timeout=5)
+        # The owner saw the error; the waiter retried, became the new
+        # owner and computed the value instead of hanging or re-raising.
+        assert sorted(outcomes) == ["raised:boom", "recovered"]
+        assert len(attempts) == 2
+        assert cache.get("key") == "recovered"
+
+    def test_error_is_not_cached(self):
+        cache = LRUCache(capacity=4)
+        with pytest.raises(ValueError):
+            cache.get_or_create("key", lambda: (_ for _ in ()).throw(
+                ValueError("nope")
+            ))
+        assert "key" not in cache
+        assert cache.get_or_create("key", lambda: 7) == 7
+
+    def test_zero_capacity_still_serializes_concurrent_misses(self):
+        # capacity 0 stores nothing, but the latch must still coalesce
+        # a concurrent miss (and tear down cleanly so later calls rerun).
+        cache = LRUCache(capacity=0)
+        assert cache.get_or_create("key", lambda: "a") == "a"
+        assert cache.get_or_create("key", lambda: "b") == "b"
+        assert not cache._pending
+
+
+class TestCacheRegions:
+    def test_regions_namespace_keys(self):
+        cache = LRUCache(capacity=8)
+        first = cache.region("alpha")
+        second = cache.region("beta")
+        first.put("key", 1)
+        second.put("key", 2)
+        assert first.get("key") == 1
+        assert second.get("key") == 2
+        assert cache.region("alpha") is first
+
+    def test_region_stats_are_separate(self):
+        cache = LRUCache(capacity=8)
+        region = cache.region("alpha")
+        other = cache.region("beta")
+        assert region.get_or_create("key", lambda: "v") == "v"
+        assert region.get_or_create("key", lambda: "w") == "v"
+        assert region.stats.misses == 1
+        assert region.stats.hits == 1
+        assert other.stats.lookups == 0
+
+    def test_snapshot_carries_region_breakdown(self):
+        cache = LRUCache(capacity=8)
+        cache.region("alpha").get_or_create("key", lambda: "v")
+        snapshot = cache.snapshot()
+        assert snapshot["regions"]["alpha"]["misses"] == 1
+        plain = LRUCache(capacity=8).snapshot()
+        assert "regions" not in plain
+
+    def test_regions_share_the_global_bound(self):
+        cache = LRUCache(capacity=2)
+        region = cache.region("alpha")
+        region.put("a", 1)
+        region.put("b", 2)
+        region.put("c", 3)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert region.get("a") is None  # least recently used, evicted
+
+    def test_direct_construction_is_a_plain_view(self):
+        cache = LRUCache(capacity=4)
+        view = CacheRegion(cache, "loose")
+        view.put("key", "v")
+        assert view.get("key") == "v"
+        assert "regions" not in cache.snapshot()  # not registered

@@ -112,6 +112,71 @@ class TestGroupAggregates:
         assert "0.45 is not such that it is higher than 0.5" in answer.text
 
 
+class TestExplainViolation:
+    """Constraint-violation reports (Explainer.explain_violation)."""
+
+    @staticmethod
+    def _vetoed_takeover():
+        """F (vetoed, foreign) takes 90% of strategic S: Alert(F, S) is
+        derived and kappa1 (Alert + Vetoed -> false) is violated."""
+        application = golden_powers.build()
+        result = application.reason([
+            golden_powers.own("F", "S", 0.9),
+            golden_powers.foreign("F"), golden_powers.strategic("S"),
+            golden_powers.vetoed("F"),
+        ])
+        return application.explainer(result), result
+
+    def test_violation_found_and_reported(self):
+        explainer, result = self._vetoed_takeover()
+        assert result.violations
+        violation = result.violations[0]
+        report = explainer.explain_violation(violation)
+        assert "violates constraint kappa1" in report
+        assert "must not hold together" in report
+        # The derived witness's own story precedes the verdict.
+        assert "F" in report and "S" in report
+
+    def test_no_violation_without_veto(self):
+        application = golden_powers.build()
+        result = application.reason([
+            golden_powers.own("F", "S", 0.9),
+            golden_powers.foreign("F"), golden_powers.strategic("S"),
+        ])
+        assert result.violations == ()
+
+    def test_second_call_is_cached_and_identical(self):
+        explainer, result = self._vetoed_takeover()
+        violation = result.violations[0]
+        first = explainer.explain_violation(violation)
+        second = explainer.explain_violation(violation)
+        assert first is second  # served from the violation region
+        region = explainer._violation_region
+        assert region.stats.misses == 1
+        assert region.stats.hits == 1
+        # A different option set is keyed apart, not served stale.
+        bare = explainer.explain_violation(violation, prefer_enhanced=False)
+        assert region.stats.misses == 2
+        assert bare == explainer.explain_violation(
+            violation, prefer_enhanced=False
+        )
+
+
+class TestIndexSharing:
+    def test_prober_reuses_a_shared_index(self, surviving_creditor):
+        """Passing index= shares the session's active-fact view instead
+        of rebuilding the filtered instance per query."""
+        result = surviving_creditor.result
+        shared = WhyNotExplainer(
+            result, surviving_creditor.glossary, index=result.index
+        )
+        assert shared.index is result.index
+        assert surviving_creditor.index is result.index  # default wiring
+        first = shared.explain_why_not(fact("Default", "B"))
+        again = surviving_creditor.explain_why_not(fact("Default", "B"))
+        assert first.text == again.text
+
+
 class TestValueMismatch:
     def test_actual_aggregate_total_reported(self):
         """Querying the wrong integrated stake reports the real total."""

@@ -10,9 +10,10 @@ selectivity-ordered indexed joins.
 
 Emits ``BENCH_engine.json`` with per-strategy wall-clock at each workload
 size.  Runs standalone (``python benchmarks/bench_engine_scaling.py
-[--quick]``) for CI — where a regression gate asserts the planned
+[--quick]``) for CI — where regression gates assert the planned
 strategy stays ≥ 2x faster than naive on the largest transitive-closure
-size — or under pytest with the other benchmarks.
+size and at least matches semi-naive on the ownership-network and
+control-chain workloads — or under pytest with the other benchmarks.
 """
 
 from __future__ import annotations
@@ -58,20 +59,43 @@ def _timed(program, database, strategy):
     return time.perf_counter() - started, result
 
 
-def _compare(program, database, goal):
-    """Time every strategy on one workload; assert identical results."""
+def _compare(program, database, goal, repeats=1):
+    """Time every strategy on one workload; assert identical results.
+
+    With ``repeats`` > 1 each strategy runs that many times and the best
+    wall-clock is reported (the workloads feeding the planned-vs-semi-naive
+    CI gate use best-of-2 to keep the ratio stable against scheduler
+    noise).
+    """
     timings = {}
     results = {}
     for strategy in STRATEGIES:
-        timings[strategy], results[strategy] = _timed(
-            program, database, strategy
-        )
+        best, result = _timed(program, database, strategy)
+        for _ in range(repeats - 1):
+            seconds, result = _timed(program, database, strategy)
+            best = min(best, seconds)
+        timings[strategy], results[strategy] = best, result
     baseline = set(results["naive"].database.facts(goal))
     for strategy in STRATEGIES[1:]:
         assert set(results[strategy].database.facts(goal)) == baseline, (
             f"{strategy} diverged from naive on {goal}"
         )
     return timings, results["naive"]
+
+
+def _with_speedups(seconds):
+    """A workload payload entry: raw seconds plus the gated ratios."""
+    return {
+        "seconds": seconds,
+        "planned_speedup_vs_naive": (
+            seconds["naive"] / seconds["planned"]
+            if seconds["planned"] else None
+        ),
+        "planned_speedup_vs_seminaive": (
+            seconds["semi-naive"] / seconds["planned"]
+            if seconds["planned"] else None
+        ),
+    }
 
 
 def run(quick=False):
@@ -100,22 +124,23 @@ def run(quick=False):
             entities=30, edges=90, seed=11
         )
         timings, reference = _compare(
-            application.program, ownership, "Control"
+            application.program, ownership, "Control", repeats=2
         )
         payload["workloads"]["ownership_network"] = {
             "entities": 30,
             "edges": 90,
             "controls": len(reference.database.facts("Control")),
-            "seconds": timings,
+            **_with_speedups(timings),
         }
 
         scenario = generators.control_chain(40, seed=3)
         timings, reference = _compare(
-            scenario.application.program, scenario.database, "Control"
+            scenario.application.program, scenario.database, "Control",
+            repeats=2,
         )
         payload["workloads"]["control_chain"] = {
             "hops": 40,
-            "seconds": timings,
+            **_with_speedups(timings),
         }
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -131,7 +156,13 @@ def run(quick=False):
 
 
 def check(payload):
-    """The regression gate: planned ≥ 2x naive on the largest TC size."""
+    """The regression gates.
+
+    * planned ≥ 2x naive on the largest transitive-closure size;
+    * planned ≥ 1.0x semi-naive on the ownership-network and
+      control-chain workloads — the compiled kernels must never lose to
+      the tuple-at-a-time semi-naive walk on any bundled workload.
+    """
     largest = payload["transitive_closure"][-1]
     speedup = largest["planned_speedup_vs_naive"]
     assert speedup is not None and speedup >= 2.0, (
@@ -142,6 +173,12 @@ def check(payload):
         seconds = entry["seconds"]
         assert seconds["planned"] <= seconds["naive"], (
             f"planned slower than naive at {entry['nodes']} nodes"
+        )
+    for name, workload in payload["workloads"].items():
+        ratio = workload["planned_speedup_vs_seminaive"]
+        assert ratio is not None and ratio >= 1.0, (
+            f"planned strategy lost to semi-naive on {name}: "
+            f"{ratio:.2f}x (need ≥ 1.0x)"
         )
 
 

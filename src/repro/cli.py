@@ -193,7 +193,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--metrics", action="store_true",
-        help="print service hit/miss/latency counters after the run",
+        help=(
+            "print service hit/miss/latency counters after the run "
+            "(under --strategy planned this includes kernel telemetry: "
+            "chase.kernels_compiled / chase.kernel_execs counters, "
+            "chase.kernel_compile_s latency and the chase.symbols "
+            "symbol-table gauge)"
+        ),
     )
     _add_resilience_arguments(parser)
     _add_obs_arguments(parser)
@@ -215,8 +221,8 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "chase evaluation strategy (semi-naive is faster on recursive "
             "workloads; planned compiles selectivity-ordered join plans "
-            "with hash joins and is fastest on join-heavy programs; "
-            "default: naive)"
+            "into rule kernels over the interned columnar store and is "
+            "fastest on join-heavy programs; default: naive)"
         ),
     )
 

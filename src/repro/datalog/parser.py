@@ -40,7 +40,7 @@ from .conditions import BinaryOp, Comparison, Expression
 from .errors import ParseError
 from .program import Program
 from .rules import Constraint, Rule
-from .terms import Constant, Term, Variable
+from .terms import Term, Variable, intern_constant
 
 # ----------------------------------------------------------------------
 # Tokenizer
@@ -133,19 +133,21 @@ class _TokenStream:
 
 
 def _parse_term(stream: _TokenStream) -> Term:
+    # Constants are pooled (terms.intern_constant): repeated literals in
+    # programs and fact files share one object per (type, value).
     token = stream.next()
     if token.kind == "NUMBER":
-        return Constant(float(token.text) if "." in token.text else int(token.text))
+        return intern_constant(float(token.text) if "." in token.text else int(token.text))
     if token.kind == "STRING":
-        return Constant(token.text[1:-1])
+        return intern_constant(token.text[1:-1])
     if token.kind == "IDENT":
         if token.text[0].islower() or token.text[0] == "_":
             return Variable(token.text)
-        return Constant(token.text)
+        return intern_constant(token.text)
     if token.kind == "MINUS":
         number = stream.expect("NUMBER")
         value = float(number.text) if "." in number.text else int(number.text)
-        return Constant(-value)
+        return intern_constant(-value)
     raise ParseError(f"expected a term, found {token.text!r}", stream._text, token.position)
 
 

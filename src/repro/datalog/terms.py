@@ -131,6 +131,36 @@ def term_syntax(term: Term) -> str:
     return str(term)
 
 
+#: Shared :class:`Constant` objects, keyed by (type, value) so that
+#: ``1``, ``1.0`` and ``True`` — equal values of distinct types — keep
+#: their own wrapper and render exactly as written.  Bounded: beyond the
+#: cap, fresh objects are returned (correctness never depends on sharing).
+_CONSTANT_POOL: dict[tuple[type, ConstantValue], Constant] = {}
+_CONSTANT_POOL_LIMIT = 1 << 16
+_CONSTANT_POOL_LOCK = threading.Lock()
+
+
+def intern_constant(value: ConstantValue) -> Constant:
+    """A shared :class:`Constant` wrapping ``value``.
+
+    The parser and the fact loaders funnel every constant through this
+    pool, so the thousands of repeated entity names in a fact file share
+    one object each — equality checks short-circuit on identity and the
+    per-database symbol table (:mod:`repro.engine.symbols`) interns each
+    distinct constant's hash once.  Pooling is by exact type as well as
+    value: it is an allocation cache, not a value unification (that is
+    the symbol table's job), so it must never swap ``1.0`` for ``1``.
+    """
+    key = (type(value), value)
+    shared = _CONSTANT_POOL.get(key)
+    if shared is None:
+        shared = Constant(value)
+        if len(_CONSTANT_POOL) < _CONSTANT_POOL_LIMIT:
+            with _CONSTANT_POOL_LOCK:
+                shared = _CONSTANT_POOL.setdefault(key, shared)
+    return shared
+
+
 def make_term(value: object) -> Term:
     """Coerce a raw Python value (or an existing term) into a :class:`Term`.
 
@@ -141,5 +171,5 @@ def make_term(value: object) -> Term:
     if isinstance(value, (Constant, Variable, Null)):
         return value
     if isinstance(value, (str, int, float, bool)):
-        return Constant(value)
+        return intern_constant(value)
     raise TypeError(f"cannot interpret {value!r} as a term")

@@ -18,10 +18,12 @@ from .chase import (
 from .chase_graph import ChaseEdge, ChaseGraph
 from .database import Database
 from .join import execute_rule_plan
+from .kernels import RuleKernel, compile_rule_kernel
 from .planner import JoinPlan, JoinStep, RulePlan, plan_conjunction, plan_rule
 from .provenance import DerivationSpine, ProvenanceTracker, SpineStep
 from .provenance_index import ProvenanceIndex
 from .reasoning import ReasoningResult, reason
+from .symbols import SymbolTable
 
 __all__ = [
     "ChaseEdge",
@@ -39,9 +41,12 @@ __all__ = [
     "ProvenanceIndex",
     "ProvenanceTracker",
     "ReasoningResult",
+    "RuleKernel",
     "RulePlan",
     "SpineStep",
+    "SymbolTable",
     "chase",
+    "compile_rule_kernel",
     "execute_rule_plan",
     "plan_conjunction",
     "plan_rule",

@@ -24,6 +24,7 @@ implementation:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
@@ -42,6 +43,7 @@ from ..datalog.terms import Constant, NullFactory, Term, Variable
 from ..datalog.unify import MutableSubstitution, apply_substitution
 from .database import Database
 from .join import execute_rule_plan, group_by_predicate
+from .kernels import RuleKernel, compile_rule_kernel
 from .planner import RulePlan, plan_rule
 
 
@@ -140,9 +142,16 @@ class ChaseStats:
     rounds_per_stratum: list[int] = field(default_factory=list)
     delta_sizes: list[int] = field(default_factory=list)
     #: Per-rule join-plan facts and runtime counters (planned strategy
-    #: only): atom order, hoisted conditions, probes/scanned/matches.
+    #: only): atom order, hoisted conditions, probes/scanned/matches,
+    #: kernel_execs.
     plans: dict[str, dict] = field(default_factory=dict)
     plans_compiled: int = 0
+    #: Compiled rule kernels (planned strategy): how many closures were
+    #: built and how long compilation took, for the stats document.
+    kernels_compiled: int = 0
+    kernel_compile_s: float = 0.0
+    #: Symbol-table size at end of run (distinct interned terms).
+    symbols: int = 0
 
     def record_firing(self, rule_label: str, predicate: str) -> None:
         self.rule_firings[rule_label] = self.rule_firings.get(rule_label, 0) + 1
@@ -164,6 +173,9 @@ class ChaseStats:
             "rounds_per_stratum": list(self.rounds_per_stratum),
             "delta_sizes": list(self.delta_sizes),
             "plans_compiled": self.plans_compiled,
+            "kernels_compiled": self.kernels_compiled,
+            "kernel_compile_s": self.kernel_compile_s,
+            "symbols": self.symbols,
             "plans": {
                 label: dict(entry)
                 for label, entry in sorted(self.plans.items())
@@ -233,8 +245,9 @@ class ChaseEngine:
         provenance, less join work on recursive workloads;
         ``"planned"`` additionally compiles each rule body into a
         selectivity-ordered hash-join plan at stratum entry
-        (:mod:`repro.engine.planner`) and executes it set-at-a-time over
-        composite indexes (:mod:`repro.engine.join`), firing matches in
+        (:mod:`repro.engine.planner`), then compiles the plan into a
+        specialized closure kernel (:mod:`repro.engine.kernels`) that
+        joins over the database's interned-id columns, firing matches in
         naive enumeration order so derived facts and provenance stay
         byte-identical to ``naive``.
     """
@@ -297,6 +310,7 @@ class ChaseEngine:
             ):
                 self._check_constraints(program, result)
             stats.violations = len(result.violations)
+            stats.symbols = len(working.symbols)
             run_span.set(
                 rounds=total_rounds,
                 facts_derived=stats.facts_derived,
@@ -320,6 +334,17 @@ class ChaseEngine:
         for label, firings in stats.rule_firings.items():
             obs.incr(f"chase.firings.{label}", firings)
         obs.observe("chase.rounds", stats.rounds)
+        obs.set_gauge("chase.symbols", stats.symbols)
+        if stats.kernels_compiled:
+            obs.incr("chase.kernels_compiled", stats.kernels_compiled)
+            obs.observe("chase.kernel_compile_s", stats.kernel_compile_s)
+            obs.incr(
+                "chase.kernel_execs",
+                sum(
+                    entry.get("kernel_execs", 0)
+                    for entry in stats.plans.values()
+                ),
+            )
         if stats.plans_compiled:
             obs.incr("chase.plan_compiled", stats.plans_compiled)
             for key in ("probes", "scanned", "matches", "pruned"):
@@ -426,7 +451,10 @@ class ChaseEngine:
 
         Each rule body is compiled once at stratum entry
         (:func:`repro.engine.planner.plan_rule`, cardinalities read from
-        the live instance) and executed as hash joins.  Unlike the
+        the live instance), then lowered to a closure kernel
+        (:func:`repro.engine.kernels.compile_rule_kernel`) that is reused
+        every round — kernels close over live column and symbol-table
+        views, so database growth never invalidates them.  Unlike the
         classic semi-naive round delta, each rule keeps a **rolling
         window**: the facts added since that rule's own last match
         materialization.  Naive evaluation lets a rule see facts fired by
@@ -438,6 +466,7 @@ class ChaseEngine:
         """
         stats = result.stats
         plans: list[RulePlan] = []
+        kernels: list[RuleKernel] = []
         with obs.span("chase.plan", rules=len(rules)):
             for rule in rules:
                 compiled = plan_rule(rule, result.database)
@@ -445,13 +474,21 @@ class ChaseEngine:
                 stats.plans_compiled += 1
                 entry = stats.plans.setdefault(rule.label, {})
                 entry.update(compiled.snapshot())
+                started = time.perf_counter()
+                kernels.append(
+                    compile_rule_kernel(compiled, result.database)
+                )
+                stats.kernel_compile_s += time.perf_counter() - started
+                stats.kernels_compiled += 1
         # Insertion-ordered view of the instance; windows are slices of it.
         timeline: list[Fact] = list(result.database.facts())
         last_seen = [0] * len(rules)
         body_predicates = [frozenset(rule.body_predicates()) for rule in rules]
         for round_number in range(1, self.max_rounds + 1):
             before_round = len(result.records)
-            for index, (rule, compiled) in enumerate(zip(rules, plans)):
+            for index, (rule, compiled, kernel) in enumerate(
+                zip(rules, plans, kernels)
+            ):
                 seen_at_start = len(timeline)
                 window = timeline[last_seen[index]:]
                 last_seen[index] = seen_at_start
@@ -473,11 +510,12 @@ class ChaseEngine:
                     self._apply_aggregate_rule(
                         rule, result, aggregate_state,
                         rounds_so_far + round_number, plan=compiled,
+                        kernel=kernel,
                     )
                 else:
                     self._apply_plain_rule(
                         rule, result, nulls, rounds_so_far + round_number,
-                        plan=compiled, delta_map=delta_map,
+                        plan=compiled, delta_map=delta_map, kernel=kernel,
                     )
                 timeline.extend(
                     record.fact for record in result.records[before_rule:]
@@ -521,6 +559,7 @@ class ChaseEngine:
         delta: frozenset[Fact] | None = None,
         plan: RulePlan | None = None,
         delta_map: dict[str, list[Fact]] | None = None,
+        kernel: RuleKernel | None = None,
     ) -> Iterator[tuple[MutableSubstitution, tuple[Fact, ...]]]:
         """Enumerate homomorphisms of the rule body into the active facts,
         filtered by the given (pre-aggregation) conditions and by the
@@ -528,16 +567,18 @@ class ChaseEngine:
 
         With ``delta``, only homomorphisms using at least one delta fact
         are produced (semi-naive evaluation), each exactly once.  With a
-        compiled ``plan``, the hash-join executor replaces the
+        compiled ``plan``, the kernel executor replaces the
         tuple-at-a-time walk (conditions and delta restriction are baked
-        into the plan; ``delta_map`` carries the delta grouped by
-        predicate) — matches come back in naive enumeration order.
+        into the compiled closures; ``delta_map`` carries the delta
+        grouped by predicate; ``kernel`` reuses the stratum's compiled
+        kernel) — matches come back in naive enumeration order.
         """
         exclude = frozenset(result.superseded)
         if plan is not None:
             yield from execute_rule_plan(
                 plan, result.database, exclude, delta_map,
                 stats=result.stats.plans.get(rule.label),
+                kernel=kernel,
             )
             return
         if delta is None:
@@ -609,13 +650,14 @@ class ChaseEngine:
         delta: frozenset[Fact] | None = None,
         plan: RulePlan | None = None,
         delta_map: dict[str, list[Fact]] | None = None,
+        kernel: RuleKernel | None = None,
     ) -> bool:
         changed = False
         # Materialize matches first: firing must not see this round's output.
         matches = list(
             self._body_matches(
                 rule, result, rule.conditions, delta,
-                plan=plan, delta_map=delta_map,
+                plan=plan, delta_map=delta_map, kernel=kernel,
             )
         )
         for binding, used in matches:
@@ -659,6 +701,7 @@ class ChaseEngine:
         aggregate_state: dict[tuple[str, tuple[Term, ...]], Fact],
         round_number: int,
         plan: RulePlan | None = None,
+        kernel: RuleKernel | None = None,
     ) -> bool:
         aggregate = rule.aggregate
         assert aggregate is not None
@@ -679,7 +722,9 @@ class ChaseEngine:
                     key_vars.append(variable)
 
         groups: dict[tuple[Term, ...], list[Contribution]] = {}
-        for binding, used in self._body_matches(rule, result, pre, plan=plan):
+        for binding, used in self._body_matches(
+            rule, result, pre, plan=plan, kernel=kernel
+        ):
             key = tuple(binding[v] for v in key_vars)
             value = evaluate_expression(aggregate.argument, binding)
             groups.setdefault(key, []).append(

@@ -1,18 +1,34 @@
-"""Fact store with per-predicate indexing.
+"""Columnar fact store with interned constants and per-predicate indexing.
 
 A :class:`Database` is the extensional component of an EKG: a set of facts
 over the schema.  During the chase it also accumulates the derived
 (intensional) facts.  Facts are kept in insertion order — the chase relies
-on this for deterministic rule application — and indexed by predicate, by
-(predicate, position, constant) for single-column matching, and by
-lazily built **composite** (predicate, positions) indexes that the join
-planner probes with multi-column keys (:mod:`repro.engine.join`).
+on this for deterministic rule application — with two synchronized
+representations:
+
+* the **row store** — per-predicate lists of the original :class:`Fact`
+  objects, which every string-facing view (``facts()``, ``match()``,
+  ``candidates()``, provenance rendering) serves, so output bytes never
+  depend on interning;
+* the **column store** — per-predicate columns of dense integer ids
+  assigned by a shared :class:`~repro.engine.symbols.SymbolTable`.  The
+  compiled rule kernels (:mod:`repro.engine.kernels`) join over these
+  int columns: probe keys are ints or int tuples, equality checks are
+  int comparisons, and no term object is touched until a full match
+  materializes.
+
+Single-column constant lookups go through an id-keyed
+``(predicate, position, id)`` index; multi-column hash joins probe
+lazily built **composite** indexes (:meth:`index_on`) whose buckets hold
+row numbers keyed by id (bare int for one position, int tuples
+otherwise), maintained incrementally by :meth:`add`.
 
 Every fact also carries its global insertion *sequence number*
-(:meth:`Database.sequence`): the planned strategy sorts hash-join output
-by the sequence tuple of the matched body facts, which reproduces the
-naive engine's depth-first enumeration order exactly and keeps derived
-facts and provenance byte-identical across strategies.
+(:meth:`Database.sequence`, reverse-mapped by :meth:`fact_at`): the
+planned strategy sorts hash-join output by the sequence tuple of the
+matched body facts, which reproduces the naive engine's depth-first
+enumeration order exactly and keeps derived facts and provenance
+byte-identical across strategies.
 """
 
 from __future__ import annotations
@@ -21,31 +37,52 @@ from typing import Iterable, Iterator, Sequence
 
 from ..datalog.atoms import Atom, Fact
 from ..datalog.errors import ArityError
-from ..datalog.terms import Constant, Null, Term, Variable
+from ..datalog.terms import Constant, Null, Variable
 from ..datalog.unify import MutableSubstitution, Substitution, match_atom
+from .symbols import SymbolTable
 
 #: An empty candidate sequence, shared so misses allocate nothing.
 _EMPTY: tuple[Fact, ...] = ()
+#: Empty column/row views for predicates with no facts yet.
+_NO_COLUMNS: tuple[list[int], ...] = ()
+_NO_ROWS: Sequence[int] = ()
 
 
 class Database:
-    """A mutable set of facts with predicate and constant-position indexes."""
+    """A mutable set of facts with row- and column-oriented indexes."""
 
-    def __init__(self, facts: Iterable[Fact] = ()):
+    def __init__(
+        self, facts: Iterable[Fact] = (), symbols: SymbolTable | None = None
+    ):
+        #: Term interning dictionary; shared (never copied) across
+        #: :meth:`copy` so related databases agree on every encoding.
+        self._symbols = symbols if symbols is not None else SymbolTable()
         # Insertion-ordered; the value is the fact's sequence number.
         self._facts: dict[Fact, int] = {}
         self._by_predicate: dict[str, list[Fact]] = {}
-        self._by_position: dict[tuple[str, int, object], list[Fact]] = {}
-        # Composite indexes: predicate -> positions -> key tuple -> facts.
+        # Column store: predicate -> one id list per argument position,
+        # row-aligned with the _by_predicate fact lists.
+        self._columns: dict[str, tuple[list[int], ...]] = {}
+        # Row-aligned global sequence numbers per predicate.
+        self._row_seq: dict[str, list[int]] = {}
+        # Global sequence -> (predicate, row): the reverse of sequence().
+        self._loc: list[tuple[str, int]] = []
+        self._by_position: dict[tuple[str, int, int], list[Fact]] = {}
+        # Composite indexes: predicate -> positions -> id key -> rows.
         # Built on first use (index_on) and maintained incrementally by add.
         self._composite: dict[
-            str, dict[tuple[int, ...], dict[tuple[Term, ...], list[Fact]]]
+            str, dict[tuple[int, ...], dict[object, list[int]]]
         ] = {}
         # Memoized tuples handed out by facts(); invalidated per predicate.
         self._facts_cache: dict[str | None, tuple[Fact, ...]] = {}
         self._arities: dict[str, int] = {}
         for current in facts:
             self.add(current)
+
+    @property
+    def symbols(self) -> SymbolTable:
+        """The interning table encoding this database's columns."""
+        return self._symbols
 
     # ------------------------------------------------------------------
     # Mutation
@@ -54,30 +91,47 @@ class Database:
         """Insert a fact; returns ``True`` iff it was not already present."""
         if not new_fact.is_fact():
             raise ArityError(f"cannot store non-ground atom {new_fact}")
-        known_arity = self._arities.get(new_fact.predicate)
+        predicate = new_fact.predicate
+        known_arity = self._arities.get(predicate)
         if known_arity is None:
-            self._arities[new_fact.predicate] = new_fact.arity
+            self._arities[predicate] = new_fact.arity
         elif known_arity != new_fact.arity:
             raise ArityError(
-                f"predicate {new_fact.predicate} used with arity "
+                f"predicate {predicate} used with arity "
                 f"{new_fact.arity}, expected {known_arity}"
             )
         if new_fact in self._facts:
             return False
-        self._facts[new_fact] = len(self._facts)
-        self._by_predicate.setdefault(new_fact.predicate, []).append(new_fact)
-        terms = new_fact.terms
-        for position, term in enumerate(terms):
-            if isinstance(term, (Constant, Null)):
-                key = (new_fact.predicate, position, term)
-                self._by_position.setdefault(key, []).append(new_fact)
-        composite = self._composite.get(new_fact.predicate)
+        sequence = len(self._facts)
+        self._facts[new_fact] = sequence
+        rows = self._by_predicate.get(predicate)
+        if rows is None:
+            rows = self._by_predicate[predicate] = []
+            self._columns[predicate] = tuple(
+                [] for _ in range(new_fact.arity)
+            )
+            self._row_seq[predicate] = []
+        row = len(rows)
+        rows.append(new_fact)
+        self._row_seq[predicate].append(sequence)
+        self._loc.append((predicate, row))
+        intern = self._symbols.intern
+        ids = tuple(intern(term) for term in new_fact.terms)
+        columns = self._columns[predicate]
+        for position, symbol_id in enumerate(ids):
+            columns[position].append(symbol_id)
+            key = (predicate, position, symbol_id)
+            self._by_position.setdefault(key, []).append(new_fact)
+        composite = self._composite.get(predicate)
         if composite:
             for positions, buckets in composite.items():
-                key = tuple(terms[position] for position in positions)
-                buckets.setdefault(key, []).append(new_fact)
+                if len(positions) == 1:
+                    bucket_key: object = ids[positions[0]]
+                else:
+                    bucket_key = tuple(ids[p] for p in positions)
+                buckets.setdefault(bucket_key, []).append(row)
         if self._facts_cache:
-            self._facts_cache.pop(new_fact.predicate, None)
+            self._facts_cache.pop(predicate, None)
             self._facts_cache.pop(None, None)
         return True
 
@@ -128,6 +182,36 @@ class Database:
         """
         return self._facts[current]
 
+    def fact_at(self, sequence: int) -> Fact:
+        """The stored fact with the given sequence number (the inverse of
+        :meth:`sequence`); lets provenance layers key their structures by
+        int and decode only at the rendering boundary."""
+        predicate, row = self._loc[sequence]
+        return self._by_predicate[predicate][row]
+
+    def location(self, current: Fact) -> tuple[str, int]:
+        """``(predicate, row)`` of a stored fact in the column store."""
+        return self._loc[self._facts[current]]
+
+    # ------------------------------------------------------------------
+    # Columnar views (read-only, live — used by the compiled kernels)
+    # ------------------------------------------------------------------
+    def columns(self, predicate: str) -> tuple[list[int], ...]:
+        """The id columns of a predicate, one list per argument position.
+
+        Live views: they grow in place on :meth:`add`, so references
+        captured at kernel-compile time stay valid.  Never mutate them.
+        """
+        return self._columns.get(predicate, _NO_COLUMNS)
+
+    def rows(self, predicate: str) -> Sequence[Fact]:
+        """The row-aligned fact list of a predicate (live, read-only)."""
+        return self._by_predicate.get(predicate, _EMPTY)
+
+    def row_sequences(self, predicate: str) -> Sequence[int]:
+        """Row-aligned global sequence numbers (live, read-only)."""
+        return self._row_seq.get(predicate, _NO_ROWS)
+
     # ------------------------------------------------------------------
     # Matching
     # ------------------------------------------------------------------
@@ -135,16 +219,25 @@ class Database:
         """Facts that could match ``pattern`` under ``binding``.
 
         Uses the most selective constant-position index available; falls
-        back to the predicate index.  Returns a live read-only view of the
-        stored index list — callers must not mutate it, and must finish
-        iterating before adding facts.
+        back to the predicate index.  Constants resolve through the
+        symbol table first — a value that was never interned cannot occur
+        in any stored fact, so the miss is decided without touching an
+        index.  Returns a live read-only view of the stored index list —
+        callers must not mutate it, and must finish iterating before
+        adding facts.
         """
         best: Sequence[Fact] | None = None
+        lookup = self._symbols.lookup
         for position, term in enumerate(pattern.terms):
             if isinstance(term, Variable):
                 term = binding.get(term, term)
             if isinstance(term, (Constant, Null)):
-                indexed = self._by_position.get((pattern.predicate, position, term))
+                symbol_id = lookup(term)
+                if symbol_id is None:
+                    return _EMPTY
+                indexed = self._by_position.get(
+                    (pattern.predicate, position, symbol_id)
+                )
                 if indexed is None:
                     return _EMPTY
                 if best is None or len(indexed) < len(best):
@@ -155,21 +248,29 @@ class Database:
 
     def index_on(
         self, predicate: str, positions: tuple[int, ...]
-    ) -> dict[tuple[Term, ...], list[Fact]]:
+    ) -> dict[object, list[int]]:
         """The composite hash index of ``predicate`` keyed on ``positions``.
 
-        Built from the current facts on first use and maintained
-        incrementally by :meth:`add` afterwards; bucket lists keep
-        insertion order.  ``positions`` must be strictly increasing.
+        Keys are interned ids — the bare id for a single position, an id
+        tuple otherwise; values are row numbers into ``rows(predicate)``
+        in insertion order.  Built from the current columns on first use
+        and maintained incrementally by :meth:`add` afterwards.
+        ``positions`` must be strictly increasing.
         """
         composite = self._composite.setdefault(predicate, {})
         buckets = composite.get(positions)
         if buckets is None:
             buckets = {}
-            for current in self._by_predicate.get(predicate, _EMPTY):
-                terms = current.terms
-                key = tuple(terms[position] for position in positions)
-                buckets.setdefault(key, []).append(current)
+            columns = self._columns.get(predicate)
+            if columns:
+                if len(positions) == 1:
+                    for row, symbol_id in enumerate(columns[positions[0]]):
+                        buckets.setdefault(symbol_id, []).append(row)
+                else:
+                    selected = tuple(columns[p] for p in positions)
+                    for row in range(len(selected[0])):
+                        key = tuple(column[row] for column in selected)
+                        buckets.setdefault(key, []).append(row)
             composite[positions] = buckets
         return buckets
 
@@ -199,20 +300,32 @@ class Database:
     def copy(self) -> "Database":
         """An independent copy of this database.
 
-        Facts are immutable, so the indexes can be duplicated structurally
-        (dict/list shallow copies) instead of re-deriving them fact by
-        fact through :meth:`add` — O(facts + index entries) with no
-        hashing or arity re-checks.  Composite indexes and memoized fact
-        tuples are caches; the copy starts without them and rebuilds on
-        demand.  Mutating either database afterwards never affects the
-        other.
+        Facts are immutable, so the row and column stores can be
+        duplicated structurally (dict/list shallow copies) instead of
+        re-deriving them fact by fact through :meth:`add` — O(facts +
+        index entries) with no hashing or arity re-checks.  The symbol
+        table is *shared*, not copied: it is append-only, so both sides
+        keep identical encodings however they diverge afterwards.
+        Composite indexes and memoized fact tuples are caches; the copy
+        starts without them and rebuilds on demand.  Mutating either
+        database afterwards never affects the other.
         """
         clone = Database.__new__(Database)
+        clone._symbols = self._symbols
         clone._facts = dict(self._facts)
         clone._by_predicate = {
             predicate: list(facts)
             for predicate, facts in self._by_predicate.items()
         }
+        clone._columns = {
+            predicate: tuple(list(column) for column in columns)
+            for predicate, columns in self._columns.items()
+        }
+        clone._row_seq = {
+            predicate: list(sequences)
+            for predicate, sequences in self._row_seq.items()
+        }
+        clone._loc = list(self._loc)
         clone._by_position = {
             key: list(facts) for key, facts in self._by_position.items()
         }

@@ -1,20 +1,21 @@
-"""Hash-join execution of compiled :mod:`~repro.engine.planner` plans.
+"""Execution entry point for compiled :mod:`~repro.engine.planner` plans.
 
-The executor evaluates a rule body set-at-a-time: each :class:`JoinStep`
-probes a lazily built composite index in the :class:`Database` (build
-side) with the partial bindings accumulated so far (probe side), binds the
-atom's new variables directly from the matched fact's term tuple, and
-applies the step's hoisted assignments, comparisons and negation checks
-before the next join.
+The actual join machinery lives in :mod:`repro.engine.kernels`: each
+:class:`RulePlan` compiles into a :class:`~repro.engine.kernels.RuleKernel`
+— specialized closures that probe the database's composite indexes with
+interned-id keys, bind and compare ints in a flat register file, and
+evaluate hoisted conditions, assignments and negation checks without
+touching term objects.  This module keeps the strategy-facing contract:
 
 **Provenance parity.**  The naive engine enumerates homomorphisms
 depth-first over body atoms in written order, with candidates in fact
 insertion order — i.e. in lexicographic order of the matched facts'
-insertion-sequence tuple.  The executor therefore re-sorts its (order
-independent) output by exactly that key and re-serializes each binding in
-naive first-binding order, so the ``planned`` strategy fires matches in
-the byte-identical order, producing identical derived facts, labelled
-nulls and :class:`ChaseStepRecord` provenance.
+insertion-sequence tuple.  Kernel output is therefore re-sorted by
+exactly that key, and each binding is rebuilt from the matched facts'
+actual stored terms and re-serialized in naive first-binding order, so
+the ``planned`` strategy fires matches in the byte-identical order,
+producing identical derived facts, labelled nulls and
+:class:`ChaseStepRecord` provenance.
 
 **Hoisting and evaluation errors.**  A hoisted condition or assignment
 may be evaluated on a partial binding that naive evaluation would have
@@ -30,17 +31,11 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from ..datalog.atoms import Fact
-from ..datalog.conditions import evaluate_assignment
-from ..datalog.errors import EvaluationError
-from ..datalog.terms import Variable
-from ..datalog.unify import MutableSubstitution
 from .database import Database
-from .planner import JoinPlan, RulePlan
+from .kernels import Match, RuleKernel, compile_rule_kernel
+from .planner import RulePlan
 
-#: A full body match: (binding, matched facts in original body order).
-Match = tuple[MutableSubstitution, tuple[Fact, ...]]
-
-_EMPTY: tuple[Fact, ...] = ()
+__all__ = ["Match", "group_by_predicate", "execute_rule_plan"]
 
 
 def group_by_predicate(facts: Iterable[Fact]) -> dict[str, list[Fact]]:
@@ -51,145 +46,27 @@ def group_by_predicate(facts: Iterable[Fact]) -> dict[str, list[Fact]]:
     return grouped
 
 
-def execute_plan(
-    plan: JoinPlan,
-    database: Database,
-    exclude: frozenset[Fact],
-    delta_by_predicate: Mapping[str, list[Fact]] | None = None,
-    stats: dict | None = None,
-) -> list[Match]:
-    """All full matches of one plan, unsorted, parents in body order."""
-    probes = 0
-    scanned = 0
-    pruned = 0
-    # A partial is (binding, facts-in-step-order); breadth-first through
-    # the steps so each composite index is resolved once per step.
-    partials: list[tuple[MutableSubstitution, tuple[Fact, ...]]] = [({}, ())]
-    for step_index, step in enumerate(plan.steps):
-        predicate = step.atom.predicate
-        pivot_step = plan.pivot is not None and step_index == 0
-        buckets = None
-        source: Iterable[Fact] = _EMPTY
-        if pivot_step:
-            if delta_by_predicate is not None:
-                source = delta_by_predicate.get(predicate, _EMPTY)
-        elif step.probe_positions:
-            buckets = database.index_on(predicate, step.probe_positions)
-        else:
-            source = database.facts(predicate)
-        probe_pairs = tuple(zip(step.probe_positions, step.probe_terms))
-        next_partials: list[tuple[MutableSubstitution, tuple[Fact, ...]]] = []
-        for binding, used in partials:
-            probes += 1
-            if buckets is not None:
-                key = tuple(
-                    binding[term] if type(term) is Variable else term
-                    for term in step.probe_terms
-                )
-                candidates = buckets.get(key, _EMPTY)
-                verify_probe = False
-            else:
-                candidates = source
-                verify_probe = bool(probe_pairs)
-            for candidate in candidates:
-                scanned += 1
-                if exclude and candidate in exclude:
-                    continue
-                terms = candidate.terms
-                if verify_probe and any(
-                    terms[position]
-                    != (binding[term] if type(term) is Variable else term)
-                    for position, term in probe_pairs
-                ):
-                    continue
-                extended = dict(binding)
-                for position, variable in step.bind_positions:
-                    extended[variable] = terms[position]
-                if any(
-                    extended[variable] != terms[position]
-                    for position, variable in step.check_positions
-                ):
-                    continue
-                ok = True
-                for variable, expression in step.assignments:
-                    try:
-                        extended[variable] = evaluate_assignment(
-                            expression, extended
-                        )
-                    except EvaluationError:
-                        ok = False
-                        break
-                if ok:
-                    try:
-                        ok = all(
-                            condition.holds(extended)
-                            for condition in step.conditions
-                        )
-                    except EvaluationError:
-                        ok = False
-                if not ok:
-                    pruned += 1
-                    continue
-                if step.negated and any(
-                    next(database.match(pattern, extended, exclude), None)
-                    is not None
-                    for pattern in step.negated
-                ):
-                    continue
-                next_partials.append((extended, used + (candidate,)))
-        partials = next_partials
-        if not partials:
-            break
-    if stats is not None:
-        stats["probes"] = stats.get("probes", 0) + probes
-        stats["scanned"] = stats.get("scanned", 0) + scanned
-        stats["pruned"] = stats.get("pruned", 0) + pruned
-        stats["matches"] = stats.get("matches", 0) + len(partials)
-    restore = plan.step_of_atom
-    return [
-        (binding, tuple(used[restore[index]] for index in range(len(restore))))
-        for binding, used in partials
-    ]
-
-
 def execute_rule_plan(
     rule_plan: RulePlan,
     database: Database,
     exclude: frozenset[Fact],
     delta_by_predicate: Mapping[str, list[Fact]] | None = None,
     stats: dict | None = None,
+    kernel: RuleKernel | None = None,
 ) -> list[Match]:
     """A rule's full matches in naive enumeration order.
 
     Without a delta, the full plan runs; with one, every delta variant
     whose pivot predicate intersects the delta runs and the union is
-    deduplicated by parents tuple (a homomorphism touching two delta
-    facts is found once per pivot).  Either way the result is sorted by
-    the insertion-sequence tuple of the parents and each binding is
-    re-serialized in naive first-binding order (see module docstring).
+    deduplicated (a homomorphism touching two delta facts is found once
+    per pivot).  Either way the result is sorted by the insertion-sequence
+    tuple of the parents and each binding is serialized in naive
+    first-binding order (see module docstring).
+
+    Pass ``kernel`` (from :func:`~repro.engine.kernels.compile_rule_kernel`)
+    to reuse a compiled kernel across rounds — the chase compiles once per
+    stratum; without one, the plan is compiled fresh for this call.
     """
-    if delta_by_predicate is None:
-        matches = execute_plan(
-            rule_plan.full, database, exclude, stats=stats
-        )
-    else:
-        matches = []
-        seen: set[tuple[Fact, ...]] = set()
-        for variant in rule_plan.delta_variants:
-            pivot_predicate = rule_plan.rule.body[variant.pivot].predicate
-            if pivot_predicate not in delta_by_predicate:
-                continue
-            for binding, used in execute_plan(
-                variant, database, exclude, delta_by_predicate, stats=stats
-            ):
-                if used in seen:
-                    continue
-                seen.add(used)
-                matches.append((binding, used))
-    sequence = database.sequence
-    matches.sort(key=lambda match: tuple(sequence(f) for f in match[1]))
-    canonical = rule_plan.full.canonical_variables
-    return [
-        ({variable: binding[variable] for variable in canonical}, used)
-        for binding, used in matches
-    ]
+    if kernel is None:
+        kernel = compile_rule_kernel(rule_plan, database)
+    return kernel.execute(database, exclude, delta_by_predicate, stats)

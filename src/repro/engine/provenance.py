@@ -107,15 +107,29 @@ class ProvenanceTracker:
         self.index = index
         self._intensional = result.program.intensional_predicates()
 
+        # Depth memoization is keyed by the fact's global insertion
+        # sequence (an int the columnar store already maintains) instead
+        # of hashing whole fact tuples on every cache probe; facts are
+        # decoded only to follow parent links.
+        database = result.database
+        sequence = database.sequence
+
         @lru_cache(maxsize=None)
-        def depth(current: Fact) -> int:
-            record = self.result.derivation.get(current)
+        def depth_at(seq: int) -> int:
+            record = self.result.derivation.get(database.fact_at(seq))
             if record is None:
                 return 0
             parents = self._intensional_parents(record)
             if not parents:
                 return 1
-            return 1 + max(depth(parent) for parent in parents)
+            return 1 + max(depth_at(sequence(parent)) for parent in parents)
+
+        def depth(current: Fact) -> int:
+            try:
+                seq = sequence(current)
+            except KeyError:
+                return 0
+            return depth_at(seq)
 
         self._depth = depth
 

@@ -68,10 +68,14 @@ class ProvenanceIndex:
     def _build(self, result: ChaseResult) -> None:
         intensional = result.program.intensional_predicates()
         derivation = result.derivation
+        # Adjacency and depth are keyed by the columnar store's global
+        # insertion sequence — dense ints instead of fact-tuple hashes —
+        # and translated at the public-method boundary.
+        sequence = result.database.sequence
         parents: dict[int, tuple[Fact, ...]] = {}
-        children: dict[Fact, list[ChaseStepRecord]] = {}
+        children: dict[int, list[ChaseStepRecord]] = {}
         buckets: dict[str, list[ChaseStepRecord]] = {}
-        depth: dict[Fact, int] = {}
+        depth: dict[int, int] = {}
         edges = 0
         # Records are index-ordered and every parent of a record was
         # materialized before it fired, so one forward pass computes
@@ -83,15 +87,17 @@ class ProvenanceIndex:
             )
             parents[record.index] = intensional_parents
             if intensional_parents:
-                depth[record.fact] = 1 + max(
-                    depth[parent] for parent in intensional_parents
+                depth[sequence(record.fact)] = 1 + max(
+                    depth[sequence(parent)]
+                    for parent in intensional_parents
                 )
             else:
-                depth[record.fact] = 1
+                depth[sequence(record.fact)] = 1
             for parent in record.parents:
-                children.setdefault(parent, []).append(record)
+                children.setdefault(sequence(parent), []).append(record)
                 edges += 1
             buckets.setdefault(record.fact.predicate, []).append(record)
+        self._sequence = sequence
         self._derivation = derivation
         self._parents = parents
         self._children = children
@@ -126,7 +132,11 @@ class ProvenanceIndex:
 
     def children(self, current: Fact) -> tuple[ChaseStepRecord, ...]:
         """Every chase step that consumed ``current`` (reverse adjacency)."""
-        return tuple(self._children.get(current, ()))
+        try:
+            seq = self._sequence(current)
+        except KeyError:
+            return ()
+        return tuple(self._children.get(seq, ()))
 
     def records_for_predicate(self, predicate: str) -> tuple[ChaseStepRecord, ...]:
         """All derivation steps producing ``predicate`` facts, in order."""
@@ -135,7 +145,11 @@ class ProvenanceIndex:
     def depth(self, current: Fact) -> int:
         """Length of the longest derivation chain below ``current``
         (0 for extensional facts)."""
-        return self._depth.get(current, 0)
+        try:
+            seq = self._sequence(current)
+        except KeyError:
+            return 0
+        return self._depth.get(seq, 0)
 
     def fact_key(self, current: Fact) -> str:
         """An interned string key for ``current``.
@@ -185,9 +199,10 @@ class ProvenanceIndex:
             parents = self._parents.get(record.index, ())
             if parents:
                 depth = self._depth
+                sequence = self._sequence
                 spine_parent = max(
                     parents,
-                    key=lambda p: (depth[p], -record.parents.index(p)),
+                    key=lambda p: (depth[sequence(p)], -record.parents.index(p)),
                 )
                 side = tuple(
                     self._derivation[p].rule_label

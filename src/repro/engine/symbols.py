@@ -1,0 +1,117 @@
+"""Constant interning: the dictionary of the columnar execution core.
+
+The columnar store (:mod:`repro.engine.database`) keeps relations as
+tuples of dense integer ids instead of term objects.  The mapping between
+ground terms and ids lives here, in a :class:`SymbolTable`:
+
+* **value equality** — ids follow the equality semantics of the
+  term-keyed hash indexes they replace, so ``Constant(1)``,
+  ``Constant(1.0)`` and ``Constant(True)`` (equal under Python's numeric
+  tower) share one id.  Joins over ids therefore find exactly the
+  homomorphisms the tuple-at-a-time matcher finds.  The *canonical term*
+  of an id is whichever value-equal term was interned first; rendering
+  never goes through canonical terms (facts keep their original term
+  objects), so interning cannot change any output byte.
+* **append-only** — an id, once assigned, never changes or disappears.
+  Databases that share a table (every :meth:`Database.copy`, and every
+  chase working copy) can therefore diverge in content while always
+  agreeing on the encoding of the terms they have in common.
+* **dense** — ids are ``0..len(table)-1``, so per-id side tables are
+  plain lists and :meth:`terms_view` can hand the kernel compiler a
+  positionally indexed view with no hashing on the read path.
+
+One table is created per root :class:`~repro.engine.database.Database`
+and flows through copies and ``io.py`` snapshots (``repro-db/1``), which
+persist the id order so warm starts rebuild the identical encoding.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Iterator
+
+from ..datalog.terms import Term
+
+
+class SymbolTable:
+    """Bidirectional map between ground terms and dense integer ids."""
+
+    __slots__ = ("_id_of", "_terms", "_lock")
+
+    def __init__(self) -> None:
+        self._id_of: dict[Term, int] = {}
+        self._terms: list[Term] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, term: Term) -> int:
+        """The id of ``term``, assigning the next dense id on first sight.
+
+        Lock-free on the hit path (dict reads are atomic under the GIL);
+        the slow path re-checks under a lock so concurrent first sights
+        of value-equal terms agree on one id.
+        """
+        existing = self._id_of.get(term)
+        if existing is not None:
+            return existing
+        with self._lock:
+            existing = self._id_of.get(term)
+            if existing is not None:
+                return existing
+            assigned = len(self._terms)
+            self._terms.append(term)
+            self._id_of[term] = assigned
+            return assigned
+
+    def lookup(self, term: Term) -> int | None:
+        """The id of ``term`` if it has ever been interned, else ``None``.
+
+        A ``None`` result proves no stored fact contains a value equal to
+        ``term`` — the index fast path for constant probes that miss.
+        """
+        return self._id_of.get(term)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def term(self, symbol_id: int) -> Term:
+        """The canonical term of an id (the first value-equal term seen)."""
+        return self._terms[symbol_id]
+
+    def terms_view(self) -> list[Term]:
+        """The live id-indexed term list (read-only; grows on intern).
+
+        Handed to compiled kernels so decoding an id is one list index.
+        Callers must never mutate it.
+        """
+        return self._terms
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._id_of
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore(cls, terms: Iterable[Term]) -> "SymbolTable":
+        """Rebuild a table from an id-ordered term sequence (see
+        ``io.py``'s ``repro-db/1`` snapshots).  Ids are reassigned
+        positionally, so a table restored from :meth:`terms_view` output
+        encodes every term exactly as the original did."""
+        table = cls()
+        for term in terms:
+            table._terms.append(term)
+            table._id_of.setdefault(term, len(table._terms) - 1)
+        return table
+
+    def snapshot(self) -> dict:
+        """Size figures for stats documents and tests."""
+        return {"symbols": len(self._terms)}

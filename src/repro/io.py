@@ -35,7 +35,9 @@ from .datalog.errors import ParseError
 from .datalog.parser import _TokenStream, _parse_atom, _tokenize
 from .datalog.program import Program
 from .datalog.parser import parse_program
+from .datalog.terms import Null, Term, intern_constant
 from .engine.database import Database
+from .engine.symbols import SymbolTable
 
 _PRAGMA_RE = re.compile(r"^[%#]\s*@(name|goal)\s+(\S+)\s*$", re.MULTILINE)
 
@@ -108,6 +110,87 @@ def save_facts(database: Database | Iterable[Fact], path: str | Path) -> None:
     """Write a database (or any fact iterable) as a fact file."""
     lines = [f"{fact}." for fact in database]
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Database snapshots (repro-db/1): facts plus their interned encoding
+# ----------------------------------------------------------------------
+
+#: Snapshot format identifier (bump on incompatible layout changes).
+DATABASE_SNAPSHOT_FORMAT = "repro-db/1"
+
+
+def _dump_term(term: Term) -> dict:
+    if isinstance(term, Null):
+        return {"null": term.label}
+    return {"c": term.value}  # type: ignore[union-attr]
+
+
+def _load_term(payload: dict) -> Term:
+    if "null" in payload:
+        return Null(int(payload["null"]))
+    return intern_constant(payload["c"])
+
+
+def dumps_database(database: Database) -> str:
+    """Serialize a database as a ``repro-db/1`` JSON snapshot.
+
+    The snapshot carries the symbol table (every interned term, in id
+    order) and each fact as ``[predicate, [ids]]`` in global insertion
+    sequence order, so a warm start rebuilds the *identical* columnar
+    encoding: same ids, same insertion sequences, same index contents.
+
+    One normalization caveat: the symbol table maps value-equal terms
+    (``1``, ``1.0``, ``True``) to one id, so a snapshot stores only each
+    id's canonical term.  Facts mixing value-equal constants of distinct
+    types round-trip to the canonical spelling — their ``str()``
+    rendering (what fact files and explanations show) is unchanged, as
+    ``str(Constant(1.0)) == str(Constant(1)) == "1"``.
+    """
+    symbols = database.symbols
+    payload = {
+        "format": DATABASE_SNAPSHOT_FORMAT,
+        "symbols": [_dump_term(term) for term in symbols],
+        "facts": [
+            [current.predicate, [symbols.lookup(t) for t in current.terms]]
+            for current in database.facts()
+        ],
+    }
+    return json.dumps(payload, ensure_ascii=False)
+
+
+def loads_database(text: str) -> Database:
+    """Rebuild a database from a ``repro-db/1`` snapshot.
+
+    The symbol table is restored positionally first, then facts are added
+    in their original sequence order from the canonical terms — interning
+    finds the restored entries, so every id round-trips.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != DATABASE_SNAPSHOT_FORMAT:
+        raise ParseError(
+            f"not a {DATABASE_SNAPSHOT_FORMAT} snapshot: "
+            f"format={payload.get('format')!r}",
+            text, 0,
+        )
+    symbols = SymbolTable.restore(
+        _load_term(entry) for entry in payload["symbols"]
+    )
+    database = Database(symbols=symbols)
+    term = symbols.term
+    for predicate, ids in payload["facts"]:
+        database.add(Fact(predicate, tuple(term(i) for i in ids)))
+    return database
+
+
+def save_database(database: Database, path: str | Path) -> None:
+    """Write a ``repro-db/1`` snapshot file."""
+    Path(path).write_text(dumps_database(database) + "\n", encoding="utf-8")
+
+
+def load_database(path: str | Path) -> Database:
+    """Load a ``repro-db/1`` snapshot file."""
+    return loads_database(Path(path).read_text(encoding="utf-8"))
 
 
 # ----------------------------------------------------------------------

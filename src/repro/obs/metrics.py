@@ -212,9 +212,11 @@ class ServiceMetrics(MetricsRegistry):
     Deprecation alias: ``repro.core.service.ServiceMetrics`` re-exports
     this class.  ``incr``/``observe``/``counter`` keep their signatures
     and :meth:`snapshot` keeps the pre-observability shape (``counters``
-    plus ``latency`` with exact count/total/mean/max per timer) so
-    existing ``--metrics`` consumers parse unchanged output; the full
-    registry view is available as :meth:`registry_snapshot`.
+    plus ``latency`` with exact count/total/mean/max per timer, plus a
+    ``gauges`` section when any gauge was set — e.g. ``chase.symbols``
+    under the planned strategy) so existing ``--metrics`` consumers
+    parse unchanged output; the full registry view is available as
+    :meth:`registry_snapshot`.
     """
 
     def incr(self, name: str, amount: int = 1) -> None:
@@ -228,6 +230,7 @@ class ServiceMetrics(MetricsRegistry):
     def snapshot(self) -> dict:
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         latency = {}
         for name, histogram in histograms.items():
@@ -241,7 +244,10 @@ class ServiceMetrics(MetricsRegistry):
                 "mean_s": total / count if count else 0.0,
                 "max_s": maximum,
             }
-        return {"counters": counters, "latency": latency}
+        snapshot = {"counters": counters, "latency": latency}
+        if gauges:
+            snapshot["gauges"] = gauges
+        return snapshot
 
     def registry_snapshot(self) -> dict:
         return MetricsRegistry.snapshot(self)

@@ -236,6 +236,17 @@ class TestStrategyFlag:
         assert snapshot["counters"]["chase.plan_compiled"] >= 1
         assert snapshot["counters"]["chase.plan_matches"] >= 1
 
+    def test_planned_metrics_expose_kernel_telemetry(self, capsys):
+        assert main([
+            "explain", "--app", "company_control",
+            "--strategy", "planned", "--metrics",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().err)
+        assert snapshot["counters"]["chase.kernels_compiled"] >= 1
+        assert snapshot["counters"]["chase.kernel_execs"] >= 1
+        assert snapshot["latency"]["chase.kernel_compile_s"]["count"] >= 1
+        assert snapshot["gauges"]["chase.symbols"] >= 1
+
     def test_planned_stats_document_has_plans(self, capsys, tmp_path):
         stats_file = tmp_path / "stats.json"
         assert main([
@@ -246,6 +257,21 @@ class TestStrategyFlag:
         chase_section = document["chase"]
         assert chase_section["plans_compiled"] >= 1
         assert chase_section["plans"]
+
+    def test_planned_stats_document_has_kernel_telemetry(self, capsys, tmp_path):
+        stats_file = tmp_path / "stats.json"
+        assert main([
+            "stats", "--app", "company_control",
+            "--strategy", "planned", "--stats", str(stats_file),
+        ]) == 0
+        chase_section = json.loads(stats_file.read_text())["chase"]
+        assert chase_section["kernels_compiled"] >= 1
+        assert chase_section["kernel_compile_s"] > 0
+        assert chase_section["symbols"] >= 1
+        assert all(
+            entry["kernel_execs"] >= 1
+            for entry in chase_section["plans"].values()
+        )
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(SystemExit):

@@ -112,15 +112,32 @@ class TestSequencesAndCompositeIndexes:
             fact("Own", "A", "C", 0.3),
             fact("Own", "B", "C", 0.7),
         ])
+        # Buckets are keyed by interned id (bare for one position) and
+        # hold row numbers into rows("Own").
         buckets = database.index_on("Own", (0,))
-        assert [f.terms[1].value for f in buckets[(Constant("A"),)]] == ["B", "C"]
-        assert len(buckets[(Constant("B"),)]) == 1
+        rows = database.rows("Own")
+        key_a = database.symbols.lookup(Constant("A"))
+        key_b = database.symbols.lookup(Constant("B"))
+        assert [rows[r].terms[1].value for r in buckets[key_a]] == ["B", "C"]
+        assert len(buckets[key_b]) == 1
+
+    def test_index_on_composite_key_is_id_tuple(self):
+        database = Database([
+            fact("Own", "A", "B", 0.6),
+            fact("Own", "A", "C", 0.3),
+        ])
+        buckets = database.index_on("Own", (0, 1))
+        lookup = database.symbols.lookup
+        key = (lookup(Constant("A")), lookup(Constant("C")))
+        assert [database.rows("Own")[r] for r in buckets[key]] == [
+            fact("Own", "A", "C", 0.3)
+        ]
 
     def test_index_on_maintained_incrementally_by_add(self):
         database = Database([fact("Own", "A", "B", 0.6)])
         buckets = database.index_on("Own", (0,))
         database.add(fact("Own", "A", "C", 0.9))
-        assert len(buckets[(Constant("A"),)]) == 2
+        assert len(buckets[database.symbols.lookup(Constant("A"))]) == 2
 
     def test_facts_cache_invalidated_on_add(self):
         database = Database([fact("P", "A")])
@@ -137,9 +154,61 @@ class TestSequencesAndCompositeIndexes:
         clone = original.copy()
         assert clone.composite_index_count() == 0
         clone.add(fact("Own", "A", "C", 0.9))
-        buckets = clone.index_on("Own", (0,))
-        assert len(buckets[(Constant("A"),)]) == 2
-        assert len(original.index_on("Own", (0,))[(Constant("A"),)]) == 1
+        key = clone.symbols.lookup(Constant("A"))
+        assert len(clone.index_on("Own", (0,))[key]) == 2
+        assert len(original.index_on("Own", (0,))[key]) == 1
+
+
+class TestColumnarStore:
+    def test_columns_are_row_aligned_interned_ids(self):
+        database = Database([
+            fact("Own", "A", "B", 0.6),
+            fact("Own", "A", "C", 0.3),
+        ])
+        columns = database.columns("Own")
+        assert len(columns) == 3
+        term = database.symbols.term
+        rows = database.rows("Own")
+        for position, column in enumerate(columns):
+            assert [term(i) for i in column] == [
+                row.terms[position] for row in rows
+            ]
+
+    def test_columns_of_missing_predicate_empty(self):
+        assert Database().columns("Nope") == ()
+        assert len(Database().rows("Nope")) == 0
+
+    def test_columns_view_is_live(self):
+        database = Database([fact("P", "A")])
+        column = database.columns("P")[0]
+        database.add(fact("P", "B"))
+        assert len(column) == 2
+
+    def test_location_and_fact_at_invert_sequence(self):
+        database = Database([fact("P", "B"), fact("Q", "X"), fact("P", "A")])
+        for current in database.facts():
+            seq = database.sequence(current)
+            assert database.fact_at(seq) == current
+            predicate, row = database.location(current)
+            assert database.rows(predicate)[row] == current
+        assert database.row_sequences("P") == [0, 2]
+
+    def test_copy_shares_symbol_table(self):
+        original = Database([fact("P", "A")])
+        clone = original.copy()
+        assert clone.symbols is original.symbols
+        clone.add(fact("P", "B"))
+        # New interning is visible to both (append-only table) but the
+        # fact itself is not.
+        assert Constant("B") in original.symbols
+        assert fact("P", "B") not in original
+
+    def test_value_equal_constants_share_an_id(self):
+        database = Database([fact("P", 1), fact("Q", 1.0), fact("R", True)])
+        lookup = database.symbols.lookup
+        assert lookup(Constant(1)) == lookup(Constant(1.0)) == lookup(Constant(True))
+        # Facts keep their original spelling regardless.
+        assert str(database.facts("Q")[0]) == "Q(1)"
 
 
 class TestCopy:

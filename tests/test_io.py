@@ -10,13 +10,17 @@ from repro.datalog import ParseError, fact
 from repro.engine import Database
 from repro.io import (
     dump_glossary,
+    dumps_database,
+    load_database,
     load_facts,
     load_glossary,
     load_program,
+    loads_database,
     loads_facts,
     loads_glossary,
     loads_program,
     parse_fact,
+    save_database,
     save_facts,
 )
 
@@ -111,6 +115,66 @@ class TestGlossaryFiles:
         reloaded = load_glossary(path)
         assert reloaded.predicates() == glossary.predicates()
         assert reloaded.entry("Own").text == glossary.entry("Own").text
+
+
+class TestDatabaseSnapshots:
+    """``repro-db/1`` snapshots: symbol table + interned facts, so a warm
+    start rebuilds the identical columnar encoding."""
+
+    def test_roundtrip_preserves_encoding(self):
+        database = Database([
+            fact("Own", "A", "B", 0.6),
+            fact("Company", "A"),
+            fact("Own", "B", "C", 0.7),
+        ])
+        restored = loads_database(dumps_database(database))
+        assert restored.facts() == database.facts()
+        for current in database.facts():
+            assert restored.sequence(current) == database.sequence(current)
+        for term in database.symbols:
+            assert restored.symbols.lookup(term) == database.symbols.lookup(term)
+
+    def test_roundtrip_preserves_nulls_from_chase(self):
+        from repro.datalog import parse_program
+        from repro.engine import chase
+
+        program = parse_program(
+            "r: Person(x) -> HasParent(x, z).", name="nulls", goal="HasParent"
+        )
+        chased = chase(
+            program, Database([fact("Person", "A"), fact("Person", "B")]),
+            strategy="planned",
+        ).database
+        restored = loads_database(dumps_database(chased))
+        assert restored.facts() == chased.facts()
+        assert [str(f) for f in restored.facts("HasParent")] == [
+            str(f) for f in chased.facts("HasParent")
+        ]
+
+    def test_numeric_types_survive_json(self):
+        database = Database([fact("P", 2), fact("Q", 2.5), fact("R", True)])
+        restored = loads_database(dumps_database(database))
+        assert [repr(f.terms[0]) for f in restored.facts()] == [
+            "Constant(2)", "Constant(2.5)", "Constant(True)",
+        ]
+
+    def test_value_equal_terms_restore_to_canonical_spelling(self):
+        """The documented normalization caveat: 1.0 shares 1's id, so a
+        round-trip re-spells it canonically — str() output unchanged."""
+        database = Database([fact("P", 1), fact("Q", 1.0)])
+        restored = loads_database(dumps_database(database))
+        assert repr(restored.facts("Q")[0].terms[0]) == "Constant(1)"
+        assert str(restored.facts("Q")[0]) == str(database.facts("Q")[0])
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ParseError):
+            loads_database(json.dumps({"format": "repro-db/0", "facts": []}))
+
+    def test_roundtrip_via_disk(self, tmp_path):
+        database = Database([fact("Own", "A", "B", 0.6)])
+        path = tmp_path / "db.json"
+        save_database(database, path)
+        assert load_database(path).facts() == database.facts()
 
 
 @pytest.fixture()

@@ -1,5 +1,6 @@
-"""Property-based tests on the extended engine: semi-naive equivalence
-and stratified negation against reference semantics."""
+"""Property-based tests on the extended engine: semi-naive equivalence,
+stratified negation against reference semantics, and the columnar
+store's structural invariants under copy and snapshot round-trips."""
 
 from __future__ import annotations
 
@@ -8,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.datalog import fact, parse_program
 from repro.engine import Database, chase
+from repro.io import dumps_database, loads_database
 
 entity_names = st.sampled_from(["A", "B", "C", "D", "E", "F"])
 edges = st.lists(
@@ -78,6 +80,80 @@ class TestStratifiedNegationProperty:
         naive = chase(NEGATION, database)
         semi = chase(NEGATION, database, strategy="semi-naive")
         assert set(naive.facts("Source")) == set(semi.facts("Source"))
+
+
+def _assert_columnar_invariants(database: Database) -> None:
+    """The structural invariants every Database must uphold:
+    dense monotonic sequences, row-aligned columns, and composite
+    indexes that agree with a from-scratch rebuild."""
+    # Insertion sequences are dense and monotonic over insertion order.
+    facts = database.facts()
+    assert [database.sequence(f) for f in facts] == list(range(len(facts)))
+    # fact_at/location invert sequence.
+    for current in facts:
+        seq = database.sequence(current)
+        assert database.fact_at(seq) == current
+        predicate, row = database.location(current)
+        assert database.rows(predicate)[row] == current
+    # Columns decode back to the stored terms, row by row.
+    term = database.symbols.term
+    for predicate in database.predicates():
+        rows = database.rows(predicate)
+        columns = database.columns(predicate)
+        sequences = database.row_sequences(predicate)
+        assert list(sequences) == sorted(sequences)
+        for position, column in enumerate(columns):
+            assert [term(i) for i in column] == [
+                row.terms[position] for row in rows
+            ]
+    # Incrementally maintained composite indexes match a from-scratch
+    # rebuild over the same symbol table.
+    rebuilt = Database(facts, symbols=database.symbols)
+    for predicate in database.predicates():
+        arity = len(database.columns(predicate))
+        for positions in [(0,), tuple(range(arity))]:
+            assert database.index_on(predicate, positions) == (
+                rebuilt.index_on(predicate, positions)
+            )
+
+
+class TestColumnarStoreProperty:
+    @settings(deadline=None, max_examples=30)
+    @given(edges)
+    def test_invariants_survive_chase_and_copy(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        # Touch composite indexes before copying so the copy must
+        # rebuild its own.
+        database.index_on("E", (0,))
+        result = chase(TRANSITIVE, database, strategy="planned")
+        _assert_columnar_invariants(database)
+        _assert_columnar_invariants(result.database)
+        clone = result.database.copy()
+        clone.add(fact("E", "Z0", "Z1"))
+        _assert_columnar_invariants(clone)
+        # The original is untouched by the clone's growth.
+        assert fact("E", "Z0", "Z1") not in result.database
+        _assert_columnar_invariants(result.database)
+
+    @settings(deadline=None, max_examples=30)
+    @given(edges)
+    def test_interned_ids_round_trip_through_snapshots(self, edge_list):
+        database = Database([fact("E", a, b) for a, b in edge_list])
+        chased = chase(TRANSITIVE, database, strategy="planned").database
+        restored = loads_database(dumps_database(chased))
+        # Same facts in the same global sequence order...
+        assert restored.facts() == chased.facts()
+        assert [restored.sequence(f) for f in restored.facts()] == [
+            chased.sequence(f) for f in chased.facts()
+        ]
+        # ...and the identical interned encoding (a warm start keeps
+        # every id), including index contents.
+        lookup = restored.symbols.lookup
+        for term in chased.symbols:
+            assert lookup(term) == chased.symbols.lookup(term)
+        for predicate in chased.predicates():
+            assert restored.columns(predicate) == chased.columns(predicate)
+        _assert_columnar_invariants(restored)
 
 
 class TestConstraintProperty:

@@ -20,7 +20,14 @@ from repro.apps import (
 )
 from repro.core import Explainer
 from repro.datalog import fact, parse_program
-from repro.engine import ChaseEngine, ChaseGraph, Database, chase, reason
+from repro.engine import (
+    ChaseEngine,
+    ChaseGraph,
+    Database,
+    SymbolTable,
+    chase,
+    reason,
+)
 
 STRATEGIES = ("naive", "semi-naive", "planned")
 
@@ -191,6 +198,64 @@ class TestApplicationParity:
         assert _record_fingerprint(naive) == _record_fingerprint(
             results["planned"].chase_result
         )
+
+
+class TestSymbolTableParity:
+    """Interned id assignments depend on what was seen first; rendered
+    output must not.  Two databases holding the same facts under
+    different id assignments explain byte-identically on every strategy."""
+
+    def _explanations(self, scenario, database):
+        texts = []
+        for strategy in STRATEGIES:
+            result = reason(
+                scenario.application.program, database, strategy=strategy
+            )
+            explainer = Explainer(result, scenario.application.glossary)
+            texts.append(
+                explainer.explain(scenario.target, prefer_enhanced=False).text
+            )
+        return texts
+
+    @staticmethod
+    def _ids_differ(left, right):
+        return any(
+            left.symbols.lookup(term) != right.symbols.lookup(term)
+            for current in left.facts()
+            for term in current.terms
+        )
+
+    def test_reversed_insertion_order_same_explanations(self):
+        """Same program loaded twice with opposite fact insertion orders:
+        the symbol tables assign different ids, the explanations agree
+        byte for byte (left-linear chain, so derivations are unique)."""
+        scenario = _scenario("control_chain")
+        facts = list(scenario.database.facts())
+        forward = Database(facts)
+        backward = Database(list(reversed(facts)))
+        assert self._ids_differ(forward, backward)
+        texts = self._explanations(scenario, forward) + self._explanations(
+            scenario, backward
+        )
+        assert len(set(texts)) == 1
+
+    def test_scrambled_symbol_table_same_explanations(self):
+        """Id assignment isolated from derivation order: identical fact
+        insertion, but one table pre-interned in reverse so every id
+        differs.  Figure 8's aggregation-heavy program must not notice."""
+        scenario = _scenario("figure8")
+        facts = list(scenario.database.facts())
+        table = SymbolTable()
+        for current in reversed(facts):
+            for term in reversed(current.terms):
+                table.intern(term)
+        plain = Database(facts)
+        scrambled = Database(facts, symbols=table)
+        assert self._ids_differ(plain, scrambled)
+        texts = self._explanations(scenario, plain) + self._explanations(
+            scenario, scrambled
+        )
+        assert len(set(texts)) == 1
 
 
 class TestPlannedCornerCases:

@@ -9,6 +9,7 @@ a complete experimental record behind.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -64,19 +65,22 @@ def once(benchmark, function, *args, **kwargs):
                               rounds=1, iterations=1)
 
 
-def emit_stats(name, metrics, tracer=None, chase=None, meta=None, phases=None):
+def emit_stats(name, metrics, tracer=None, chase=None, meta=None, phases=None,
+               profile=None):
     """Write a run's observability stats document next to its artifact.
 
     Benchmarks emit ``<name>_stats.json`` alongside their ``BENCH_*.json``
     so every recorded measurement carries its trajectory context (per-rule
     firing counts, cache hit rates, stage latency percentiles).  Passing a
     :class:`Phases` (or a plain mapping of name -> seconds) adds a
-    ``phases`` section with per-stage wall times.
+    ``phases`` section with per-stage wall times; passing a
+    :class:`~repro.obs.KernelProfiler` fills the ``profile`` section with
+    per-kernel attribution.
     """
     from repro import obs
 
     document = obs.stats_document(
-        metrics, tracer=tracer, chase=chase, meta=meta
+        metrics, tracer=tracer, chase=chase, meta=meta, profile=profile
     )
     if phases is not None:
         document["phases"] = (
@@ -86,4 +90,24 @@ def emit_stats(name, metrics, tracer=None, chase=None, meta=None, phases=None):
     path = RESULTS_DIR / f"{name}_stats.json"
     obs.write_stats(document, path)
     print(f"stats document: {path}")
+    return path
+
+
+def append_history(name, payload, meta=None):
+    """Append one benchmark run to ``BENCH_<name>_history.jsonl``.
+
+    Each run of a benchmark appends a single JSON line — timestamp,
+    optional meta (git ref, CI run id), and the full result payload —
+    so ``repro obs diff`` can compare any run against any earlier one
+    and CI accumulates a longitudinal record instead of overwriting it.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}_history.jsonl"
+    entry: dict = {"ts": round(time.time(), 3), "benchmark": name}
+    if meta:
+        entry["meta"] = dict(meta)
+    entry["payload"] = payload
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+    print(f"history: {path}")
     return path

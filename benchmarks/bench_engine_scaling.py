@@ -27,7 +27,7 @@ from repro.apps import company_control, generators
 from repro.datalog import fact, parse_program
 from repro.engine import Database, chase
 
-from _harness import RESULTS_DIR, emit, emit_stats, once
+from _harness import RESULTS_DIR, append_history, emit, emit_stats, once
 
 STRATEGIES = ("naive", "semi-naive", "planned")
 
@@ -98,6 +98,70 @@ def _with_speedups(seconds):
     }
 
 
+def _measure_obs_overhead(repeats=5):
+    """Quantify the flight-recorder/profiler tax on the planned chase.
+
+    Three best-of-``repeats`` measurements of the same workload:
+
+    * ``baseline_s`` — instrumented code, ambient obs disabled (the
+      shipping default);
+    * ``disabled_s`` — a second identical pass, so the disabled number
+      carries its own noise estimate (the no-op path has no switch to
+      flip — disabled *is* the baseline);
+    * ``enabled_s`` — flight recorder and kernel profiler both live.
+
+    Returns the overhead payload plus the recorder/profiler from the
+    enabled pass (their contents become the flight artifact).
+    """
+    database = _random_edges(nodes=50, edges=120, seed=7)
+
+    def plain():
+        chase(TRANSITIVE, database, strategy="planned")
+
+    recorder = obs.FlightRecorder(capacity=64)
+    profiler = obs.KernelProfiler()
+
+    def recorded():
+        with obs.observed(flight=recorder, profile=profiler):
+            with recorder.record("bench", query="tc(50,120)"):
+                chase(TRANSITIVE, database, strategy="planned")
+
+    def timed(run_once):
+        started = time.perf_counter()
+        run_once()
+        return time.perf_counter() - started
+
+    # Warm up compile/index caches, then interleave the three modes so
+    # scheduler and thermal drift land on all of them equally — the
+    # best-of-N minima compare like with like.
+    plain()
+    recorded()
+    samples = {"baseline": [], "disabled": [], "enabled": []}
+    for _ in range(repeats):
+        samples["baseline"].append(timed(plain))
+        samples["disabled"].append(timed(plain))
+        samples["enabled"].append(timed(recorded))
+    baseline_s = min(samples["baseline"])
+    disabled_s = min(samples["disabled"])
+    enabled_s = min(samples["enabled"])
+
+    def pct(seconds):
+        if not baseline_s:
+            return None
+        return round(max(0.0, (seconds - baseline_s) / baseline_s) * 100, 2)
+
+    overhead = {
+        "workload": "transitive_closure(50 nodes, 120 edges, planned)",
+        "repeats": repeats,
+        "baseline_s": round(baseline_s, 6),
+        "disabled_s": round(disabled_s, 6),
+        "enabled_s": round(enabled_s, 6),
+        "disabled_overhead_pct": pct(disabled_s),
+        "enabled_overhead_pct": pct(enabled_s),
+    }
+    return overhead, recorder, profiler
+
+
 def run(quick=False):
     """Measure all strategies across the workloads; emit BENCH_engine.json."""
     sizes = TC_SIZES_QUICK if quick else TC_SIZES
@@ -143,14 +207,24 @@ def run(quick=False):
             **_with_speedups(timings),
         }
 
+    overhead, recorder, profiler = _measure_obs_overhead()
+    payload["obs_overhead"] = overhead
+
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_engine.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\n===== BENCH_engine ({path}) =====")
     print(json.dumps(payload, indent=2))
     emit_stats(
-        "BENCH_engine", metrics, tracer=tracer,
+        "BENCH_engine", metrics, tracer=tracer, profile=profiler,
         meta={"benchmark": "engine_scaling", "quick": quick},
+    )
+    obs.write_flight(
+        recorder, RESULTS_DIR / "BENCH_engine_flight.json",
+        meta={"benchmark": "engine_scaling", "quick": quick},
+    )
+    append_history(
+        "engine", payload, meta={"benchmark": "engine_scaling"},
     )
     return payload
 

@@ -27,7 +27,7 @@ from repro.core import Explainer, ExplanationService
 from repro.core.cache import LRUCache
 from repro.engine.reasoning import ReasoningResult
 
-from _harness import RESULTS_DIR, Phases, emit_stats
+from _harness import RESULTS_DIR, Phases, append_history, emit_stats
 
 WORKLOADS = {
     "company_control": lambda: generators.control_with_steps(9, seed=3),
@@ -198,6 +198,9 @@ def run(quick=False):
         "BENCH_explain", metrics, tracer=tracer,
         meta={"benchmark": "explain_serving", "quick": quick},
         phases=phases,
+    )
+    append_history(
+        "explain", payload, meta={"benchmark": "explain_serving"},
     )
     return payload
 

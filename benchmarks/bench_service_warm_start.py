@@ -27,7 +27,7 @@ from repro.core import Explainer, ExplanationService, compile_program
 from repro.io import load_compiled_program, save_compiled_program
 from repro.llm import SimulatedLLM
 
-from _harness import RESULTS_DIR, emit_stats
+from _harness import RESULTS_DIR, append_history, emit_stats
 
 WORKLOADS = {
     "company_control": lambda: generators.control_with_steps(9, seed=3),
@@ -155,6 +155,9 @@ def run(quick=False):
     emit_stats(
         "BENCH_service", metrics, tracer=tracer,
         meta={"benchmark": "service_warm_start", "quick": quick},
+    )
+    append_history(
+        "service", payload, meta={"benchmark": "service_warm_start"},
     )
     return payload
 

@@ -22,6 +22,18 @@ Examples::
     # The stats document (or Prometheus text) on stdout
     repro-explain stats --app stress_test
     repro-explain stats --app company_control --format prometheus
+
+    # Flight records: per-query phase timings, kernel/cache counters
+    repro-explain explain --app company_control --flight f.json
+
+    # The heaviest rule kernels of a run (live or from a stats document)
+    repro-explain obs top --app stress_test
+    repro-explain obs top s.json --limit 5
+
+    # Regression tooling: diff two stats documents, check threshold gates
+    repro-explain obs diff baseline.json candidate.json --tolerance 15
+    repro-explain obs diff --check BENCH_engine.json \\
+                  --gates benchmarks/gates.json --suite engine
 """
 
 from __future__ import annotations
@@ -80,31 +92,41 @@ _APP_SCENARIOS = {
     ),
 }
 
-_SUBCOMMANDS = ("explain", "stats")
+_SUBCOMMANDS = ("explain", "stats", "obs")
 
 
 class _ObsRun:
     """One observed CLI run: tracer + registry + the dump destinations.
 
     The tracer is only enabled when an output asks for spans (``--trace``
-    or a stats document), so plain runs keep the no-op fast path.
+    or a stats document), so plain runs keep the no-op fast path; the
+    flight recorder and kernel profiler likewise stay on their disabled
+    singles unless ``--flight`` / a profile consumer asks for them.
     """
 
     def __init__(
         self, trace_path=None, stats_path=None, force_tracing=False,
-        meta=None,
+        meta=None, flight_path=None, force_flight=False, profile=False,
     ):
         self.trace_path = trace_path
         self.stats_path = stats_path
+        self.flight_path = flight_path
         self.tracer = obs.Tracer(
             enabled=force_tracing or bool(trace_path or stats_path)
         )
+        self.flight = obs.FlightRecorder(
+            enabled=force_flight or bool(flight_path)
+        )
+        self.profiler = obs.KernelProfiler(enabled=profile)
         self.metrics = ServiceMetrics()
         self.chase_stats = None
         self.meta = dict(meta or {})
 
     def observed(self):
-        return obs.observed(tracer=self.tracer, metrics=self.metrics)
+        return obs.observed(
+            tracer=self.tracer, metrics=self.metrics,
+            flight=self.flight, profile=self.profiler,
+        )
 
     def capture(self, session) -> None:
         self.chase_stats = session.result.chase_result.stats
@@ -113,6 +135,7 @@ class _ObsRun:
         return obs.stats_document(
             self.metrics, tracer=self.tracer, chase=self.chase_stats,
             meta=self.meta,
+            profile=self.profiler if self.profiler.enabled else None,
         )
 
     def dump(self) -> None:
@@ -120,6 +143,8 @@ class _ObsRun:
             obs.write_trace(self.tracer, self.trace_path)
         if self.stats_path:
             obs.write_stats(self.document(), self.stats_path)
+        if self.flight_path:
+            obs.write_flight(self.flight, self.flight_path, meta=self.meta)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -237,6 +262,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the structured stats document (counters, latency "
              "percentiles, cache and chase telemetry) to FILE",
     )
+    parser.add_argument(
+        "--flight", metavar="FILE", dest="flight_file",
+        help="enable the query flight recorder and write its ring buffer "
+             "(per-query phase timings, kernel firings, cache hits, "
+             "degradation events) to FILE as repro-flight/1 JSON",
+    )
 
 
 def _make_service(
@@ -279,11 +310,16 @@ def _save_compiled(service: ExplanationService, args, compiled, loaded) -> None:
         save_compiled_program(compiled, args.compiled_cache)
 
 
-def _print_metrics(service: ExplanationService, args) -> None:
+def _print_metrics(service: ExplanationService, args, run=None) -> None:
     if args.metrics:
         import json as _json
 
-        print(_json.dumps(service.metrics_snapshot(), indent=2), file=sys.stderr)
+        snapshot = service.metrics_snapshot()
+        # Outside the observed block the ambient profiler is already
+        # detached; splice the run's own profiler back in.
+        if run is not None and run.profiler.enabled:
+            snapshot["profile"] = run.profiler.snapshot()
+        print(_json.dumps(snapshot, indent=2), file=sys.stderr)
 
 
 def _run_files(args: argparse.Namespace, run: _ObsRun) -> int:
@@ -494,6 +530,8 @@ def _run_workload(args: argparse.Namespace, run: _ObsRun):
 def _cmd_explain(args: argparse.Namespace) -> int:
     run = _ObsRun(
         trace_path=args.trace, stats_path=args.stats_file,
+        flight_path=args.flight_file,
+        profile=args.metrics or bool(args.stats_file),
         meta={"command": "explain", "app": args.app},
     )
     scenario, service, targets, explanations = _run_workload(args, run)
@@ -503,7 +541,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
               f"(paths: {', '.join(explanation.paths_used())})")
         print(explanation.text)
         print()
-    _print_metrics(service, args)
+    _print_metrics(service, args, run)
     run.dump()
     return 0
 
@@ -511,7 +549,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     run = _ObsRun(
         trace_path=args.trace, stats_path=args.stats_file,
-        force_tracing=True, meta={"command": "stats", "app": args.app},
+        flight_path=args.flight_file, force_tracing=True, profile=True,
+        meta={"command": "stats", "app": args.app},
     )
     _run_workload(args, run)
     run.dump()
@@ -527,7 +566,192 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-explain obs",
+        description=(
+            "Observability tooling: kernel-profile views and stats-document "
+            "regression checks."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="obs_command", required=True)
+
+    top = subparsers.add_parser(
+        "top",
+        help="show the heaviest rule kernels (from a stats document or by "
+             "running a workload live)",
+    )
+    top.add_argument(
+        "stats_file", nargs="?", metavar="STATS.json",
+        help="a repro-stats/1 document with a profile section "
+             "(omit to run --app live)",
+    )
+    top.add_argument(
+        "--app", choices=sorted(_APP_SCENARIOS),
+        help="run this canonical workload with the kernel profiler on",
+    )
+    top.add_argument(
+        "--steps", type=int, default=5,
+        help="proof length for generated workloads (chain/cascade)",
+    )
+    top.add_argument("--seed", type=int, default=0, help="generator seed")
+    top.add_argument(
+        "--deterministic", action="store_true",
+        help="skip template enhancement (no simulated LLM)",
+    )
+    top.add_argument(
+        "--limit", type=int, default=10, help="rows to show (default: 10)"
+    )
+    top.add_argument(
+        "--key", default="wall_s",
+        choices=("wall_s", "execs", "probes", "rows_scanned",
+                 "rows_emitted", "pruned"),
+        help="ranking column (default: wall_s)",
+    )
+    _add_resilience_arguments(top)
+    # Kernels only exist under the planned strategy; a live profile run
+    # defaults to it instead of naive.
+    top.set_defaults(strategy="planned", command="obs")
+
+    diff = subparsers.add_parser(
+        "diff",
+        help="compare two stats documents with tolerance rules, or check "
+             "one against declarative threshold gates",
+    )
+    diff.add_argument(
+        "documents", nargs="*", metavar="DOC.json",
+        help="BASELINE.json CANDIDATE.json (diff mode)",
+    )
+    diff.add_argument(
+        "--check", metavar="DOC.json",
+        help="gate mode: check this document against --gates instead of "
+             "diffing two documents",
+    )
+    diff.add_argument(
+        "--gates", metavar="GATES.json",
+        help="repro-gates/1 threshold configuration (gate mode)",
+    )
+    diff.add_argument(
+        "--suite", metavar="NAME",
+        help="gate suite to evaluate (default: all suites)",
+    )
+    diff.add_argument(
+        "--tolerance", type=float, default=10.0, metavar="PCT",
+        help="allowed regression on latency-shaped leaves before the diff "
+             "fails (default: 10%%)",
+    )
+    diff.add_argument(
+        "--rules", metavar="FILE",
+        help="JSON list of per-path tolerance overrides "
+             "([{\"path\": ..., \"max_regression_pct\": ...}])",
+    )
+    diff.add_argument(
+        "--output", metavar="FILE",
+        help="write the repro-diff/1 report document to FILE",
+    )
+    diff.set_defaults(command="obs")
+    return parser
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from .obs.diff import StatsDiffError, load_document
+
+    if args.stats_file:
+        try:
+            document = load_document(args.stats_file)
+        except StatsDiffError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        profile = document.get("profile")
+        if not isinstance(profile, dict):
+            print(
+                f"error: {args.stats_file} has no profile section "
+                f"(re-run the workload with the kernel profiler enabled, "
+                f"e.g. 'repro-explain stats --app ... --stats FILE')",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.app:
+        run = _ObsRun(profile=True, meta={"command": "obs top"})
+        _run_workload(args, run)
+        profile = run.profiler.snapshot()
+    else:
+        print(
+            "error: pass a stats document or --app WORKLOAD", file=sys.stderr
+        )
+        return 2
+    print(obs.render_top(profile, limit=args.limit, key=args.key))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from .obs.diff import (
+        StatsDiffError,
+        check_gates,
+        diff_documents,
+        load_document,
+        load_gates,
+        render_report,
+        write_report,
+    )
+
+    try:
+        if args.check:
+            if not args.gates:
+                print(
+                    "error: --check requires --gates GATES.json",
+                    file=sys.stderr,
+                )
+                return 2
+            document = load_document(args.check)
+            gates = load_gates(args.gates)
+            report = check_gates(document, gates, suite=args.suite)
+        else:
+            if len(args.documents) != 2:
+                print(
+                    "error: diff mode takes exactly two documents "
+                    "(BASELINE.json CANDIDATE.json), or use --check/--gates",
+                    file=sys.stderr,
+                )
+                return 2
+            rules = None
+            if args.rules:
+                try:
+                    with open(args.rules, encoding="utf-8") as handle:
+                        rules = json.load(handle)
+                except (OSError, json.JSONDecodeError) as error:
+                    raise StatsDiffError(
+                        f"cannot read rules {args.rules}: {error}"
+                    ) from error
+                if not isinstance(rules, list):
+                    raise StatsDiffError(
+                        f"{args.rules}: rules must be a JSON list"
+                    )
+            baseline = load_document(args.documents[0])
+            candidate = load_document(args.documents[1])
+            report = diff_documents(
+                baseline, candidate,
+                tolerance_pct=args.tolerance, rules=rules,
+            )
+    except StatsDiffError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output:
+        write_report(report, args.output)
+    print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
+def _run_obs(argv: list[str]) -> int:
+    args = _build_obs_parser().parse_args(argv)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    return _cmd_obs_diff(args)
+
+
 def _run_subcommand(argv: list[str]) -> int:
+    if argv and argv[0] == "obs":
+        return _run_obs(argv[1:])
     args = _build_subcommand_parser().parse_args(argv)
     try:
         if args.command == "explain":
@@ -545,6 +769,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     run = _ObsRun(trace_path=args.trace, stats_path=args.stats_file,
+                  flight_path=args.flight_file, profile=args.metrics,
                   meta={"command": "legacy", "argv": argv})
     try:
         if args.program:

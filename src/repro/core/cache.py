@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterator
 
+from .. import obs
+
 #: Default number of explanations kept per shared cache.  Explanations
 #: are small (text plus provenance records already held by the chase),
 #: so a few thousand entries are cheap; the bound is what matters.
@@ -255,7 +257,16 @@ class CacheRegion:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+        self._record_flight(found is not _SENTINEL)
         return default if found is _SENTINEL else found
+
+    def _record_flight(self, hit: bool) -> None:
+        """Attribute this lookup to the open flight record, if any."""
+        record = obs.current_flight()
+        if record is not None:
+            record.count(
+                f"cache.{self.name}.{'hit' if hit else 'miss'}"
+            )
 
     def put(self, key: Hashable, value: Any) -> None:
         self.cache.put(self._scoped(key), value)
@@ -274,6 +285,7 @@ class CacheRegion:
                 self.stats.misses += 1
             else:
                 self.stats.hits += 1
+        self._record_flight(not ran)
         return value
 
     def __contains__(self, key: Hashable) -> bool:

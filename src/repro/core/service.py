@@ -106,7 +106,13 @@ class BatchOutcome:
 
 class _Timed:
     """Context manager feeding one latency sample into the metrics and
-    one ``service.<name>`` span into the ambient tracer."""
+    one ``service.<name>`` span into the ambient tracer.
+
+    When a flight record is open on the calling thread, the sample also
+    lands as a phase on that record and the histogram observation
+    carries the record's query id as its exemplar — so a slow latency
+    bucket resolves back to the flight that caused it.
+    """
 
     def __init__(self, metrics: ServiceMetrics, name: str):
         self._metrics = metrics
@@ -116,13 +122,21 @@ class _Timed:
     def __enter__(self) -> "_Timed":
         self._span = obs.span(f"service.{self._name}")
         self._span.__enter__()
+        self._flight = obs.current_flight()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.elapsed = time.perf_counter() - self._start
         self._span.__exit__(*exc_info)
-        self._metrics.observe(self._name, self.elapsed)
+        flight = self._flight
+        if flight is not None:
+            flight.add_phase(self._name, self.elapsed)
+            self._metrics.observe(
+                self._name, self.elapsed, exemplar=flight.query_id
+            )
+        else:
+            self._metrics.observe(self._name, self.elapsed)
 
 
 class ExplanationSession:
@@ -153,8 +167,13 @@ class ExplanationSession:
         return self.result.answers(predicate)
 
     def explain(self, query: Fact, **options) -> Explanation:
-        with _Timed(self.service.metrics, "explain"):
-            explanation = self.explainer.explain(query, **options)
+        recorder = obs.get_flight()
+        with recorder.record(
+            "explain", query=str(query),
+            fingerprint=self.compiled.fingerprint,
+        ):
+            with _Timed(self.service.metrics, "explain"):
+                explanation = self.explainer.explain(query, **options)
         self.service.metrics.incr("explanations")
         return explanation
 
@@ -188,7 +207,11 @@ class ExplanationSession:
             return []
         self.result.index  # materialize the shared provenance index once
         metrics = self.service.metrics
-        with _Timed(metrics, "explain_batch") as timed:
+        recorder = obs.get_flight()
+        with recorder.record(
+            "explain_batch", fingerprint=self.compiled.fingerprint,
+            queries=len(chosen),
+        ) as batch_record, _Timed(metrics, "explain_batch"):
             if len(chosen) == 1 or self.service.max_workers <= 1:
                 explanations = [
                     self.explainer.explain(query, **options)
@@ -203,16 +226,30 @@ class ExplanationSession:
                     # time, per worker task: the two numbers that say
                     # whether a slow batch is under-provisioned (wait
                     # dominates) or generation-bound (execute dominates).
+                    # The submitting request's span and flight record are
+                    # adopted for the task's lifetime, so worker-side
+                    # spans parent to the batch (not the ambient root)
+                    # and kernel/cache counters land on the right flight.
                     started = time.perf_counter()
                     metrics.observe("explain_queue_wait", started - submitted)
-                    with tracer.span(
-                        "service.explain_task", parent=batch_span,
-                        query=str(query),
+                    with tracer.attach(batch_span), recorder.attach(
+                        batch_record
                     ):
-                        explanation = self.explainer.explain(query, **options)
-                    metrics.observe(
-                        "explain_execute", time.perf_counter() - started
-                    )
+                        with tracer.span(
+                            "service.explain_task", query=str(query)
+                        ):
+                            with recorder.record(
+                                "explain_task", query=str(query),
+                                fingerprint=self.compiled.fingerprint,
+                            ) as task_record:
+                                explanation = self.explainer.explain(
+                                    query, **options
+                                )
+                        metrics.observe(
+                            "explain_execute",
+                            time.perf_counter() - started,
+                            exemplar=task_record.query_id,
+                        )
                     return explanation
 
                 pool = self.service._thread_pool()
@@ -282,8 +319,12 @@ class ExplanationSession:
         if not chosen:
             return []
         metrics = self.service.metrics
+        recorder = obs.get_flight()
         outcomes: list[BatchOutcome | None] = [None] * len(chosen)
-        with _Timed(metrics, "explain_batch"):
+        with recorder.record(
+            "explain_batch", fingerprint=self.compiled.fingerprint,
+            queries=len(chosen), deadline_s=deadline.budget_s,
+        ) as batch_record, _Timed(metrics, "explain_batch"):
             try:
                 deadline.check("explain_batch provenance")
                 self.result.index  # materialize the shared index once
@@ -291,6 +332,9 @@ class ExplanationSession:
                 outcomes = [BatchOutcome.missed(query) for query in chosen]
                 metrics.incr("explain_deadline_exceeded", len(chosen))
                 metrics.observe("explain_batch_size", len(chosen))
+                batch_record.event(
+                    "deadline_exceeded", where="provenance", missed=len(chosen)
+                )
                 return outcomes
             if len(chosen) == 1 or self.service.max_workers <= 1:
                 for index, query in enumerate(chosen):
@@ -305,11 +349,19 @@ class ExplanationSession:
 
                 def run_one(query: Fact) -> Explanation:
                     deadline.check("explain_batch task")
-                    with tracer.span(
-                        "service.explain_task", parent=batch_span,
-                        query=str(query),
+                    with tracer.attach(batch_span), recorder.attach(
+                        batch_record
                     ):
-                        return self.explainer.explain(query, **options)
+                        with tracer.span(
+                            "service.explain_task", query=str(query)
+                        ):
+                            with recorder.record(
+                                "explain_task", query=str(query),
+                                fingerprint=self.compiled.fingerprint,
+                            ):
+                                return self.explainer.explain(
+                                    query, **options
+                                )
 
                 futures = [pool.submit(run_one, query) for query in chosen]
                 for index, (query, future) in enumerate(zip(chosen, futures)):
@@ -336,6 +388,9 @@ class ExplanationSession:
         metrics.incr("explanations", served)
         if missed:
             metrics.incr("explain_deadline_exceeded", missed)
+            batch_record.event(
+                "deadline_exceeded", where="tasks", missed=missed
+            )
         metrics.observe("explain_batch_size", len(chosen))
         return final
 
@@ -367,7 +422,11 @@ class ExplanationSession:
         LRU's ``whynot`` region, scoped by the explainer's memo scope so
         a re-reasoned session never serves stale reports.
         """
-        with _Timed(self.service.metrics, "why_not"):
+        recorder = obs.get_flight()
+        with recorder.record(
+            "why_not", query=str(query),
+            fingerprint=self.compiled.fingerprint,
+        ), _Timed(self.service.metrics, "why_not"):
             answer = self._whynot_region.get_or_create(
                 (
                     self.explainer.memo_scope,
@@ -551,11 +610,17 @@ class ExplanationService:
         program, chosen_glossary = _unpack_application(
             application_or_program, glossary
         )
-        compiled = self.compile(program, chosen_glossary, llm=llm)
-        with _Timed(self.metrics, "chase"):
-            result = reason(
-                program, database, max_rounds=max_rounds, strategy=strategy
-            )
+        recorder = obs.get_flight()
+        with recorder.record(
+            "session", query=program.name, strategy=strategy
+        ) as flight:
+            compiled = self.compile(program, chosen_glossary, llm=llm)
+            flight.set(fingerprint=compiled.fingerprint)
+            with _Timed(self.metrics, "chase"):
+                result = reason(
+                    program, database, max_rounds=max_rounds,
+                    strategy=strategy,
+                )
         self.metrics.incr("sessions")
         return ExplanationSession(self, compiled, result)
 
@@ -599,6 +664,9 @@ class ExplanationService:
         # breakdown of the memoized explanation-serving layers).
         snapshot["compiled_cache"] = self.compiled_cache.snapshot()
         snapshot["explanation_cache"] = self.explanation_cache.snapshot()
+        profiler = obs.get_profiler()
+        if profiler.enabled:
+            snapshot["profile"] = profiler.snapshot()
         return snapshot
 
 

@@ -288,27 +288,37 @@ class ChaseEngine:
             rule_groups = (program.rules,)
 
         stats = result.stats
+        flight = obs.current_flight()
         with obs.span(
             "chase.run", program=program.name, strategy=self.strategy
         ) as run_span:
             total_rounds = 0
-            for stratum_index, rules in enumerate(rule_groups):
+            chase_phase = (
+                flight.phase("chase") if flight is not None else None
+            )
+            if chase_phase is not None:
+                chase_phase.__enter__()
+            try:
+                for stratum_index, rules in enumerate(rule_groups):
+                    with obs.span(
+                        "chase.stratum", stratum=stratum_index, rules=len(rules)
+                    ) as stratum_span:
+                        stratum_rounds = self._run_stratum(
+                            rules, result, nulls, aggregate_state, total_rounds
+                        )
+                        stratum_span.set(rounds=stratum_rounds)
+                    stats.rounds_per_stratum.append(stratum_rounds)
+                    total_rounds += stratum_rounds
+                result.rounds = total_rounds
+                stats.rounds = total_rounds
+                stats.strata = len(rule_groups)
                 with obs.span(
-                    "chase.stratum", stratum=stratum_index, rules=len(rules)
-                ) as stratum_span:
-                    stratum_rounds = self._run_stratum(
-                        rules, result, nulls, aggregate_state, total_rounds
-                    )
-                    stratum_span.set(rounds=stratum_rounds)
-                stats.rounds_per_stratum.append(stratum_rounds)
-                total_rounds += stratum_rounds
-            result.rounds = total_rounds
-            stats.rounds = total_rounds
-            stats.strata = len(rule_groups)
-            with obs.span(
-                "chase.constraints", constraints=len(program.constraints)
-            ):
-                self._check_constraints(program, result)
+                    "chase.constraints", constraints=len(program.constraints)
+                ):
+                    self._check_constraints(program, result)
+            finally:
+                if chase_phase is not None:
+                    chase_phase.__exit__(None, None, None)
             stats.violations = len(result.violations)
             stats.symbols = len(working.symbols)
             run_span.set(
@@ -316,6 +326,16 @@ class ChaseEngine:
                 facts_derived=stats.facts_derived,
                 violations=stats.violations,
             )
+        if flight is not None:
+            flight.count("chase_runs")
+            flight.count("chase_rounds", stats.rounds)
+            flight.count("chase_facts_derived", stats.facts_derived)
+            if stats.violations:
+                flight.event(
+                    "constraint_violations",
+                    program=program.name,
+                    violations=stats.violations,
+                )
         self._flush_metrics(stats)
         return result
 

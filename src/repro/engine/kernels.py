@@ -43,8 +43,10 @@ to naive enumeration — same facts, same nulls, same
 from __future__ import annotations
 
 import operator
+import time
 from typing import Callable, Mapping, Sequence
 
+from .. import obs
 from ..datalog.atoms import Atom, Fact
 from ..datalog.conditions import (
     BinaryOp,
@@ -533,6 +535,13 @@ class RuleKernel:
                 "kernel compiled against a different symbol table than "
                 "the database it is executed on"
             )
+        # Attribution sinks (ambient; both disabled outside observed
+        # regions).  The clock is read only when one of them is live, so
+        # the un-observed hot path pays two attribute checks.
+        profiler = obs.get_profiler()
+        flight = obs.current_flight()
+        attributed = profiler.enabled or flight is not None
+        started = time.perf_counter() if attributed else 0.0
         counters = [0, 0, 0, 0]
         if delta_by_predicate is None:
             entries = self.full.execute(database, exclude, None, counters)
@@ -554,6 +563,23 @@ class RuleKernel:
                     entries.append(entry)
         entries.sort(key=lambda entry: entry[0])
         self.execs += 1
+        if attributed:
+            elapsed = time.perf_counter() - started
+            if profiler.enabled:
+                profiler.record(
+                    self.rule_plan.rule.label,
+                    elapsed,
+                    probes=counters[0],
+                    rows_scanned=counters[1],
+                    rows_emitted=counters[3],
+                    pruned=counters[2],
+                )
+            if flight is not None:
+                flight.count("kernel_execs")
+                flight.count("kernel_index_probes", counters[0])
+                flight.count("kernel_rows_scanned", counters[1])
+                flight.count("kernel_rows_emitted", counters[3])
+                flight.add_phase("kernel_execute", elapsed)
         if stats is not None:
             stats["probes"] = stats.get("probes", 0) + counters[0]
             stats["scanned"] = stats.get("scanned", 0) + counters[1]

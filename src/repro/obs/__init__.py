@@ -10,6 +10,20 @@ The observability layer the rest of the system reports into:
   Prometheus text;
 * :mod:`repro.obs.log` — structured key=value logging bridge.
 
+The second layer (per-query attribution, added in PR 7):
+
+* :mod:`repro.obs.flight` — the query flight recorder: request-scoped
+  records (query id + compile fingerprint, phase timings, kernel and
+  cache counters, degradation events) in a bounded ring buffer,
+  dumpable as ``repro-flight/1`` JSON;
+* :mod:`repro.obs.profile` — per-rule-kernel wall time / rows / probes
+  attribution feeding ``--metrics`` and ``repro-explain obs top``;
+* :mod:`repro.obs.slo` — declarative latency and error-rate objectives
+  evaluated against histogram snapshots, with health signals the
+  resilience breakers can consume;
+* :mod:`repro.obs.diff` — the stats-diff regression tool and threshold
+  gates behind ``repro-explain obs diff``.
+
 Instrumented modules (chase engine, compiler, enhancer, service) do not
 take tracer/registry parameters; they report to the **ambient** pair
 installed with :func:`observed`::
@@ -44,6 +58,14 @@ from .export import (
     write_stats,
     write_trace,
 )
+from .flight import (
+    FLIGHT_FORMAT,
+    NULL_FLIGHT_RECORD,
+    NULL_FLIGHT_RECORDER,
+    FlightRecord,
+    FlightRecorder,
+    write_flight,
+)
 from .log import configure, get_logger, install_span_logging, kv_line, log_event
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -52,20 +74,35 @@ from .metrics import (
     MetricsRegistry,
     ServiceMetrics,
 )
+from .profile import NULL_PROFILER, KernelProfiler, render_top
+from .slo import (
+    ErrorRateObjective,
+    LatencyObjective,
+    SLOConfigError,
+    SLOEvaluator,
+    SLOReport,
+)
 from .trace import NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
-    "DEFAULT_BUCKETS", "DEFAULT_REGISTRY", "Histogram", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "DEFAULT_REGISTRY", "ErrorRateObjective",
+    "FLIGHT_FORMAT", "FlightRecord", "FlightRecorder", "Histogram",
+    "KernelProfiler", "LatencyObjective", "MetricsRegistry",
+    "NULL_FLIGHT_RECORD", "NULL_FLIGHT_RECORDER", "NULL_PROFILER",
     "NULL_SPAN", "NULL_TRACER", "STATS_DOCUMENT_KEYS", "STATS_FORMAT",
-    "ServiceMetrics", "Span", "TRACE_FORMAT", "Tracer", "configure",
-    "get_logger", "get_metrics", "get_tracer", "incr", "install_span_logging",
-    "kv_line", "log_event", "observe", "observed", "parse_trace_jsonl",
-    "render_prometheus", "set_gauge", "span", "span_aggregate", "span_tree",
-    "stats_document", "trace_jsonl", "write_stats", "write_trace",
+    "SLOConfigError", "SLOEvaluator", "SLOReport", "ServiceMetrics", "Span",
+    "TRACE_FORMAT", "Tracer", "configure", "current_flight", "flight_event",
+    "get_flight", "get_logger", "get_metrics", "get_profiler", "get_tracer",
+    "incr", "install_span_logging", "kv_line", "log_event", "observe",
+    "observed", "parse_trace_jsonl", "render_prometheus", "render_top",
+    "set_gauge", "span", "span_aggregate", "span_tree", "stats_document",
+    "trace_jsonl", "write_flight", "write_stats", "write_trace",
 ]
 
 _active_tracer: Tracer = NULL_TRACER
 _active_metrics: MetricsRegistry = DEFAULT_REGISTRY
+_active_flight: FlightRecorder = NULL_FLIGHT_RECORDER
+_active_profiler: KernelProfiler = NULL_PROFILER
 
 
 def get_tracer() -> Tracer:
@@ -76,6 +113,32 @@ def get_tracer() -> Tracer:
 def get_metrics() -> MetricsRegistry:
     """The ambient metrics registry."""
     return _active_metrics
+
+
+def get_flight() -> FlightRecorder:
+    """The ambient flight recorder (disabled outside ``observed``)."""
+    return _active_flight
+
+
+def get_profiler() -> KernelProfiler:
+    """The ambient kernel profiler (disabled outside ``observed``)."""
+    return _active_profiler
+
+
+def current_flight() -> FlightRecord | None:
+    """The calling thread's open flight record, or ``None``.
+
+    One attribute check when flight recording is off — cheap enough for
+    hot paths (cache lookups, kernel executions) to call unconditionally.
+    """
+    return _active_flight.current()
+
+
+def flight_event(kind: str, **data) -> None:
+    """Append an event to the current flight record, if one is open."""
+    record = _active_flight.current()
+    if record is not None:
+        record.event(kind, **data)
 
 
 def span(name: str, **attrs):
@@ -100,20 +163,34 @@ def set_gauge(name: str, value: float) -> None:
 
 @contextmanager
 def observed(
-    tracer: Tracer | None = None, metrics: MetricsRegistry | None = None
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    flight: FlightRecorder | None = None,
+    profile: KernelProfiler | None = None,
 ):
-    """Install an ambient tracer/registry pair for the enclosed work.
+    """Install ambient observability sinks for the enclosed work.
 
-    Either side may be omitted to keep the current one.  The previous
-    pair is restored on exit, so observed regions nest.
+    Any side may be omitted to keep the current one (the flight recorder
+    and kernel profiler default to permanently-disabled singletons, so
+    the base tracer/metrics-only call keeps its old cost).  The previous
+    set is restored on exit, so observed regions nest.
     """
-    global _active_tracer, _active_metrics
-    previous = (_active_tracer, _active_metrics)
+    global _active_tracer, _active_metrics, _active_flight, _active_profiler
+    previous = (
+        _active_tracer, _active_metrics, _active_flight, _active_profiler,
+    )
     if tracer is not None:
         _active_tracer = tracer
     if metrics is not None:
         _active_metrics = metrics
+    if flight is not None:
+        _active_flight = flight
+    if profile is not None:
+        _active_profiler = profile
     try:
         yield (_active_tracer, _active_metrics)
     finally:
-        _active_tracer, _active_metrics = previous
+        (
+            _active_tracer, _active_metrics,
+            _active_flight, _active_profiler,
+        ) = previous

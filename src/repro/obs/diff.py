@@ -1,0 +1,385 @@
+"""Stats-document diffing and threshold gates: the CI regression tool.
+
+Two entry points, both behind ``repro-explain obs diff``:
+
+* :func:`diff_documents` compares two ``repro-stats/1`` documents (or
+  any JSON benchmark payloads) leaf by numeric leaf, applying a
+  tolerance before calling a change a regression.  Latency-shaped paths
+  (histogram percentiles, phase seconds, kernel wall time) are treated
+  as *higher is worse*; other numeric leaves are reported as
+  informational changes only.  Per-path tolerance rules override the
+  global tolerance.
+* :func:`check_gates` asserts declarative threshold gates (``min`` /
+  ``max`` / ``equals`` with optional per-gate ``tolerance_pct``)
+  against one document — the single mechanism the CI perf gates
+  (warm-start ≥ 2x, planned ≥ 2x naive, explain serving ≥ 5x) run
+  through, configured in ``benchmarks/gates.json``.
+
+Both produce a ``repro-diff/1`` report document, and both raise
+:class:`StatsDiffError` on malformed input so the CLI can exit 2 with a
+message instead of a traceback.
+
+Path language: dot-separated tokens into nested dicts/lists.  Integer
+tokens (including negatives) index lists; ``*`` fans out over every
+dict value or list element.  Example:
+``workloads.*.explain.speedup`` or
+``transitive_closure.-1.planned_speedup_vs_naive``.
+"""
+
+from __future__ import annotations
+
+import json
+from fnmatch import fnmatchcase
+from typing import Any, Iterable
+
+#: Version tag of the diff/gate report layout.
+DIFF_FORMAT = "repro-diff/1"
+#: Version tag of the gate-config layout.
+GATES_FORMAT = "repro-gates/1"
+
+#: Leaf names treated as "higher is worse" when diffing two documents.
+_LATENCY_LEAVES = frozenset({
+    "p50", "p95", "p99", "mean", "max", "total", "total_s", "mean_s",
+    "max_s", "wall_s", "seconds", "kernel_compile_s", "duration_s",
+})
+#: Path prefixes whose numeric leaves are all latency-shaped.
+_LATENCY_PREFIXES = ("phases.", "latency.")
+
+
+class StatsDiffError(ValueError):
+    """Malformed input to the diff/gate tool (bad JSON, wrong shape)."""
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+def load_document(path: str, expect_format: str | None = None) -> dict:
+    """Load a JSON document, raising :class:`StatsDiffError` on garbage."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise StatsDiffError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise StatsDiffError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise StatsDiffError(
+            f"{path}: expected a JSON object, got {type(document).__name__}"
+        )
+    if expect_format is not None:
+        found = document.get("format")
+        if found != expect_format:
+            raise StatsDiffError(
+                f"{path}: expected format {expect_format!r}, "
+                f"found {found!r}"
+            )
+    return document
+
+
+def load_gates(path: str) -> dict:
+    """Load and shape-check a gate configuration file."""
+    gates = load_document(path)
+    if gates.get("format") not in (None, GATES_FORMAT):
+        raise StatsDiffError(
+            f"{path}: unsupported gates format {gates.get('format')!r}"
+        )
+    suites = gates.get("suites")
+    if not isinstance(suites, dict) or not suites:
+        raise StatsDiffError(f"{path}: gate config needs a 'suites' object")
+    for suite_name, rules in suites.items():
+        if not isinstance(rules, list):
+            raise StatsDiffError(
+                f"{path}: suite {suite_name!r} must be a list of gates"
+            )
+        for rule in rules:
+            _validate_gate(rule, suite_name, path)
+    return gates
+
+
+def _validate_gate(rule: Any, suite: str, path: str) -> None:
+    if not isinstance(rule, dict):
+        raise StatsDiffError(f"{path}: gate in suite {suite!r} is not an object")
+    if "path" not in rule:
+        raise StatsDiffError(
+            f"{path}: gate {rule.get('name', '?')!r} in suite {suite!r} "
+            f"has no 'path'"
+        )
+    if not any(key in rule for key in ("min", "max", "equals")):
+        raise StatsDiffError(
+            f"{path}: gate {rule.get('name', '?')!r} in suite {suite!r} "
+            f"needs one of min/max/equals"
+        )
+
+
+# ----------------------------------------------------------------------
+# Path resolution
+# ----------------------------------------------------------------------
+
+def resolve_path(document: Any, path: str) -> list[tuple[str, Any]]:
+    """All (concrete path, value) pairs ``path`` selects in ``document``."""
+    matches: list[tuple[str, Any]] = [("", document)]
+    for token in path.split("."):
+        next_matches: list[tuple[str, Any]] = []
+        for prefix, node in matches:
+            for step, value in _step(node, token):
+                concrete = f"{prefix}.{step}" if prefix else step
+                next_matches.append((concrete, value))
+        matches = next_matches
+        if not matches:
+            break
+    return matches
+
+
+def _step(node: Any, token: str) -> Iterable[tuple[str, Any]]:
+    if token == "*":
+        if isinstance(node, dict):
+            return [(str(key), value) for key, value in node.items()]
+        if isinstance(node, list):
+            return [(str(index), value) for index, value in enumerate(node)]
+        return []
+    if isinstance(node, dict):
+        if token in node:
+            return [(token, node[token])]
+        return []
+    if isinstance(node, list):
+        try:
+            index = int(token)
+            return [(str(index), node[index])]
+        except (ValueError, IndexError):
+            return []
+    return []
+
+
+def numeric_leaves(node: Any, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf in a JSON tree, keyed by dotted path."""
+    leaves: dict[str, float] = {}
+    if isinstance(node, bool):
+        return leaves
+    if isinstance(node, (int, float)):
+        leaves[prefix] = float(node)
+        return leaves
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(numeric_leaves(value, child))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            child = f"{prefix}.{index}" if prefix else str(index)
+            leaves.update(numeric_leaves(value, child))
+    return leaves
+
+
+def _is_latency_path(path: str) -> bool:
+    if any(path.startswith(prefix) for prefix in _LATENCY_PREFIXES):
+        return True
+    leaf = path.rsplit(".", 1)[-1]
+    return leaf in _LATENCY_LEAVES
+
+
+# ----------------------------------------------------------------------
+# Document diffing
+# ----------------------------------------------------------------------
+
+def diff_documents(
+    baseline: dict,
+    candidate: dict,
+    tolerance_pct: float = 10.0,
+    rules: Iterable[dict] | None = None,
+) -> dict:
+    """Compare two documents; flag latency-shaped leaves that regressed.
+
+    ``rules`` entries override the global tolerance per path pattern::
+
+        [{"path": "histograms.explain.*", "max_regression_pct": 50},
+         {"path": "counters.*", "ignore": true}]
+
+    Patterns use shell-style wildcards over concrete dotted paths.  The
+    report's ``ok`` is ``False`` iff any regression survived tolerance.
+    """
+    rule_list = list(rules or ())
+    before = numeric_leaves(baseline)
+    after = numeric_leaves(candidate)
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    changes: list[dict] = []
+    for path in sorted(set(before) & set(after)):
+        a, b = before[path], after[path]
+        if a == b:
+            continue
+        delta_pct = ((b - a) / abs(a) * 100.0) if a else None
+        entry = {
+            "path": path,
+            "baseline": a,
+            "candidate": b,
+            "delta_pct": round(delta_pct, 2) if delta_pct is not None else None,
+        }
+        rule = _matching_rule(rule_list, path)
+        if rule is not None and rule.get("ignore"):
+            continue
+        if not _is_latency_path(path):
+            changes.append(entry)
+            continue
+        allowed = tolerance_pct
+        if rule is not None and "max_regression_pct" in rule:
+            allowed = float(rule["max_regression_pct"])
+        if b > a and (a == 0 or delta_pct is None or delta_pct > allowed):
+            entry["tolerance_pct"] = allowed
+            regressions.append(entry)
+        elif b < a:
+            improvements.append(entry)
+        else:
+            changes.append(entry)
+    return {
+        "format": DIFF_FORMAT,
+        "kind": "diff",
+        "tolerance_pct": tolerance_pct,
+        "ok": not regressions,
+        "regressions": regressions,
+        "improvements": improvements,
+        "changes": changes,
+        "added": sorted(set(after) - set(before)),
+        "removed": sorted(set(before) - set(after)),
+    }
+
+
+def _matching_rule(rules: list[dict], path: str) -> dict | None:
+    for rule in rules:
+        pattern = rule.get("path")
+        if pattern and fnmatchcase(path, pattern):
+            return rule
+    return None
+
+
+# ----------------------------------------------------------------------
+# Threshold gates
+# ----------------------------------------------------------------------
+
+def check_gates(
+    document: dict, gates: dict, suite: str | None = None
+) -> dict:
+    """Evaluate one gate suite (or all suites) against ``document``.
+
+    Each gate selects values with its ``path`` and asserts ``min`` /
+    ``max`` / ``equals`` on every selected value.  ``tolerance_pct``
+    loosens min/max by that fraction (a 2.0 min with 5% tolerance
+    passes at 1.9).  A path selecting nothing fails the gate unless the
+    gate is marked ``"optional": true`` — silence must never read as
+    success.
+    """
+    suites = gates.get("suites", {})
+    if suite is not None:
+        if suite not in suites:
+            raise StatsDiffError(
+                f"unknown gate suite {suite!r} "
+                f"(have: {', '.join(sorted(suites))})"
+            )
+        selected = {suite: suites[suite]}
+    else:
+        selected = suites
+    checks: list[dict] = []
+    for suite_name, rules in selected.items():
+        for rule in rules:
+            checks.extend(_check_gate(document, rule, suite_name))
+    return {
+        "format": DIFF_FORMAT,
+        "kind": "gates",
+        "suite": suite,
+        "ok": all(check["ok"] for check in checks),
+        "checks": checks,
+    }
+
+
+def _check_gate(document: dict, rule: dict, suite: str) -> list[dict]:
+    name = rule.get("name", rule["path"])
+    tolerance = float(rule.get("tolerance_pct", 0.0)) / 100.0
+    matches = resolve_path(document, rule["path"])
+    if not matches:
+        ok = bool(rule.get("optional", False))
+        return [{
+            "suite": suite, "name": name, "path": rule["path"],
+            "value": None, "ok": ok,
+            "detail": (
+                "path matched nothing (optional)" if ok
+                else "path matched nothing"
+            ),
+        }]
+    checks = []
+    for concrete, value in matches:
+        ok = True
+        details = []
+        if "equals" in rule:
+            ok = value == rule["equals"]
+            details.append(f"== {rule['equals']!r}")
+        if "min" in rule:
+            floor = float(rule["min"]) * (1.0 - tolerance)
+            passed = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and value >= floor
+            ok = ok and passed
+            details.append(
+                f">= {rule['min']}"
+                + (f" (tolerance {rule['tolerance_pct']}%)" if tolerance else "")
+            )
+        if "max" in rule:
+            ceiling = float(rule["max"]) * (1.0 + tolerance)
+            passed = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and value <= ceiling
+            ok = ok and passed
+            details.append(
+                f"<= {rule['max']}"
+                + (f" (tolerance {rule['tolerance_pct']}%)" if tolerance else "")
+            )
+        checks.append({
+            "suite": suite, "name": name, "path": concrete,
+            "value": value, "ok": ok,
+            "detail": " and ".join(details),
+        })
+    return checks
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_report(report: dict) -> str:
+    """A human-readable rendering of a diff or gates report."""
+    lines: list[str] = []
+    if report.get("kind") == "gates":
+        for check in report["checks"]:
+            marker = "PASS" if check["ok"] else "FAIL"
+            lines.append(
+                f"[{marker}] {check['suite']}/{check['name']}: "
+                f"{check['path']} = {check['value']} ({check['detail']})"
+            )
+        verdict = "OK" if report["ok"] else "GATE FAILURES"
+        lines.append(f"gates: {verdict}")
+        return "\n".join(lines)
+    for entry in report.get("regressions", ()):
+        lines.append(
+            f"[REGRESSION] {entry['path']}: {entry['baseline']} -> "
+            f"{entry['candidate']} ({entry['delta_pct']}% > "
+            f"{entry.get('tolerance_pct', report['tolerance_pct'])}% tolerance)"
+        )
+    for entry in report.get("improvements", ()):
+        lines.append(
+            f"[improved] {entry['path']}: {entry['baseline']} -> "
+            f"{entry['candidate']} ({entry['delta_pct']}%)"
+        )
+    summary = (
+        f"diff: {len(report.get('regressions', ()))} regression(s), "
+        f"{len(report.get('improvements', ()))} improvement(s), "
+        f"{len(report.get('changes', ()))} neutral change(s), "
+        f"{len(report.get('added', ()))} added, "
+        f"{len(report.get('removed', ()))} removed"
+    )
+    lines.append(summary)
+    lines.append("diff: OK" if report["ok"] else "diff: REGRESSIONS FOUND")
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, default=str)
+        handle.write("\n")

@@ -32,6 +32,7 @@ STATS_FORMAT = "repro-stats/1"
 #: Top-level keys every stats document carries (CI gates on these).
 STATS_DOCUMENT_KEYS = (
     "format", "counters", "gauges", "histograms", "caches", "chase", "spans",
+    "profile",
 )
 
 
@@ -122,14 +123,19 @@ def stats_document(
     tracer: Tracer | None = None,
     chase: Any = None,
     meta: dict | None = None,
+    profile: Any = None,
+    slo: Any = None,
 ) -> dict:
     """One structured JSON document describing an observed run.
 
     ``chase`` is a :class:`~repro.engine.chase.ChaseStats` (or anything
-    with a ``snapshot()``); ``meta`` carries free-form run identity
-    (app name, argv, ...).  Every document has the same top-level keys
-    (:data:`STATS_DOCUMENT_KEYS`) so downstream tooling can gate on
-    presence without caring which stages actually ran.
+    with a ``snapshot()``); ``profile`` a
+    :class:`~repro.obs.profile.KernelProfiler` (or its snapshot
+    mapping); ``slo`` an :class:`~repro.obs.slo.SLOReport`; ``meta``
+    carries free-form run identity (app name, argv, ...).  Every
+    document has the same top-level keys (:data:`STATS_DOCUMENT_KEYS`)
+    so downstream tooling can gate on presence without caring which
+    stages actually ran; ``slo`` joins only when a report is passed.
     """
     snapshot = MetricsRegistry.snapshot(metrics)
     document = {
@@ -141,6 +147,7 @@ def stats_document(
         "caches": snapshot["caches"],
         "chase": {},
         "spans": {},
+        "profile": {},
     }
     if chase is not None:
         document["chase"] = (
@@ -148,6 +155,15 @@ def stats_document(
         )
     if tracer is not None and tracer.enabled:
         document["spans"] = span_aggregate(tracer.finished())
+    if profile is not None:
+        document["profile"] = (
+            profile.snapshot() if hasattr(profile, "snapshot")
+            else dict(profile)
+        )
+    if slo is not None:
+        document["slo"] = (
+            slo.snapshot() if hasattr(slo, "snapshot") else dict(slo)
+        )
     return document
 
 
@@ -198,6 +214,21 @@ def render_prometheus(metrics: MetricsRegistry) -> str:
         lines.append(f"{metric}_count {summary['count']}")
     for cache_name, cache in snapshot["caches"].items():
         for key, value in cache.items():
+            if key == "regions" and isinstance(value, dict):
+                # Per-region breakdown (explain/why/violation/whynot):
+                # one labelled series per region per stat.
+                for region_name, region in sorted(value.items()):
+                    for stat, stat_value in region.items():
+                        if not isinstance(stat_value, (int, float)):
+                            continue
+                        metric = _prom_name(f"cache_region_{stat}")
+                        lines.append(
+                            f'{metric}{{cache="{cache_name}",'
+                            f'region="{region_name}"}} {stat_value}'
+                        )
+                continue
+            if not isinstance(value, (int, float)):
+                continue
             metric = _prom_name(f"cache_{key}")
             lines.append(f'{metric}{{cache="{cache_name}"}} {value}')
     return "\n".join(lines) + "\n"

@@ -48,7 +48,7 @@ class Histogram:
     """
 
     __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum",
-                 "_lock")
+                 "_exemplars", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
         self.bounds = tuple(sorted(buckets))
@@ -59,9 +59,13 @@ class Histogram:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self._exemplars: dict[int, tuple[float, str]] | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one sample; ``exemplar`` is an opaque id (e.g. a flight
+        query id) retained per bucket for the max-value sample, so a slow
+        percentile bucket resolves back to a replayable record."""
         index = bisect_left(self.bounds, value)
         with self._lock:
             self.counts[index] += 1
@@ -71,6 +75,30 @@ class Histogram:
                 self.minimum = value
             if value > self.maximum:
                 self.maximum = value
+            if exemplar is not None:
+                if self._exemplars is None:
+                    self._exemplars = {}
+                held = self._exemplars.get(index)
+                if held is None or value >= held[0]:
+                    self._exemplars[index] = (value, exemplar)
+
+    def exemplars(self) -> dict[str, dict]:
+        """Per-bucket max-latency exemplars, keyed by upper bound.
+
+        Keys are the bucket's upper bound rendered as a string (``+Inf``
+        for the overflow bucket); each value carries the retained sample
+        and the id attached when it was observed.
+        """
+        with self._lock:
+            held = dict(self._exemplars) if self._exemplars else {}
+        result: dict[str, dict] = {}
+        for index, (value, exemplar) in sorted(held.items()):
+            bound = (
+                repr(self.bounds[index])
+                if index < len(self.bounds) else "+Inf"
+            )
+            result[bound] = {"value": value, "exemplar": exemplar}
+        return result
 
     # ------------------------------------------------------------------
     # Summaries
@@ -151,9 +179,11 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, exemplar: str | None = None
+    ) -> None:
         """Record one histogram sample under ``name``."""
-        self.histogram(name).observe(value)
+        self.histogram(name).observe(value, exemplar=exemplar)
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -162,6 +192,12 @@ class MetricsRegistry:
                 found = Histogram(self._buckets)
                 self._histograms[name] = found
             return found
+
+    def find_histogram(self, name: str) -> Histogram | None:
+        """The histogram named ``name`` if any samples were ever routed
+        to it — unlike :meth:`histogram` this never creates one."""
+        with self._lock:
+            return self._histograms.get(name)
 
     def register_cache(self, name: str, cache: Any) -> None:
         """Attach a cache exposing ``snapshot()`` (e.g.
@@ -193,13 +229,17 @@ class MetricsRegistry:
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
             caches = dict(self._caches)
+        summaries = {}
+        for name, histogram in sorted(histograms.items()):
+            summary = histogram.summary()
+            exemplars = histogram.exemplars()
+            if exemplars:
+                summary["exemplars"] = exemplars
+            summaries[name] = summary
         return {
             "counters": counters,
             "gauges": gauges,
-            "histograms": {
-                name: histogram.summary()
-                for name, histogram in sorted(histograms.items())
-            },
+            "histograms": summaries,
             "caches": {
                 name: cache.snapshot() for name, cache in sorted(caches.items())
             },

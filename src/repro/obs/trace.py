@@ -180,6 +180,20 @@ class Tracer:
         stack = getattr(self._stack, "spans", None)
         return stack[-1] if stack else None
 
+    def attach(self, span: Span | _NullSpan | None):
+        """Adopt ``span`` as the calling thread's current span.
+
+        The cross-thread propagation primitive: a thread-pool worker
+        wraps its task in ``with tracer.attach(request_span):`` and every
+        span it opens parents to the submitting request instead of
+        orphaning.  The attached span is *not* closed on exit — it
+        belongs to the thread that opened it.  Passing ``None`` or a
+        null span yields a no-op, so call sites never branch.
+        """
+        if not self.enabled or not isinstance(span, Span):
+            return _NOOP_ATTACH
+        return _SpanAttachment(self, span)
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -216,6 +230,38 @@ class Tracer:
             self._finished.append(span)
         if self.on_close is not None:
             self.on_close(span)
+
+
+class _SpanAttachment:
+    """Pushes a foreign span onto this thread's stack without owning it."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: Tracer, span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        stack = getattr(self._tracer._stack, "spans", None)
+        if stack and self._span in stack:
+            stack.remove(self._span)
+
+
+class _NoopAttachment:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NOOP_ATTACH = _NoopAttachment()
 
 
 #: The process-default tracer: permanently disabled, shared by all

@@ -108,12 +108,14 @@ class CircuitBreaker:
         self._outcomes.clear()
         self._probe_in_flight = False
         obs.incr("llm.breaker_opened")
+        obs.flight_event("breaker_opened", breaker=self.name)
 
     def _close_locked(self) -> None:
         self._state = CLOSED
         self._outcomes.clear()
         self._probe_in_flight = False
         obs.incr("llm.breaker_closed")
+        obs.flight_event("breaker_closed", breaker=self.name)
 
     # ------------------------------------------------------------------
     # Protocol: allow / record
@@ -125,6 +127,7 @@ class CircuitBreaker:
             self._tick_locked()
             if self._state == OPEN:
                 obs.incr("llm.breaker_rejected")
+                obs.flight_event("breaker_rejected", breaker=self.name)
                 raise CircuitOpen(
                     f"circuit {self.name!r} is open "
                     f"(cooldown {self.cooldown_s:.1f}s)"
@@ -132,6 +135,7 @@ class CircuitBreaker:
             if self._state == HALF_OPEN:
                 if self._probe_in_flight:
                     obs.incr("llm.breaker_rejected")
+                    obs.flight_event("breaker_rejected", breaker=self.name)
                     raise CircuitOpen(
                         f"circuit {self.name!r} is half-open with a probe "
                         f"in flight"
@@ -158,6 +162,20 @@ class CircuitBreaker:
                 failures = self._outcomes.count(False)
                 if failures / len(self._outcomes) >= self.failure_threshold:
                     self._open_locked()
+
+    def observe_health(self, healthy: bool) -> None:
+        """Record one external health verdict in the failure window.
+
+        The SLO bridge (:meth:`repro.obs.slo.SLOEvaluator.drive_breaker`)
+        calls this periodically: sustained SLO breaches accumulate as
+        window failures and open the circuit exactly like backend
+        errors, and recovery closes it through the normal half-open
+        probe path.
+        """
+        if healthy:
+            self.record_success()
+        else:
+            self.record_failure()
 
     def call(self, fn: Callable[[], T]) -> T:
         """Run ``fn`` through the breaker, recording its outcome."""

@@ -137,6 +137,76 @@ class TestHistogram:
         histogram.observe(50.0)
         assert histogram.percentile(99) <= 50.0
 
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = Histogram()
+        for p in (0, 50, 99, 100):
+            assert histogram.percentile(p) == 0.0
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+        assert summary["min"] == summary["max"] == 0.0
+
+    def test_single_sample_percentiles_collapse_to_it(self):
+        histogram = Histogram()
+        histogram.observe(0.042)
+        assert histogram.percentile(50) == pytest.approx(0.042)
+        assert histogram.percentile(99) == pytest.approx(0.042)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(0.042)
+        assert summary["p99"] == pytest.approx(0.042)
+
+    def test_values_above_top_bucket_bound(self):
+        histogram = Histogram(buckets=[1.0, 2.0])
+        for value in (5.0, 9.0, 120.0):
+            histogram.observe(value)
+        assert histogram.counts[-1] == 3  # all landed in overflow
+        summary = histogram.summary()
+        assert summary["max"] == 120.0
+        assert 5.0 <= histogram.percentile(50) <= 120.0
+        assert histogram.percentile(100) == pytest.approx(120.0)
+
+    def test_concurrent_observe_loses_no_samples(self):
+        histogram = Histogram(buckets=[0.5])
+
+        def hammer(base):
+            for i in range(1000):
+                histogram.observe(base + i * 1e-6)
+
+        threads = [
+            threading.Thread(target=hammer, args=(0.1 * n,))
+            for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+        assert sum(histogram.counts) == 8000
+
+    def test_exemplar_retains_max_latency_sample_per_bucket(self):
+        histogram = Histogram(buckets=[1.0, 10.0])
+        histogram.observe(0.3, exemplar="q-1")
+        histogram.observe(0.7, exemplar="q-2")   # same bucket, larger
+        histogram.observe(0.5, exemplar="q-3")   # same bucket, smaller
+        histogram.observe(5.0, exemplar="q-4")
+        histogram.observe(99.0, exemplar="q-5")  # overflow bucket
+        exemplars = histogram.exemplars()
+        assert exemplars["1.0"] == {"value": 0.7, "exemplar": "q-2"}
+        assert exemplars["10.0"] == {"value": 5.0, "exemplar": "q-4"}
+        assert exemplars["+Inf"] == {"value": 99.0, "exemplar": "q-5"}
+
+    def test_exemplars_optional_and_absent_by_default(self):
+        histogram = Histogram(buckets=[1.0])
+        histogram.observe(0.5)
+        assert histogram.exemplars() == {}
+        registry = MetricsRegistry()
+        registry.observe("plain", 0.1)
+        registry.observe("tagged", 0.1, exemplar="q-9")
+        snapshot = registry.snapshot()
+        assert "exemplars" not in snapshot["histograms"]["plain"]
+        tagged = snapshot["histograms"]["tagged"]["exemplars"]
+        assert list(tagged.values())[0]["exemplar"] == "q-9"
+
 
 class TestMetricsRegistry:
     def test_counters_gauges_histograms(self):

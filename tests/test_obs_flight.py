@@ -1,0 +1,359 @@
+"""Tests for the second obs layer: the query flight recorder, the kernel
+profiler, SLO evaluation, and their propagation through the service."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.apps import company_control
+from repro.core import ExplanationService, LRUCache
+from repro.datalog import fact, parse_program
+from repro.engine import Database, chase
+from repro.resilience.breaker import CircuitBreaker
+
+
+class TestFlightRecord:
+    def test_record_lifecycle_and_document(self):
+        recorder = obs.FlightRecorder()
+        with recorder.record("explain", query="Control(a,b)") as record:
+            record.set(fingerprint="abc123")
+            with record.phase("chase"):
+                pass
+            record.count("cache.explain.hit")
+            record.count("kernel_execs", 3)
+            record.event("fallback", reason="timeout")
+        assert len(recorder) == 1
+        data = recorder.records()[0].to_dict()
+        assert data["kind"] == "explain"
+        assert data["fingerprint"] == "abc123"
+        assert data["status"] == "ok"
+        assert data["counts"]["kernel_execs"] == 3
+        assert "chase" in data["phases"]
+        assert data["events"][0]["kind"] == "fallback"
+        document = recorder.document(meta={"run": "test"})
+        assert document["format"] == obs.FLIGHT_FORMAT
+        assert document["meta"] == {"run": "test"}
+        assert len(document["records"]) == 1
+
+    def test_query_ids_are_unique_and_findable(self):
+        recorder = obs.FlightRecorder()
+        with recorder.record("explain") as first:
+            pass
+        with recorder.record("explain") as second:
+            pass
+        assert first.query_id != second.query_id
+        assert recorder.find(second.query_id) is second
+        assert recorder.find("q-nope") is None
+
+    def test_exception_marks_record_error(self):
+        recorder = obs.FlightRecorder()
+        with pytest.raises(RuntimeError):
+            with recorder.record("explain"):
+                raise RuntimeError("boom")
+        record = recorder.records()[0]
+        assert record.status == "error"
+        assert record.attrs["error"] == "RuntimeError"
+
+    def test_ring_buffer_drops_oldest(self):
+        recorder = obs.FlightRecorder(capacity=2)
+        ids = []
+        for _ in range(4):
+            with recorder.record("explain") as record:
+                ids.append(record.query_id)
+        kept = [record.query_id for record in recorder.records()]
+        assert kept == ids[-2:]
+
+    def test_event_cap_counts_drops(self):
+        recorder = obs.FlightRecorder(max_events=2)
+        with recorder.record("explain") as record:
+            for n in range(5):
+                record.event("tick", n=n)
+        assert len(record.events) == 2
+        assert record.events_dropped == 3
+        assert record.to_dict()["events_dropped"] == 3
+
+    def test_nested_records_parent_on_same_thread(self):
+        recorder = obs.FlightRecorder()
+        with recorder.record("batch") as outer:
+            with recorder.record("task") as inner:
+                pass
+        assert inner.parent_id == outer.query_id
+
+    def test_disabled_recorder_hands_out_null_record(self):
+        recorder = obs.FlightRecorder(enabled=False)
+        with recorder.record("explain") as record:
+            record.count("x")
+            record.event("y")
+        assert record is obs.NULL_FLIGHT_RECORD
+        assert len(recorder) == 0
+        assert recorder.current() is None
+
+    def test_attach_propagates_record_across_threads(self):
+        recorder = obs.FlightRecorder()
+        seen = {}
+
+        def worker(record):
+            with recorder.attach(record):
+                current = recorder.current()
+                current.count("worker_ticks")
+                seen["id"] = current.query_id
+
+        with recorder.record("batch") as batch:
+            thread = threading.Thread(target=worker, args=(batch,))
+            thread.start()
+            thread.join()
+        assert seen["id"] == batch.query_id
+        assert batch.counts["worker_ticks"] == 1
+        # attach() must not close the record: the owner's exit did.
+        assert recorder.records()[0] is batch
+
+
+class TestTracerAttach:
+    def test_worker_spans_parent_to_attached_span(self):
+        tracer = obs.Tracer()
+        child_ids = {}
+
+        def worker(parent):
+            with tracer.attach(parent):
+                with tracer.span("task") as task:
+                    child_ids["task"] = (task.span_id, task.parent_id)
+                    with tracer.span("nested") as nested:
+                        child_ids["nested"] = nested.parent_id
+
+        with tracer.span("request") as request:
+            thread = threading.Thread(target=worker, args=(request,))
+            thread.start()
+            thread.join()
+        task_id, task_parent = child_ids["task"]
+        assert task_parent == request.span_id
+        assert child_ids["nested"] == task_id
+
+    def test_attach_none_or_disabled_is_noop(self):
+        tracer = obs.Tracer()
+        with tracer.attach(None):
+            with tracer.span("orphan") as span:
+                assert span.parent_id is None
+        disabled = obs.Tracer(enabled=False)
+        with disabled.attach(disabled.span("x")):
+            pass  # must not raise
+
+
+class TestKernelProfiler:
+    def test_records_and_derives_rates(self):
+        profiler = obs.KernelProfiler()
+        profiler.record("r1", 0.5, probes=10, rows_scanned=100,
+                        rows_emitted=50, pruned=5)
+        profiler.record("r1", 0.5, probes=10, rows_scanned=100,
+                        rows_emitted=50, pruned=5)
+        profiler.record("r2", 0.001, probes=1, rows_scanned=2,
+                        rows_emitted=1, pruned=0)
+        snapshot = profiler.snapshot()
+        assert snapshot["r1"]["execs"] == 2
+        assert snapshot["r1"]["wall_s"] == pytest.approx(1.0)
+        assert snapshot["r1"]["rows_scanned"] == 200
+        assert snapshot["r1"]["rows_per_s"] == pytest.approx(200.0, rel=1e-6)
+        assert profiler.top(1) == [("r1", snapshot["r1"])]
+        assert profiler.top(1, key="execs")[0][0] == "r1"
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = obs.KernelProfiler(enabled=False)
+        profiler.record("r1", 1.0, probes=1, rows_scanned=1,
+                        rows_emitted=1, pruned=0)
+        assert len(profiler) == 0
+        assert profiler.snapshot() == {}
+
+    def test_render_top_table(self):
+        profiler = obs.KernelProfiler()
+        profiler.record("sigma1", 0.002, probes=3, rows_scanned=9,
+                        rows_emitted=4, pruned=1)
+        table = obs.render_top(profiler.snapshot())
+        assert "sigma1" in table
+        assert "wall_ms" in table
+        assert obs.render_top({}) == (
+            obs.render_top({}).splitlines()[0] + "\n"
+            + obs.render_top({}).splitlines()[1] + "\n"
+            + "(no kernel executions recorded)"
+        )
+
+    def test_planned_chase_attributes_kernels(self):
+        program = parse_program(
+            "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+            name="tc", goal="T",
+        )
+        database = Database([fact("E", "a", "b"), fact("E", "b", "c")])
+        profiler = obs.KernelProfiler()
+        with obs.observed(profile=profiler):
+            chase(program, database, strategy="planned")
+        snapshot = profiler.snapshot()
+        assert snapshot, "planned chase recorded no kernel executions"
+        for entry in snapshot.values():
+            assert entry["execs"] >= 1
+            assert entry["wall_s"] >= 0.0
+
+
+class TestFlightIntegration:
+    def test_chase_fills_phases_and_counts(self):
+        program = parse_program(
+            "base: E(x, y) -> T(x, y). rec: T(x, y), E(y, z) -> T(x, z).",
+            name="tc", goal="T",
+        )
+        database = Database([fact("E", "a", "b"), fact("E", "b", "c")])
+        recorder = obs.FlightRecorder()
+        with obs.observed(flight=recorder):
+            with recorder.record("session", query="tc") as record:
+                chase(program, database, strategy="planned")
+        assert record.counts["chase_runs"] == 1
+        assert record.counts["kernel_execs"] >= 1
+        assert "chase" in record.phases
+        assert "kernel_execute" in record.phases
+
+    def test_cache_regions_count_into_open_record(self):
+        cache = LRUCache(8)
+        region = cache.region("explain")
+        recorder = obs.FlightRecorder()
+        with obs.observed(flight=recorder):
+            with recorder.record("explain") as record:
+                region.get("absent")
+                region.put("k", "v")
+                region.get("k")
+                region.get_or_create("j", lambda: "w")
+        assert record.counts["cache.explain.miss"] == 2
+        assert record.counts["cache.explain.hit"] == 1
+
+    def test_breaker_transitions_emit_flight_events(self):
+        breaker = CircuitBreaker(
+            window=4, failure_threshold=0.5, min_calls=2, clock=lambda: 0.0
+        )
+        recorder = obs.FlightRecorder()
+        with obs.observed(flight=recorder):
+            with recorder.record("explain") as record:
+                breaker.record_failure()
+                breaker.record_failure()  # opens
+                with pytest.raises(Exception):
+                    breaker.allow()
+        kinds = [event["kind"] for event in record.events]
+        assert "breaker_opened" in kinds
+        assert "breaker_rejected" in kinds
+
+    def test_service_batch_propagates_flight_and_span_context(self):
+        recorder = obs.FlightRecorder()
+        tracer = obs.Tracer()
+        application = company_control.build()
+        database = [
+            company_control.own("A", "B", 0.6),
+            company_control.own("B", "C", 0.7),
+        ]
+        with obs.observed(tracer=tracer, flight=recorder):
+            with ExplanationService(max_workers=2) as service:
+                session = service.session(application, database)
+                queries = [fact("Control", "A", "B"),
+                           fact("Control", "A", "C")]
+                explanations = session.explain_batch(queries)
+        assert len(explanations) == 2
+        batches = [r for r in recorder.records() if r.kind == "explain_batch"]
+        tasks = [r for r in recorder.records() if r.kind == "explain_task"]
+        assert len(batches) == 1
+        assert len(tasks) == 2
+        for task in tasks:
+            assert task.parent_id == batches[0].query_id
+            assert task.fingerprint == batches[0].fingerprint
+        # Worker spans must parent into the batch span's tree, not
+        # orphan (the cross-thread propagation fix).
+        spans = {span.span_id: span for span in tracer.finished()}
+        batch_span = next(
+            span for span in spans.values()
+            if span.name == "service.explain_batch"
+        )
+        for span in spans.values():
+            if span.name == "service.explain_task":
+                assert span.parent_id == batch_span.span_id
+
+    def test_histogram_exemplars_link_to_flight_queries(self):
+        recorder = obs.FlightRecorder()
+        application = company_control.build()
+        database = [company_control.own("A", "B", 0.6)]
+        with obs.observed(flight=recorder):
+            with ExplanationService() as service:
+                session = service.session(application, database)
+                session.explain(fact("Control", "A", "B"))
+                histogram = service.metrics.find_histogram("explain")
+        exemplars = histogram.exemplars()
+        assert exemplars, "no exemplars retained on explain"
+        linked = {entry["exemplar"] for entry in exemplars.values()}
+        known = {record.query_id for record in recorder.records()}
+        assert linked <= known
+
+
+class TestSLOEvaluator:
+    def _metrics_with_latency(self, name, values):
+        metrics = obs.MetricsRegistry()
+        for value in values:
+            metrics.observe(name, value)
+        return metrics
+
+    def test_latency_objective_breach_and_recovery(self):
+        evaluator = obs.SLOEvaluator.from_config([
+            {"kind": "latency", "name": "explain-p99",
+             "histogram": "explain", "percentile": 99,
+             "threshold_s": 0.1},
+        ])
+        slow = self._metrics_with_latency("explain", [0.5] * 10)
+        report = evaluator.evaluate(slow)
+        assert not report.healthy
+        assert report.breaches()[0].name == "explain-p99"
+        fast = self._metrics_with_latency("explain", [0.01] * 10)
+        assert evaluator.evaluate(fast).healthy
+
+    def test_empty_histogram_is_vacuously_healthy(self):
+        evaluator = obs.SLOEvaluator.from_config([
+            {"kind": "latency", "name": "explain-p99",
+             "histogram": "explain", "threshold_s": 0.1},
+        ])
+        assert evaluator.evaluate(obs.MetricsRegistry()).healthy
+
+    def test_error_rate_objective(self):
+        evaluator = obs.SLOEvaluator.from_config([
+            {"kind": "error_rate", "name": "deadline-budget",
+             "errors": "misses", "total": "served", "max_rate": 0.1,
+             "min_events": 5},
+        ])
+        metrics = obs.MetricsRegistry()
+        metrics.increment("served", 3)
+        assert evaluator.evaluate(metrics).healthy  # below min_events
+        metrics.increment("served", 15)
+        metrics.increment("misses", 9)
+        assert not evaluator.evaluate(metrics).healthy
+
+    def test_bad_config_raises_config_error(self):
+        with pytest.raises(obs.SLOConfigError):
+            obs.SLOEvaluator.from_config([{"kind": "latency"}])
+        with pytest.raises(obs.SLOConfigError):
+            obs.SLOEvaluator.from_config([{"kind": "nope", "name": "x"}])
+
+    def test_publish_sets_health_gauges(self):
+        evaluator = obs.SLOEvaluator.from_config([
+            {"kind": "latency", "name": "explain-p99",
+             "histogram": "explain", "threshold_s": 0.1},
+        ])
+        metrics = self._metrics_with_latency("explain", [0.5] * 4)
+        evaluator.publish(metrics)
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["slo.explain-p99.ok"] == 0.0
+        assert gauges["slo.healthy"] == 0.0
+        assert gauges["slo.explain-p99.value"] > 0.1
+
+    def test_drive_breaker_opens_on_sustained_breach(self):
+        evaluator = obs.SLOEvaluator.from_config([
+            {"kind": "latency", "name": "explain-p99",
+             "histogram": "explain", "threshold_s": 0.1},
+        ])
+        metrics = self._metrics_with_latency("explain", [0.5] * 4)
+        breaker = CircuitBreaker(
+            window=4, failure_threshold=0.5, min_calls=2, clock=lambda: 0.0
+        )
+        for _ in range(3):
+            evaluator.drive_breaker(breaker, metrics)
+        assert breaker.state == "open"

@@ -92,7 +92,7 @@ _APP_SCENARIOS = {
     ),
 }
 
-_SUBCOMMANDS = ("explain", "stats", "obs")
+_SUBCOMMANDS = ("explain", "stats", "obs", "serve")
 
 
 class _ObsRun:
@@ -270,9 +270,7 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_service(
-    args: argparse.Namespace, run: _ObsRun | None = None
-) -> ExplanationService:
+def _make_llm(args: argparse.Namespace):
     llm = None if args.deterministic else SimulatedLLM(
         seed=args.seed, faithful=True
     )
@@ -286,8 +284,14 @@ def _make_service(
             seed=args.seed, faithful=True
         )
         llm = FaultInjectingLLM(inner, spec, seed=args.seed)
+    return llm
+
+
+def _make_service(
+    args: argparse.Namespace, run: _ObsRun | None = None
+) -> ExplanationService:
     metrics = run.metrics if run is not None else None
-    return ExplanationService(llm=llm, metrics=metrics)
+    return ExplanationService(llm=_make_llm(args), metrics=metrics)
 
 
 def _warm_start(service: ExplanationService, args, program, glossary) -> bool:
@@ -496,6 +500,38 @@ def _build_subcommand_parser() -> argparse.ArgumentParser:
         help="write the rendering to FILE instead of stdout",
     )
     _add_obs_arguments(stats)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a canonical workload's explanations over HTTP "
+             "(POST /explain, /explain/batch, /whynot; GET /healthz, "
+             "/metrics, /flight/<qid>)",
+    )
+    add_workload_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="listening port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="warm worker sessions / executor threads (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, dest="queue_limit",
+        help="bound on admitted (in-flight) requests; beyond it requests "
+             "shed with 503 + Retry-After (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=10.0, dest="deadline_s",
+        help="default per-request budget in seconds when the request "
+             "carries no deadline_s (default: %(default)s)",
+    )
+    # Serving is the production path: default to the compiled-kernel
+    # strategy (like 'obs top') instead of the naive reference chase.
+    serve.set_defaults(strategy="planned")
     return parser
 
 
@@ -563,6 +599,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             handle.write(rendering)
     else:
         sys.stdout.write(rendering)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ExplanationServer, ServeConfig
+
+    scenario = _APP_SCENARIOS[args.app](args)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_limit=args.queue_limit, default_deadline_s=args.deadline_s,
+        strategy=args.strategy,
+    )
+    server = ExplanationServer(
+        scenario.application, database=scenario.database,
+        config=config, llm=_make_llm(args),
+    )
+
+    def announce(ready: ExplanationServer) -> None:
+        warm = max(ready.pool.warm_start_s) if ready.pool else 0.0
+        print(
+            f"serving {args.app} on http://{ready.host}:{ready.port} "
+            f"({config.workers} workers, strategy={args.strategy}, "
+            f"warm-start {warm:.3f}s; Ctrl-C or SIGTERM to stop)",
+            flush=True,
+        )
+
+    # run() installs SIGINT/SIGTERM handlers: either signal resolves the
+    # stop event, the pool and sockets drain, and we fall through to a
+    # clean exit 0 (the CI smoke asserts no orphaned process).
+    server.run(on_ready=announce)
+    print("server stopped", flush=True)
     return 0
 
 
@@ -756,6 +823,8 @@ def _run_subcommand(argv: list[str]) -> int:
     try:
         if args.command == "explain":
             return _cmd_explain(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_stats(args)
     except FaultSpecError as error:
         print(f"invalid --inject-faults spec: {error}", file=sys.stderr)

@@ -279,7 +279,17 @@ class CacheRegion:
             ran = True
             return factory()
 
-        value = self.cache.get_or_create(self._scoped(key), wrapped)
+        try:
+            value = self.cache.get_or_create(self._scoped(key), wrapped)
+        except BaseException:
+            # The factory raised (ours, or we were a waiter whose retry
+            # ran it): the lookup still happened and was a miss — count
+            # it, or the region's hit rate overstates itself under load.
+            if ran:
+                with self.cache._lock:
+                    self.stats.misses += 1
+                self._record_flight(False)
+            raise
         with self.cache._lock:
             if ran:
                 self.stats.misses += 1

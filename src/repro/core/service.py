@@ -253,7 +253,7 @@ class ExplanationSession:
                     return explanation
 
                 pool = self.service._thread_pool()
-                explanations: list[Explanation | None] = [None] * len(chosen)
+                slots: list[Explanation | None] = [None] * len(chosen)
                 first, rest = self._subtree_waves(chosen)
                 metrics.observe("explain_batch_groups", len(first))
                 for wave in (first, rest):
@@ -264,7 +264,10 @@ class ExplanationSession:
                         for position in wave
                     }
                     for position, future in futures.items():
-                        explanations[position] = future.result()
+                        slots[position] = future.result()
+                explanations = [
+                    slot for slot in slots if slot is not None
+                ]
         metrics.incr("explanations", len(chosen))
         metrics.observe("explain_batch_size", len(chosen))
         return explanations

@@ -20,8 +20,12 @@ Design constraints mirror the tracer's:
   attribute check, so instrumentation stays in hot paths
   unconditionally;
 * **explicit cross-thread propagation** — the current record is tracked
-  per thread; worker threads join the submitting request's flight via
-  :meth:`FlightRecorder.attach` (the same pattern as
+  per execution context (a :class:`contextvars.ContextVar`, so plain
+  threads see a per-thread stack and interleaved asyncio tasks on one
+  loop thread each see their own — concurrent coroutines cannot corrupt
+  each other's current record or mis-parent children); executor worker
+  threads do not inherit the submitting context and join the request's
+  flight via :meth:`FlightRecorder.attach` (the same pattern as
   :meth:`~repro.obs.trace.Tracer.attach` for spans);
 * **bounded everything** — the ring buffer holds the most recent
   ``capacity`` records and each record keeps at most ``max_events``
@@ -30,6 +34,7 @@ Design constraints mirror the tracer's:
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import deque
@@ -175,10 +180,13 @@ class FlightRecord:
         return self
 
     def __exit__(self, exc_type: type | None, exc: object, tb: object) -> None:
-        self.end_s = time.perf_counter() - self._recorder.epoch
-        if exc_type is not None:
-            self.status = "error"
-            self.attrs.setdefault("error", exc_type.__name__)
+        # Mutations under the lock: a batch record's worker tasks may
+        # still be appending events/attrs while the batch thread closes.
+        with self._lock:
+            self.end_s = time.perf_counter() - self._recorder.epoch
+            if exc_type is not None:
+                self.status = "error"
+                self.attrs.setdefault("error", exc_type.__name__)
         self._recorder._pop(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -255,7 +263,14 @@ class FlightRecorder:
         self._lock = threading.Lock()
         self._next_id = 1
         self._ring: deque[FlightRecord] = deque(maxlen=capacity)
-        self._stack = threading.local()
+        # The current-record stack is context-local, not thread-local:
+        # under asyncio many tasks interleave on one loop thread, and a
+        # thread-local stack lets task B pop task A's record (or parent
+        # its own under A's).  A ContextVar holding an immutable tuple
+        # gives each task — and each plain thread — an isolated stack.
+        self._stack: contextvars.ContextVar[tuple[FlightRecord, ...]] = (
+            contextvars.ContextVar(f"flight_stack_{id(self)}", default=())
+        )
 
     # ------------------------------------------------------------------
     # Record creation and the per-thread current record
@@ -289,10 +304,10 @@ class FlightRecorder:
         )
 
     def current(self) -> FlightRecord | None:
-        """The calling thread's innermost open flight record, if any."""
+        """The calling context's innermost open flight record, if any."""
         if not self.enabled:
             return None
-        stack = getattr(self._stack, "records", None)
+        stack = self._stack.get()
         return stack[-1] if stack else None
 
     def attach(self, record: FlightRecord | _NullFlightRecord | None):
@@ -349,18 +364,16 @@ class FlightRecorder:
     # Internal bookkeeping (called by FlightRecord / _Attachment)
     # ------------------------------------------------------------------
     def _push(self, record: FlightRecord) -> None:
-        stack = getattr(self._stack, "records", None)
-        if stack is None:
-            stack = []
-            self._stack.records = stack
-        stack.append(record)
+        self._stack.set(self._stack.get() + (record,))
 
     def _pop(self, record: FlightRecord, close: bool = True) -> None:
-        stack = getattr(self._stack, "records", None)
+        stack = self._stack.get()
         if stack and stack[-1] is record:
-            stack.pop()
-        elif stack and record in stack:  # out-of-order close: be forgiving
-            stack.remove(record)
+            self._stack.set(stack[:-1])
+        elif record in stack:  # out-of-order close: be forgiving
+            self._stack.set(
+                tuple(entry for entry in stack if entry is not record)
+            )
         if close:
             with self._lock:
                 self._ring.append(record)

@@ -1,0 +1,73 @@
+"""``repro.serve`` — the network-facing explanation service.
+
+The serving layer the last four PRs built toward: a dependency-light
+asyncio HTTP server (:mod:`repro.serve.server`) over a pool of warm
+explanation workers (:mod:`repro.serve.workers`), with bounded
+admission and SLO-driven shedding (:mod:`repro.serve.admission`) and a
+canonical wire protocol whose response bodies are byte-identical to
+in-process serialization (:mod:`repro.serve.protocol`).
+
+Quick start::
+
+    from repro.apps.company_control import build_application
+    from repro.serve import ExplanationServer, ServeConfig
+
+    app, scenario = build_application()
+    server = ExplanationServer(
+        app, database=scenario.database,
+        config=ServeConfig(port=8080, workers=4),
+    )
+    server.run()          # blocks; SIGINT/SIGTERM shut down cleanly
+
+or, from the shell, ``repro-explain serve --app company_control``.
+See ``docs/SERVING.md`` for the full cookbook.
+"""
+
+from .admission import AdmissionController, ShedRequest
+from .protocol import (
+    SERVE_FORMAT,
+    BatchRequest,
+    ExplainRequest,
+    ProtocolError,
+    WhyNotRequest,
+    batch_payload,
+    encode_body,
+    error_payload,
+    explanation_payload,
+    outcome_payload,
+    parse_batch_request,
+    parse_explain_request,
+    parse_whynot_request,
+    whynot_payload,
+)
+from .server import (
+    DEFAULT_SLO_CONFIG,
+    ExplanationServer,
+    ServeConfig,
+    ServerHandle,
+)
+from .workers import WorkerPool
+
+__all__ = [
+    "AdmissionController",
+    "BatchRequest",
+    "DEFAULT_SLO_CONFIG",
+    "ExplainRequest",
+    "ExplanationServer",
+    "ProtocolError",
+    "SERVE_FORMAT",
+    "ServeConfig",
+    "ServerHandle",
+    "ShedRequest",
+    "WhyNotRequest",
+    "WorkerPool",
+    "batch_payload",
+    "encode_body",
+    "error_payload",
+    "explanation_payload",
+    "outcome_payload",
+    "parse_batch_request",
+    "parse_explain_request",
+    "parse_whynot_request",
+    "whynot_payload",
+]

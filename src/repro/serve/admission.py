@@ -1,0 +1,130 @@
+"""Request admission: a bounded queue plus breaker-driven shedding.
+
+Overload policy in one sentence: **shed at the door, never in the
+kitchen**.  Admission is checked before any work is queued, and a
+rejected request costs one counter bump and a ``503`` with a
+``Retry-After`` header — the two signals a well-behaved client needs.
+
+Two independent reasons to shed:
+
+* **queue saturation** — at most ``limit`` requests may be admitted
+  (in flight or queued for a worker) at once.  The bound is what turns
+  a latency problem into a fast failure instead of an unbounded queue
+  that serves every request late;
+* **open circuit** — the server's
+  :class:`~repro.resilience.breaker.CircuitBreaker` is driven by the
+  SLO evaluator (:meth:`~repro.obs.slo.SLOEvaluator.drive_breaker`):
+  sustained p99/error-budget breaches open it, and while it is open
+  every admission sheds, giving the workers a cooldown to drain.  The
+  half-open probe trickle is what closes it again.
+
+Counters land in the server's registry (``serve.shed_queue`` /
+``serve.shed_breaker``), the live depth in the ``serve.queue_depth``
+gauge, and each shed appends a flight event when a recorder is ambient.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .. import obs
+from ..obs.metrics import ServiceMetrics
+from ..resilience.breaker import OPEN, CircuitBreaker
+
+
+class ShedRequest(Exception):
+    """The request was not admitted; answer 503 with ``Retry-After``."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Bounded admission with circuit-breaker shedding."""
+
+    def __init__(
+        self,
+        limit: int,
+        breaker: CircuitBreaker,
+        metrics: ServiceMetrics,
+        retry_after_s: float = 1.0,
+    ):
+        if limit < 0:
+            raise ValueError(f"admission limit must be >= 0, got {limit}")
+        self.limit = limit
+        self.breaker = breaker
+        self.metrics = metrics
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._admitted = 0
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def admit(self) -> "_AdmissionToken":
+        """Admit one request or raise :class:`ShedRequest`.
+
+        The breaker is consulted first — an open circuit sheds even an
+        empty queue (the point of the cooldown is to stop *accepting*
+        work, not merely to stop queuing it).
+        """
+        if self.breaker.state == OPEN:
+            self.metrics.incr("serve.shed_breaker")
+            obs.flight_event("shed", reason="breaker_open")
+            raise ShedRequest(
+                "circuit open (sustained SLO breach); backing off",
+                max(self.retry_after_s, self.breaker.cooldown_s),
+            )
+        with self._lock:
+            if self._admitted >= self.limit:
+                self.metrics.incr("serve.shed_queue")
+                obs.flight_event(
+                    "shed", reason="queue_full", depth=self._admitted
+                )
+                raise ShedRequest(
+                    f"admission queue full ({self._admitted}/{self.limit})",
+                    self.retry_after_s,
+                )
+            self._admitted += 1
+            self.metrics.set_gauge("serve.queue_depth", float(self._admitted))
+        return _AdmissionToken(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._admitted -= 1
+            self.metrics.set_gauge("serve.queue_depth", float(self._admitted))
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    def snapshot(self) -> dict:
+        return {
+            "limit": self.limit,
+            "depth": self.depth,
+            "breaker": self.breaker.snapshot(),
+        }
+
+
+class _AdmissionToken:
+    """Context manager releasing one admission slot on exit."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: AdmissionController):
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_AdmissionToken":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()

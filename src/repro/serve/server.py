@@ -1,0 +1,656 @@
+"""The network front end: an asyncio HTTP server over warm workers.
+
+A dependency-light HTTP/1.1 server built directly on stdlib
+:func:`asyncio.start_server` streams — no web framework, no ASGI
+dependency — exposing the explanation service to network clients:
+
+===========================  =========================================
+``POST /explain``            one query -> explanation (or 504 partial)
+``POST /explain/batch``      many queries under one deadline budget
+``POST /whynot``             why a fact was *not* derived
+``GET /healthz``             liveness + breaker/queue/worker view
+``GET /metrics``             Prometheus text from the obs registry
+``GET /flight/<qid>``        one flight record as ``repro-flight/1``
+``GET /flight``              the whole flight ring buffer
+===========================  =========================================
+
+Request lifecycle: the event loop parses the request and consults the
+:class:`~repro.serve.admission.AdmissionController` (bounded queue +
+SLO-driven circuit breaker — sheds answer ``503`` with ``Retry-After``
+before any work is queued); admitted requests run on a thread executor
+sized to the :class:`~repro.serve.workers.WorkerPool`, each borrowing a
+warm session (compiled program + provenance index, spun up from one
+``repro-db/1`` snapshot).  Every request carries a
+:class:`~repro.resilience.policy.Deadline`; a spent budget answers
+``504`` with whatever partial results were computed (the
+``explain_batch`` contract, now over HTTP).  Each request opens a
+flight record, so ``GET /flight/<qid>`` resolves a slow exemplar to
+its phase breakdown.
+
+The server periodically evaluates its SLOs
+(:meth:`~repro.obs.slo.SLOEvaluator.drive_breaker`): sustained p99 or
+error-budget breaches open the breaker and shed load until the cooldown
+lets a half-open probe through.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .. import obs
+from ..apps.base import KGApplication
+from ..core.service import BatchOutcome, ExplanationSession
+from ..engine.database import Database
+from ..io import dumps_database
+from ..obs.flight import FlightRecorder
+from ..obs.metrics import ServiceMetrics
+from ..obs.slo import SLOEvaluator
+from ..resilience.breaker import OPEN, CircuitBreaker
+from ..resilience.policy import Deadline, DeadlineExceeded
+from .admission import AdmissionController, ShedRequest
+from .protocol import (
+    SERVE_FORMAT,
+    BatchRequest,
+    ExplainRequest,
+    ProtocolError,
+    WhyNotRequest,
+    batch_payload,
+    encode_body,
+    error_payload,
+    explanation_payload,
+    parse_batch_request,
+    parse_explain_request,
+    parse_whynot_request,
+    whynot_payload,
+)
+from .workers import WorkerPool
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Upper bound on accepted request bodies (a batch of a few thousand
+#: textual queries fits comfortably; anything larger is abuse).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+_MAX_HEADERS = 64
+
+#: Default SLOs driving the admission breaker: p99 request latency and
+#: the internal-error budget.  Client-requested deadline misses (504)
+#: are deliberately *not* in the error budget — a client asking for an
+#: impossible budget is not server unhealth; sustained latency breaches
+#: already cover the overload case.
+DEFAULT_SLO_CONFIG: tuple[dict, ...] = (
+    {
+        "kind": "latency", "name": "request-p99",
+        "histogram": "serve.request", "percentile": 99,
+        "threshold_s": 2.5,
+    },
+    {
+        "kind": "error_rate", "name": "error-budget",
+        "errors": "serve.errors", "total": "serve.ok",
+        "max_rate": 0.05, "min_events": 50,
+    },
+)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one server instance (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral (tests, benchmarks)
+    workers: int = 2
+    queue_limit: int = 64              # admitted (in-flight + queued) bound
+    default_deadline_s: float = 10.0   # per-request budget when unspecified
+    retry_after_s: float = 1.0         # hint on queue sheds
+    strategy: str = "planned"
+    slo_config: Sequence[dict] = field(
+        default_factory=lambda: list(DEFAULT_SLO_CONFIG)
+    )
+    slo_interval_requests: int = 32    # drive the breaker every N requests
+    slo_period_s: float = 1.0          # ... and at least this often
+    breaker_window: int = 16
+    breaker_min_calls: int = 8
+    breaker_failure_threshold: float = 0.5
+    breaker_cooldown_s: float = 2.0
+    flight_capacity: int = 512
+
+
+class ExplanationServer:
+    """One application served over HTTP by a pool of warm workers."""
+
+    def __init__(
+        self,
+        application: KGApplication,
+        database: Database | None = None,
+        snapshot: str | None = None,
+        config: ServeConfig | None = None,
+        llm: object | None = None,
+    ):
+        if snapshot is None:
+            if database is None:
+                raise ValueError("pass a database or a repro-db/1 snapshot")
+            snapshot = dumps_database(database)
+        self.application = application
+        self.snapshot = snapshot
+        self.config = config if config is not None else ServeConfig()
+        self.llm = llm
+        self.metrics = ServiceMetrics()
+        self.flight = FlightRecorder(
+            capacity=self.config.flight_capacity, enabled=True
+        )
+        self.breaker = CircuitBreaker(
+            window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_failure_threshold,
+            min_calls=self.config.breaker_min_calls,
+            cooldown_s=self.config.breaker_cooldown_s,
+            name="serve",
+        )
+        self.slo = SLOEvaluator.from_config(list(self.config.slo_config))
+        self.admission = AdmissionController(
+            self.config.queue_limit, self.breaker, self.metrics,
+            retry_after_s=self.config.retry_after_s,
+        )
+        self.pool: WorkerPool | None = None
+        self.host = self.config.host
+        self.port = self.config.port
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._completed_since_slo = 0
+        self._slo_task: asyncio.Task | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spin workers up and bind the listening socket."""
+        if self.pool is None:
+            self.pool = WorkerPool(
+                self.application, self.snapshot,
+                workers=self.config.workers,
+                strategy=self.config.strategy,
+                llm=self.llm, metrics=self.metrics,
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve",
+            )
+            self.metrics.set_gauge("serve.workers", float(len(self.pool)))
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+
+    async def _shutdown(self) -> None:
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            self._slo_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Nudge idle keep-alive connections: closing the transport makes
+        # their pending readline() return EOF, so the handler tasks exit
+        # normally instead of being cancelled at loop teardown (which
+        # would spray CancelledError noise from the streams machinery).
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+    async def _run_async(
+        self,
+        on_ready: Callable[["ExplanationServer"], None] | None = None,
+        install_signals: bool = False,
+    ) -> None:
+        """Serve until :meth:`request_stop` (or SIGINT/SIGTERM) fires."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        with obs.observed(metrics=self.metrics, flight=self.flight):
+            await self.start()
+            if install_signals:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    self._loop.add_signal_handler(
+                        signum, self._stop_event.set
+                    )
+            self._slo_task = self._loop.create_task(self._slo_heartbeat())
+            if on_ready is not None:
+                on_ready(self)
+            try:
+                await self._stop_event.wait()
+            finally:
+                if install_signals:
+                    for signum in (signal.SIGINT, signal.SIGTERM):
+                        self._loop.remove_signal_handler(signum)
+                await self._shutdown()
+
+    def run(
+        self,
+        on_ready: Callable[["ExplanationServer"], None] | None = None,
+    ) -> None:
+        """Blocking entry point (the CLI): serve until SIGINT/SIGTERM."""
+        asyncio.run(self._run_async(on_ready=on_ready, install_signals=True))
+
+    def run_in_thread(self, timeout_s: float = 60.0) -> "ServerHandle":
+        """Serve from a daemon thread; returns once the port is bound.
+
+        The handle the tests and the load harness drive: ``handle.stop()``
+        requests a clean shutdown and joins the thread.
+        """
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def _target() -> None:
+            try:
+                asyncio.run(
+                    self._run_async(on_ready=lambda _server: ready.set())
+                )
+            except BaseException as error:  # surfaced to the caller
+                failures.append(error)
+                ready.set()
+
+        thread = threading.Thread(
+            target=_target, name="repro-serve-loop", daemon=True
+        )
+        thread.start()
+        if not ready.wait(timeout_s):
+            raise RuntimeError(f"server did not start within {timeout_s}s")
+        if failures:
+            raise failures[0]
+        return ServerHandle(self, thread)
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown request."""
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    async def _slo_heartbeat(self) -> None:
+        """Periodic SLO evaluation so an idle server still recovers
+        (request-count-driven evaluation alone would freeze an open
+        breaker's window when traffic stops arriving)."""
+        while True:
+            await asyncio.sleep(self.config.slo_period_s)
+            self.slo.drive_breaker(self.breaker, self.metrics)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except ProtocolError as error:
+                    # The request never parsed far enough to route;
+                    # answer and drop the connection (framing is gone).
+                    self.metrics.incr("serve.bad_requests")
+                    payload = encode_body(
+                        error_payload("bad_request", str(error))
+                    )
+                    writer.write(
+                        (
+                            f"HTTP/1.1 {error.status} "
+                            f"{_REASONS.get(error.status, 'Bad Request')}\r\n"
+                            "Content-Type: application/json\r\n"
+                            f"Content-Length: {len(payload)}\r\n"
+                            "Connection: close\r\n\r\n"
+                        ).encode("latin-1")
+                        + payload
+                    )
+                    await writer.drain()
+                    break
+                if parsed is None:
+                    break
+                method, target, headers, body = parsed
+                status, payload, content_type, extra = await self._dispatch(
+                    method, target, body
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                )
+                for name, value in extra:
+                    head += f"{name}: {value}\r\n"
+                head += "\r\n"
+                writer.write(head.encode("latin-1") + payload)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionResetError,
+            BrokenPipeError, asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            # Loop teardown raced the _shutdown() nudge; finish quietly
+            # (re-raising would leave a cancelled task for the streams
+            # machinery to complain about after the loop is gone).
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise ProtocolError("malformed request line")
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADERS):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ProtocolError("too many headers", status=400)
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte bound",
+                status=413,
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, bytes, str, list[tuple[str, str]]]:
+        path = target.split("?", 1)[0]
+        try:
+            if method == "GET":
+                return self._dispatch_get(path)
+            if method == "POST":
+                return await self._dispatch_post(path, body)
+            return self._json_response(
+                405, error_payload("error", f"method {method} not allowed")
+            )
+        except ProtocolError as error:
+            self.metrics.incr("serve.bad_requests")
+            return self._json_response(
+                error.status, error_payload("bad_request", str(error))
+            )
+        except Exception as error:  # never leak a traceback to the socket
+            self.metrics.incr("serve.errors")
+            return self._json_response(
+                500,
+                error_payload("error", f"{type(error).__name__}: {error}"),
+            )
+
+    @staticmethod
+    def _json_response(
+        status: int,
+        payload: dict,
+        extra: list[tuple[str, str]] | None = None,
+    ) -> tuple[int, bytes, str, list[tuple[str, str]]]:
+        return status, encode_body(payload), "application/json", extra or []
+
+    def _dispatch_get(
+        self, path: str
+    ) -> tuple[int, bytes, str, list[tuple[str, str]]]:
+        if path == "/healthz":
+            return self._json_response(200, self.health_payload())
+        if path == "/metrics":
+            text = obs.render_prometheus(self.metrics)
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", []
+        if path == "/flight" or path == "/flight/":
+            document = self.flight.document(
+                meta={"app": self.application.name}
+            )
+            return self._json_response(200, document)
+        if path.startswith("/flight/"):
+            query_id = path[len("/flight/"):]
+            record = self.flight.find(query_id)
+            if record is None:
+                return self._json_response(
+                    404,
+                    error_payload(
+                        "not_found",
+                        f"no flight record {query_id!r} retained",
+                    ),
+                )
+            document = self.flight.document(
+                meta={"app": self.application.name, "query_id": query_id}
+            )
+            document["records"] = [record.to_dict()]
+            return self._json_response(200, document)
+        return self._json_response(
+            404, error_payload("not_found", f"no route {path!r}")
+        )
+
+    def health_payload(self) -> dict:
+        """The ``/healthz`` body (also handy for tests and the CLI)."""
+        breaker = self.breaker.snapshot()
+        return {
+            "format": SERVE_FORMAT,
+            "status": "shedding" if breaker["state"] == OPEN else "ok",
+            "app": self.application.name,
+            "strategy": self.config.strategy,
+            "workers": len(self.pool) if self.pool is not None else 0,
+            "warm_start": (
+                self.pool.snapshot_stats() if self.pool is not None else None
+            ),
+            "admission": self.admission.snapshot(),
+            "slo_healthy": bool(
+                self.metrics.gauge_value("slo.healthy", 1.0)
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # POST serving
+    # ------------------------------------------------------------------
+    _ROUTES: dict[str, str] = {
+        "/explain": "explain",
+        "/explain/batch": "explain_batch",
+        "/whynot": "whynot",
+    }
+
+    async def _dispatch_post(
+        self, path: str, body: bytes
+    ) -> tuple[int, bytes, str, list[tuple[str, str]]]:
+        route = self._ROUTES.get(path)
+        if route is None:
+            return self._json_response(
+                404, error_payload("not_found", f"no route {path!r}")
+            )
+        self.metrics.incr("serve.requests")
+        try:
+            token = self.admission.admit()
+        except ShedRequest as shed:
+            retry_after = max(1, math.ceil(shed.retry_after_s))
+            return self._json_response(
+                503,
+                error_payload("shed", shed.reason),
+                extra=[("Retry-After", str(retry_after))],
+            )
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        try:
+            assert self._executor is not None  # started before serving
+            status, payload, query_id = await loop.run_in_executor(
+                self._executor, self._execute, route, body
+            )
+        finally:
+            token.release()
+            self._tick_slo()
+        elapsed = time.perf_counter() - started
+        exemplar = query_id or None
+        self.metrics.observe("serve.request", elapsed, exemplar=exemplar)
+        self.metrics.observe(f"serve.{route}", elapsed, exemplar=exemplar)
+        if status < 500:
+            self.metrics.incr("serve.ok")
+        # The flight id travels as a header, not in the body: response
+        # bodies stay byte-identical to in-process serialization (the
+        # parity gate), and the exemplar still resolves via /flight/<qid>.
+        extra = [("X-Query-Id", query_id)] if query_id else []
+        return self._json_response(status, payload, extra=extra)
+
+    def _tick_slo(self) -> None:
+        self._completed_since_slo += 1
+        if self._completed_since_slo >= self.config.slo_interval_requests:
+            self._completed_since_slo = 0
+            self.slo.drive_breaker(self.breaker, self.metrics)
+
+    # ------------------------------------------------------------------
+    # Executor-side serving (runs on repro-serve worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, route: str, body: bytes) -> tuple[int, dict, str]:
+        """Parse, borrow a worker, serve; returns (status, payload, qid).
+
+        Runs entirely on an executor thread so the event loop never
+        blocks on explanation work; the flight record is opened here and
+        is therefore the thread's current record for the whole serve —
+        the session's own nested records and cache counters land on it.
+        """
+        parser = {
+            "explain": parse_explain_request,
+            "explain_batch": parse_batch_request,
+            "whynot": parse_whynot_request,
+        }[route]
+        request = parser(body)  # ProtocolError propagates to _dispatch
+        assert self.pool is not None
+        with self.flight.record(f"serve.{route}") as record:
+            query_id = record.query_id or ""
+
+            def task(session: ExplanationSession) -> tuple[int, dict]:
+                if isinstance(request, ExplainRequest):
+                    return self._serve_explain(session, request)
+                if isinstance(request, BatchRequest):
+                    return self._serve_batch(session, request)
+                assert isinstance(request, WhyNotRequest)
+                return self._serve_whynot(session, request)
+
+            status, payload = self.pool.run(task)
+            record.set(http_status=status)
+        return status, payload, query_id
+
+    def _deadline(self, requested: float | None) -> Deadline:
+        budget = (
+            requested if requested is not None
+            else self.config.default_deadline_s
+        )
+        return Deadline(budget)
+
+    def _serve_explain(
+        self, session: ExplanationSession, request: ExplainRequest
+    ) -> tuple[int, dict]:
+        deadline = self._deadline(request.deadline_s)
+        try:
+            deadline.check("explain request admission")
+            explanation = session.explain(
+                request.query, prefer_enhanced=request.prefer_enhanced
+            )
+            # Work that *finished* is returned even if the budget ran
+            # out meanwhile — computed results are never discarded.
+            return 200, explanation_payload(explanation, audit=request.audit)
+        except DeadlineExceeded as error:
+            self.metrics.incr("serve.deadline_exceeded")
+            obs.flight_event("deadline_exceeded", where="explain")
+            return 504, error_payload("deadline_exceeded", str(error))
+        except KeyError as error:
+            return 404, error_payload(
+                "not_derived",
+                f"{request.query} was not derived: {error}",
+            )
+
+    def _serve_batch(
+        self, session: ExplanationSession, request: BatchRequest
+    ) -> tuple[int, dict]:
+        deadline = self._deadline(request.deadline_s)
+        outcomes = session.explain_batch(
+            list(request.queries), deadline=deadline,
+            prefer_enhanced=request.prefer_enhanced,
+        )
+        assert all(isinstance(o, BatchOutcome) for o in outcomes)
+        missed = sum(
+            1 for outcome in outcomes
+            if outcome.status == BatchOutcome.STATUS_DEADLINE
+        )
+        if missed:
+            self.metrics.incr("serve.deadline_exceeded")
+            obs.flight_event(
+                "deadline_exceeded", where="explain_batch", missed=missed
+            )
+            # 504 with a partial-result body: the served prefix rides
+            # along so the client keeps every explanation the budget
+            # did cover.
+            return 504, batch_payload(outcomes, partial=True)
+        return 200, batch_payload(outcomes)
+
+    def _serve_whynot(
+        self, session: ExplanationSession, request: WhyNotRequest
+    ) -> tuple[int, dict]:
+        answer = session.why_not(request.query)
+        return 200, whynot_payload(answer)
+
+
+class ServerHandle:
+    """A running background server: address + clean stop."""
+
+    def __init__(self, server: ExplanationServer, thread: threading.Thread):
+        self.server = server
+        self.thread = thread
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.host, self.server.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        self.server.request_stop()
+        self.thread.join(timeout_s)
+        if self.thread.is_alive():
+            raise RuntimeError("server thread did not stop in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

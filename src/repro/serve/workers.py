@@ -1,0 +1,145 @@
+"""Warm explanation workers: snapshot-based spin-up, checkout execution.
+
+The serving story the last PRs built toward: a worker is one
+:class:`~repro.core.service.ExplanationSession` — a compiled program
+bound to a materialized instance with its
+:class:`~repro.engine.provenance_index.ProvenanceIndex` already built —
+kept **warm** so requests pay only the memoized serving path.
+
+Spin-up is cheap by construction:
+
+* all workers share one :class:`~repro.core.service.ExplanationService`,
+  so the program/glossary compile runs once (workers 2..N hit the
+  compile cache) and every session shares the bounded explanation LRU;
+* each worker rehydrates its database from one ``repro-db/1`` snapshot
+  string (:func:`repro.io.loads_database`) — the snapshot preserves the
+  interned symbol ids and insertion sequences, so every worker holds a
+  byte-identical columnar instance and serves byte-identical
+  explanations;
+* the provenance index is materialized eagerly during spin-up, not on
+  the first unlucky request.
+
+Execution uses a checkout queue: a request borrows a worker for its
+lifetime and returns it, so one session never serves two requests'
+recursions at once (its caches are thread-safe, but checkout keeps
+per-worker telemetry and the pool's capacity story simple).  Per-worker
+spin-up seconds land in ``serve.worker_warm_start`` — the number the
+restart story is judged by.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Callable, TypeVar
+
+from ..apps.base import KGApplication
+from ..core.service import ExplanationService, ExplanationSession
+from ..engine.database import Database
+from ..io import dumps_database, loads_database
+from ..obs.metrics import ServiceMetrics
+
+T = TypeVar("T")
+
+
+class WorkerPool:
+    """A fixed set of warm sessions behind a checkout queue."""
+
+    def __init__(
+        self,
+        application: KGApplication,
+        snapshot: str,
+        workers: int = 2,
+        strategy: str = "planned",
+        llm: object | None = None,
+        metrics: ServiceMetrics | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.application = application
+        self.snapshot = snapshot
+        self.strategy = strategy
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.service = ExplanationService(
+            llm=llm, metrics=self.metrics, max_workers=workers,
+        )
+        self.warm_start_s: list[float] = []
+        self._workers: list[ExplanationSession] = []
+        self._available: "queue.SimpleQueue[ExplanationSession]" = (
+            queue.SimpleQueue()
+        )
+        for _ in range(workers):
+            self._spin_up_one()
+
+    @classmethod
+    def from_database(
+        cls,
+        application: KGApplication,
+        database: Database,
+        **kwargs: object,
+    ) -> "WorkerPool":
+        """Snapshot ``database`` once and spin the pool up from it —
+        the normal construction path (the CLI and tests hold a live
+        database, not a snapshot file)."""
+        return cls(application, dumps_database(database), **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Spin-up
+    # ------------------------------------------------------------------
+    def _spin_up_one(self) -> None:
+        started = time.perf_counter()
+        database = loads_database(self.snapshot)
+        session = self.service.session(
+            self.application, database, strategy=self.strategy
+        )
+        session.result.index  # materialize before taking traffic
+        elapsed = time.perf_counter() - started
+        self.warm_start_s.append(elapsed)
+        self.metrics.observe("serve.worker_warm_start", elapsed)
+        self._workers.append(session)
+        self._available.put(session)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, task: Callable[[ExplanationSession], T], timeout_s: float = 30.0
+    ) -> T:
+        """Check a worker out, run ``task`` against its session, return it.
+
+        ``timeout_s`` bounds the checkout wait — the executor is sized to
+        the pool, so a wait only happens when a caller bypasses the
+        executor; it must not hang forever if it does.
+        """
+        try:
+            worker = self._available.get(timeout=timeout_s)
+        except queue.Empty:
+            raise RuntimeError(
+                f"no worker became available within {timeout_s:.1f}s "
+                f"(pool size {len(self._workers)})"
+            )
+        try:
+            return task(worker)
+        finally:
+            self._available.put(worker)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def snapshot_stats(self) -> dict:
+        return {
+            "workers": len(self._workers),
+            "strategy": self.strategy,
+            "warm_start_s": [round(s, 6) for s in self.warm_start_s],
+            "warm_start_max_s": round(max(self.warm_start_s), 6),
+            "fingerprint": (
+                self._workers[0].compiled.fingerprint
+                if self._workers else None
+            ),
+        }
+
+    def shutdown(self) -> None:
+        self.service.shutdown()

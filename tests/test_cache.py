@@ -9,6 +9,7 @@ factory errors to the owner only, and let waiters retry after a failure.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 
 import pytest
@@ -150,3 +151,101 @@ class TestCacheRegions:
         view.put("key", "v")
         assert view.get("key") == "v"
         assert "regions" not in cache.snapshot()  # not registered
+
+    def test_region_counts_miss_when_factory_raises(self):
+        cache = LRUCache(capacity=4)
+        region = cache.region("alpha")
+        with pytest.raises(ValueError):
+            region.get_or_create("key", lambda: (_ for _ in ()).throw(
+                ValueError("nope")
+            ))
+        # The lookup happened and missed; an uncounted failure would
+        # overstate the region's hit rate under load.
+        assert region.stats.misses == 1
+        assert region.stats.hits == 0
+        assert region.get_or_create("key", lambda: 7) == 7
+        assert region.stats.misses == 2
+
+
+class TestAsyncioPath:
+    """The cache and its regions under asyncio: coroutines interleaving
+    on one loop thread, plus event-loop code sharing the cache with
+    executor threads — the mixed workload the HTTP server runs."""
+
+    def test_interleaved_tasks_coalesce_one_miss(self):
+        cache = LRUCache(capacity=8)
+        calls: list[str] = []
+
+        async def lookup(name: str):
+            loop = asyncio.get_running_loop()
+
+            def factory():
+                calls.append(name)
+                return "value"
+
+            # get_or_create blocks on the latch, so coroutines must go
+            # through the executor — the server's own calling pattern.
+            return await loop.run_in_executor(
+                None, cache.get_or_create, "key", factory
+            )
+
+        async def main():
+            return await asyncio.gather(
+                *(lookup(f"t{n}") for n in range(6))
+            )
+
+        results = asyncio.run(main())
+        assert results == ["value"] * 6
+        assert len(calls) == 1, "interleaved tasks duplicated the factory"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 5
+
+    def test_region_stats_consistent_under_task_interleaving(self):
+        cache = LRUCache(capacity=64)
+        region = cache.region("alpha")
+
+        async def lookup(key: str):
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                None, region.get_or_create, key, lambda: key.upper()
+            )
+
+        async def main():
+            # 4 distinct keys, 5 lookups each, all interleaved.
+            return await asyncio.gather(
+                *(lookup(f"k{n % 4}") for n in range(20))
+            )
+
+        results = asyncio.run(main())
+        assert sorted(set(results)) == ["K0", "K1", "K2", "K3"]
+        assert region.stats.misses == 4
+        assert region.stats.hits == 16
+        assert region.stats.lookups == 20
+
+    def test_loop_thread_and_executor_threads_share_regions_safely(self):
+        cache = LRUCache(capacity=64)
+        region = cache.region("mixed")
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            jobs = []
+            for n in range(10):
+                key = f"k{n % 5}"
+                if n % 2:
+                    # Direct call from the loop thread (factories here
+                    # are instant, so blocking the loop is fine).
+                    region.get_or_create(key, lambda k=key: k)
+                else:
+                    jobs.append(
+                        loop.run_in_executor(
+                            None, region.get_or_create, key,
+                            lambda k=key: k,
+                        )
+                    )
+            await asyncio.gather(*jobs)
+
+        asyncio.run(main())
+        assert region.stats.misses == 5
+        assert region.stats.hits == 5
+        snapshot = cache.snapshot()
+        assert snapshot["regions"]["mixed"]["misses"] == 5

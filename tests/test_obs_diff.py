@@ -144,7 +144,9 @@ class TestDiffDocuments:
 class TestGateConfig:
     def test_shipped_gate_config_loads(self):
         gates = load_gates(str(GATES_PATH))
-        assert set(gates["suites"]) == {"engine", "service", "explain"}
+        assert set(gates["suites"]) == {
+            "engine", "service", "explain", "load",
+        }
 
     def test_engine_suite_reproduces_planned_gates(self):
         gates = load_gates(str(GATES_PATH))

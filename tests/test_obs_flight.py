@@ -3,6 +3,7 @@ profiler, SLO evaluation, and their propagation through the service."""
 
 from __future__ import annotations
 
+import asyncio
 import threading
 
 import pytest
@@ -109,6 +110,109 @@ class TestFlightRecord:
         assert batch.counts["worker_ticks"] == 1
         # attach() must not close the record: the owner's exit did.
         assert recorder.records()[0] is batch
+
+
+class TestFlightTaskSafety:
+    """The current-record stack is context-local: interleaved asyncio
+    tasks on one loop thread must not corrupt each other's stack (the
+    race a thread-local stack had under the HTTP server's event loop)."""
+
+    def test_interleaved_tasks_keep_independent_current_records(self):
+        recorder = obs.FlightRecorder()
+        errors: list[str] = []
+
+        async def flight(name: str, ticks: int):
+            with recorder.record("task", query=name) as record:
+                for _ in range(ticks):
+                    current = recorder.current()
+                    if current is not record:
+                        errors.append(
+                            f"{name} saw "
+                            f"{current and current.query}"
+                        )
+                    # Yield so tasks interleave mid-flight.
+                    await asyncio.sleep(0)
+                    recorder.current().count("ticks")
+
+        async def main():
+            await asyncio.gather(
+                *(flight(f"t{n}", ticks=5) for n in range(8))
+            )
+
+        asyncio.run(main())
+        assert errors == []
+        records = recorder.records()
+        assert len(records) == 8
+        # Every tick landed on its own task's record, and concurrent
+        # top-level tasks never parented under one another.
+        assert all(record.counts["ticks"] == 5 for record in records)
+        assert all(record.parent_id is None for record in records)
+
+    def test_nested_records_parent_within_one_task_only(self):
+        recorder = obs.FlightRecorder()
+
+        async def flight(name: str):
+            with recorder.record("outer", query=name) as outer:
+                await asyncio.sleep(0)
+                with recorder.record("inner", query=name) as inner:
+                    await asyncio.sleep(0)
+                return outer, inner
+
+        async def main():
+            return await asyncio.gather(flight("a"), flight("b"))
+
+        for outer, inner in asyncio.run(main()):
+            assert inner.parent_id == outer.query_id
+            assert inner.query == outer.query
+
+    def test_stack_isolation_across_plain_threads_still_holds(self):
+        recorder = obs.FlightRecorder()
+        barrier = threading.Barrier(4)
+        mismatches: list[str] = []
+
+        def worker(name: str):
+            with recorder.record("thread", query=name) as record:
+                barrier.wait()  # all four records open concurrently
+                current = recorder.current()
+                if current is not record:
+                    mismatches.append(name)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{n}",))
+            for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert mismatches == []
+        assert len(recorder.records()) == 4
+
+    def test_concurrent_close_and_event_append_is_locked(self):
+        # A batch record's worker threads may still append events while
+        # the owner closes it; neither side may lose updates or crash.
+        recorder = obs.FlightRecorder(max_events=10_000)
+        record = recorder.record("batch")
+        record.__enter__()
+        stop = threading.Event()
+
+        def appender():
+            while not stop.is_set():
+                record.event("tick")
+                record.count("ticks")
+
+        threads = [threading.Thread(target=appender) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        record.__exit__(None, None, None)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        data = record.to_dict()
+        assert data["status"] == "ok"
+        assert data["counts"].get("ticks", 0) == len(
+            [e for e in data["events"] if e["kind"] == "tick"]
+        ) + record.events_dropped
 
 
 class TestTracerAttach:

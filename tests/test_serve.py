@@ -1,0 +1,465 @@
+"""Tests for the HTTP serving layer: wire-protocol schemas, admission
+control (queue overflow + breaker-open shedding), deadline semantics
+over HTTP, flight-record lookup, and the byte-parity contract between
+served bodies and direct in-process serialization."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.apps import figures, generators
+from repro.core import ExplanationService
+from repro.io import dumps_database, loads_database, parse_fact
+from repro.resilience.policy import Deadline
+from repro.serve import (
+    SERVE_FORMAT,
+    BatchRequest,
+    ExplainRequest,
+    ExplanationServer,
+    ProtocolError,
+    ServeConfig,
+    WhyNotRequest,
+    batch_payload,
+    encode_body,
+    error_payload,
+    explanation_payload,
+    parse_batch_request,
+    parse_explain_request,
+    parse_whynot_request,
+    whynot_payload,
+)
+
+
+def _body(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _request(server, method, path, payload=None, connection=None):
+    """One HTTP exchange; returns (status, headers, body bytes)."""
+    own = connection is None
+    if own:
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+    try:
+        body = _body(payload) if payload is not None else None
+        connection.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        response = connection.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+    finally:
+        if own:
+            connection.close()
+
+
+# ----------------------------------------------------------------------
+# Protocol schemas
+# ----------------------------------------------------------------------
+
+class TestProtocolRoundTrips:
+    def test_explain_request_round_trip(self):
+        request = parse_explain_request(_body({
+            "query": "Control(IrishBank, MadridCredit)",
+            "prefer_enhanced": False,
+            "deadline_s": 2.5,
+            "audit": True,
+        }))
+        assert isinstance(request, ExplainRequest)
+        assert str(request.query) == "Control(IrishBank, MadridCredit)"
+        assert request.prefer_enhanced is False
+        assert request.deadline_s == 2.5
+        assert request.audit is True
+
+    def test_explain_request_defaults(self):
+        request = parse_explain_request(_body({"query": "Own(A, B, 1.0)"}))
+        assert request.prefer_enhanced is True
+        assert request.deadline_s is None
+        assert request.audit is False
+
+    def test_batch_request_round_trip(self):
+        request = parse_batch_request(_body({
+            "queries": ["Control(A, B)", "Control(B, C)"],
+            "deadline_s": 1,
+        }))
+        assert isinstance(request, BatchRequest)
+        assert [str(query) for query in request.queries] == [
+            "Control(A, B)", "Control(B, C)",
+        ]
+        assert request.deadline_s == 1.0
+
+    def test_whynot_request_round_trip(self):
+        request = parse_whynot_request(_body({"query": "Control(A, B)"}))
+        assert isinstance(request, WhyNotRequest)
+        assert str(request.query) == "Control(A, B)"
+
+    @pytest.mark.parametrize("body", [
+        b"",
+        b"not json",
+        b"[1, 2]",
+        _body({}),
+        _body({"query": 7}),
+        _body({"query": "   "}),
+        _body({"query": "Control(x, y)"}),          # variables: not ground
+        _body({"query": "Control(A, B)", "deadline_s": -1}),
+        _body({"query": "Control(A, B)", "deadline_s": True}),
+        _body({"query": "Control(A, B)", "audit": "yes"}),
+    ])
+    def test_explain_request_rejections(self, body):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_explain_request(body)
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("body", [
+        _body({}),
+        _body({"queries": []}),
+        _body({"queries": "Control(A, B)"}),
+        _body({"queries": ["Control(A, B)", 3]}),
+    ])
+    def test_batch_request_rejections(self, body):
+        with pytest.raises(ProtocolError):
+            parse_batch_request(body)
+
+    def test_encode_body_is_canonical(self):
+        payload = {"zebra": 1, "alpha": {"beta": "é"}}
+        body = encode_body(payload)
+        assert body.endswith(b"\n")
+        assert body == b'{"alpha": {"beta": "\xc3\xa9"}, "zebra": 1}\n'
+        assert json.loads(body.decode("utf-8")) == payload
+
+    def test_error_payload_shape(self):
+        payload = error_payload("shed", "queue full", results=[{"x": 1}])
+        assert payload["format"] == SERVE_FORMAT
+        assert payload["status"] == "shed"
+        assert payload["error"] == "queue full"
+        assert payload["results"] == [{"x": 1}]
+
+
+# ----------------------------------------------------------------------
+# A shared warm server over the Figure 15 company-control instance
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def scenario():
+    return figures.figure15_instance()
+
+
+@pytest.fixture(scope="module")
+def snapshot(scenario):
+    return dumps_database(scenario.database)
+
+
+@pytest.fixture(scope="module")
+def server(scenario, snapshot):
+    instance = ExplanationServer(
+        scenario.application, snapshot=snapshot,
+        config=ServeConfig(
+            workers=1, strategy="planned",
+            slo_period_s=60.0, slo_interval_requests=10_000,
+        ),
+        llm=None,
+    )
+    with instance.run_in_thread():
+        yield instance
+
+
+@pytest.fixture(scope="module")
+def direct(scenario, snapshot):
+    service = ExplanationService(llm=None)
+    session = service.session(
+        scenario.application, loads_database(snapshot), strategy="planned"
+    )
+    yield session
+    service.shutdown()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _headers, data = _request(server, "GET", "/healthz")
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["format"] == SERVE_FORMAT
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 1
+        assert payload["admission"]["limit"] == server.config.queue_limit
+        assert payload["warm_start"]["warm_start_max_s"] >= 0
+
+    def test_explain_and_flight_lookup(self, server, scenario):
+        status, headers, data = _request(
+            server, "POST", "/explain", {"query": str(scenario.target)}
+        )
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["status"] == "ok"
+        assert payload["query"] == str(scenario.target)
+        assert payload["text"]
+        assert payload["paths"]
+        query_id = headers.get("X-Query-Id")
+        assert query_id  # the flight id travels as a header, not the body
+        status, _headers, data = _request(
+            server, "GET", f"/flight/{query_id}"
+        )
+        assert status == 200
+        document = json.loads(data)
+        assert document["format"] == "repro-flight/1"
+        assert len(document["records"]) == 1
+        assert document["records"][0]["query_id"] == query_id
+
+    def test_flight_unknown_query_id_is_404(self, server):
+        status, _headers, data = _request(
+            server, "GET", "/flight/nonexistent-qid"
+        )
+        assert status == 404
+        assert json.loads(data)["status"] == "not_found"
+
+    def test_metrics_prometheus_text(self, server, scenario):
+        _request(server, "POST", "/explain", {"query": str(scenario.target)})
+        status, headers, data = _request(server, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = data.decode("utf-8")
+        assert "repro_serve_requests" in text
+        assert "repro_serve_ok" in text
+
+    def test_underivable_fact_is_404(self, server):
+        status, _headers, data = _request(
+            server, "POST", "/explain",
+            {"query": "Control(Absentia0, Absentia1)"},
+        )
+        assert status == 404
+        assert json.loads(data)["status"] == "not_derived"
+
+    def test_malformed_body_is_400(self, server):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+        try:
+            connection.request("POST", "/explain", body=b"not json")
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["status"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_unknown_routes_and_methods(self, server):
+        status, _headers, _data = _request(server, "GET", "/nope")
+        assert status == 404
+        status, _headers, _data = _request(
+            server, "POST", "/nope", {"query": "Control(A, B)"}
+        )
+        assert status == 404
+        status, _headers, _data = _request(server, "DELETE", "/explain")
+        assert status == 405
+
+    def test_keep_alive_serves_sequential_requests(self, server, scenario):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30
+        )
+        try:
+            for _ in range(3):
+                status, _headers, data = _request(
+                    server, "POST", "/explain",
+                    {"query": str(scenario.target)},
+                    connection=connection,
+                )
+                assert status == 200
+                assert json.loads(data)["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_explain_zero_deadline_is_504(self, server, scenario):
+        status, _headers, data = _request(
+            server, "POST", "/explain",
+            {"query": str(scenario.target), "deadline_s": 0.0},
+        )
+        assert status == 504
+        payload = json.loads(data)
+        assert payload["status"] == "deadline_exceeded"
+        assert payload["results"] == []
+
+    def test_batch_zero_deadline_is_504_with_partial_body(
+        self, server, scenario
+    ):
+        queries = [str(scenario.target)] * 3
+        status, _headers, data = _request(
+            server, "POST", "/explain/batch",
+            {"queries": queries, "deadline_s": 0.0},
+        )
+        assert status == 504
+        payload = json.loads(data)
+        # The explain_batch contract over HTTP: a spent budget still
+        # returns every outcome, marking the missed tail.
+        assert payload["status"] == "partial"
+        assert payload["missed"] > 0
+        assert len(payload["results"]) == 3
+        statuses = {entry["status"] for entry in payload["results"]}
+        assert "deadline_exceeded" in statuses
+
+    def test_batch_within_deadline_is_200(self, server, scenario):
+        status, _headers, data = _request(
+            server, "POST", "/explain/batch",
+            {"queries": [str(scenario.target)], "deadline_s": 30.0},
+        )
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["status"] == "ok"
+        assert payload["served"] == 1
+        assert payload["missed"] == 0
+
+    def test_whynot_over_http(self, server):
+        status, _headers, data = _request(
+            server, "POST", "/whynot",
+            {"query": "Control(Absentia0, Absentia1)"},
+        )
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["status"] == "ok"
+        assert payload["obstacles"]
+
+
+# ----------------------------------------------------------------------
+# Admission control: queue overflow and breaker-open shedding
+# ----------------------------------------------------------------------
+
+class TestAdmission:
+    def test_queue_overflow_sheds_503_with_retry_after(
+        self, scenario, snapshot
+    ):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=1, queue_limit=0, retry_after_s=2.0,
+                strategy="planned",
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        with instance.run_in_thread():
+            status, headers, data = _request(
+                instance, "POST", "/explain",
+                {"query": str(scenario.target)},
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 2
+            payload = json.loads(data)
+            assert payload["status"] == "shed"
+            assert "queue" in payload["error"]
+            assert instance.metrics.counter_value("serve.shed_queue") == 1
+
+    def test_open_breaker_sheds_503(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=1, strategy="planned",
+                breaker_window=4, breaker_min_calls=2,
+                breaker_cooldown_s=60.0,
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        with instance.run_in_thread():
+            # A healthy server serves...
+            status, _headers, _data = _request(
+                instance, "POST", "/explain",
+                {"query": str(scenario.target)},
+            )
+            assert status == 200
+            # ... then sustained SLO breaches open the breaker.
+            for _ in range(4):
+                instance.breaker.observe_health(False)
+            status, headers, data = _request(
+                instance, "POST", "/explain",
+                {"query": str(scenario.target)},
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 60
+            payload = json.loads(data)
+            assert payload["status"] == "shed"
+            assert "circuit open" in payload["error"]
+            assert (
+                instance.metrics.counter_value("serve.shed_breaker") == 1
+            )
+            status, _headers, data = _request(instance, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(data)["status"] == "shedding"
+
+
+# ----------------------------------------------------------------------
+# Byte parity: HTTP bodies == direct in-process serialization
+# ----------------------------------------------------------------------
+
+#: One scenario per bundled application family.
+PARITY_SCENARIOS = (
+    figures.figure8_instance,                      # integrated ownership
+    figures.figure12_stress_instance,              # stress testing
+    figures.figure15_instance,                     # company control
+    lambda: generators.close_links_common_control(seed=0),
+)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize(
+        "build", PARITY_SCENARIOS,
+        ids=lambda build: getattr(build, "__name__", "generated"),
+    )
+    def test_served_bytes_equal_direct_serialization(self, build):
+        parity_scenario = build()
+        parity_snapshot = dumps_database(parity_scenario.database)
+        service = ExplanationService(llm=None)
+        session = service.session(
+            parity_scenario.application,
+            loads_database(parity_snapshot), strategy="planned",
+        )
+        instance = ExplanationServer(
+            parity_scenario.application, snapshot=parity_snapshot,
+            config=ServeConfig(workers=1, strategy="planned"),
+            llm=None,
+        )
+        try:
+            with instance.run_in_thread():
+                targets = [
+                    query for query in session.answers()
+                    if query.predicate == parity_scenario.target.predicate
+                    and session.result.chase_result.is_derived(query)
+                ][:4] or [parity_scenario.target]
+                for query in targets:
+                    status, _headers, served = _request(
+                        instance, "POST", "/explain",
+                        {"query": str(query)},
+                    )
+                    assert status == 200
+                    expected = encode_body(
+                        explanation_payload(session.explain(query))
+                    )
+                    assert served == expected, f"diverged on {query}"
+                status, _headers, served = _request(
+                    instance, "POST", "/explain/batch",
+                    {
+                        "queries": [str(query) for query in targets],
+                        "deadline_s": 30.0,
+                    },
+                )
+                assert status == 200
+                expected = encode_body(batch_payload(
+                    session.explain_batch(targets, deadline=Deadline(30.0))
+                ))
+                assert served == expected
+                arity = parity_scenario.target.arity
+                absent = "{}({})".format(
+                    parity_scenario.target.predicate,
+                    ", ".join(f"Absentia{n}" for n in range(arity)),
+                )
+                status, _headers, served = _request(
+                    instance, "POST", "/whynot", {"query": absent}
+                )
+                assert status == 200
+                expected = encode_body(
+                    whynot_payload(session.why_not(parse_fact(absent)))
+                )
+                assert served == expected
+        finally:
+            service.shutdown()

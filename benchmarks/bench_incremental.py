@@ -1,0 +1,306 @@
+"""Incremental maintenance: delta add/retract vs full re-chase.
+
+The live-update story (DESIGN.md §13): a shareholding edge changes and
+the session absorbs it through :meth:`ChaseEngine.update` — semi-naive
+delta insertion plus DRed-style delete–rederive — while the
+:class:`~repro.engine.provenance_index.ProvenanceIndex` is rebound in
+place.  This benchmark measures that path against the status quo it
+replaces (a fresh planned chase plus a from-scratch index build) on the
+largest bundled workload, and sweeps randomized add/retract schedules
+across the bundled applications asserting byte-identical results.
+
+Emits ``BENCH_incremental.json`` with single-edge add/retract timings,
+their speedups over full re-chase, and the parity verdict.  Runs
+standalone (``python benchmarks/bench_incremental.py [--quick]``) for CI
+— where the ``incremental`` gate suite asserts both speedups stay ≥ 5x
+and parity holds — or under pytest with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro import obs
+from repro.apps import (
+    company_control,
+    generators,
+    golden_powers,
+    integrated_ownership,
+)
+from repro.engine.chase import ChaseEngine
+from repro.engine.database import Database
+from repro.engine.incremental import extensional_facts
+from repro.engine.reasoning import reason
+
+from _harness import RESULTS_DIR, append_history, emit_stats, once
+
+#: The largest bundled workload (same instance the engine-scaling bench
+#: calls ``ownership_network``): 30 entities, 90 ownership edges.
+LARGEST = {"app": "company_control", "entities": 30, "edges": 90, "seed": 11}
+
+
+def _largest_workload():
+    application = company_control.build()
+    database = generators.random_ownership_database(
+        entities=LARGEST["entities"], edges=LARGEST["edges"],
+        seed=LARGEST["seed"],
+    )
+    return application, database
+
+
+def _measure_single_edge(repeats: int) -> dict:
+    """Best-of-``repeats`` single-edge add and retract on the largest
+    workload, incremental (update + index rebind) vs full (fresh chase +
+    fresh index build).
+
+    Each trial adds one new ownership edge then retracts it again, so
+    every repetition starts from the same materialized base state; the
+    incremental side times :meth:`ChaseEngine.update` *plus*
+    :meth:`ReasoningResult.apply_update` (the provenance index is part
+    of what must stay fresh), and the full side times the chase plus the
+    index build it would replace.
+    """
+    application, database = _largest_workload()
+    engine = ChaseEngine(strategy="planned")
+    result = reason(application.program, database, strategy="planned")
+    result.index  # materialize: updates maintain it in place
+    edge = company_control.own("Invest0", "Gruppo1", 0.55)
+
+    def timed(action) -> float:
+        started = time.perf_counter()
+        action()
+        return time.perf_counter() - started
+
+    samples: dict[str, list[float]] = {
+        "add_incremental": [], "add_full": [],
+        "retract_incremental": [], "retract_full": [],
+    }
+    modes: dict[str, int] = {}
+    for _ in range(repeats):
+        def apply_add() -> None:
+            outcome = engine.update(
+                application.program, result.chase_result, adds=[edge]
+            )
+            modes[outcome.mode] = modes.get(outcome.mode, 0) + 1
+            result.apply_update(outcome.result)
+
+        samples["add_incremental"].append(timed(apply_add))
+        post_add = extensional_facts(result.chase_result)
+
+        def full_add() -> None:
+            fresh = reason(application.program, post_add, strategy="planned")
+            fresh.index
+
+        samples["add_full"].append(timed(full_add))
+
+        def apply_retract() -> None:
+            outcome = engine.update(
+                application.program, result.chase_result, retracts=[edge]
+            )
+            modes[outcome.mode] = modes.get(outcome.mode, 0) + 1
+            result.apply_update(outcome.result)
+
+        samples["retract_incremental"].append(timed(apply_retract))
+        post_retract = extensional_facts(result.chase_result)
+
+        def full_retract() -> None:
+            fresh = reason(
+                application.program, post_retract, strategy="planned"
+            )
+            fresh.index
+
+        samples["retract_full"].append(timed(full_retract))
+
+    def entry(kind: str) -> dict:
+        incremental_s = min(samples[f"{kind}_incremental"])
+        full_s = min(samples[f"{kind}_full"])
+        return {
+            "incremental_s": round(incremental_s, 6),
+            "full_s": round(full_s, 6),
+            "speedup": (
+                round(full_s / incremental_s, 2) if incremental_s else None
+            ),
+        }
+
+    return {
+        "workload": dict(LARGEST),
+        "derivations": len(result.chase_result.records),
+        "repeats": repeats,
+        "modes": modes,
+        "add": entry("add"),
+        "retract": entry("retract"),
+    }
+
+
+def _parity_workloads(quick: bool):
+    """(name, application, edb) triples for the randomized parity sweep
+    — every bundled application family, including negation."""
+    workloads = []
+    workloads.append((
+        "company_control",
+        company_control.build(),
+        generators.random_ownership_database(
+            entities=24, edges=70, seed=11
+        ).facts(),
+    ))
+    workloads.append((
+        "integrated_ownership",
+        integrated_ownership.build(),
+        generators.random_ownership_database(
+            entities=10, edges=26, seed=7
+        ).facts(),
+    ))
+    scenario = generators.close_links_common_control(seed=3)
+    workloads.append((
+        "close_links", scenario.application, scenario.database.facts()
+    ))
+    gp_db = generators.random_ownership_database(entities=14, edges=40, seed=13)
+    names = [
+        f.terms[0].value for f in gp_db.facts() if f.predicate == "Company"
+    ]
+    gp_facts = list(gp_db.facts())
+    gp_facts += [golden_powers.foreign(name) for name in names[::3]]
+    gp_facts += [golden_powers.strategic(name) for name in names[1::3]]
+    gp_facts += [golden_powers.exempt(name) for name in names[::5]]
+    workloads.append((
+        "golden_powers", golden_powers.build(), tuple(gp_facts)
+    ))
+    if quick:
+        workloads = workloads[:2] + workloads[-1:]
+    return workloads
+
+
+def _parity_sweep(quick: bool) -> dict:
+    """Randomized add/retract schedules: incremental must equal a fresh
+    chase on the post-delta EDB — same fact tuple (order included), same
+    records, same supersessions, same violations.  The reference runs
+    the planned strategy (naive/planned record parity is a tier-1
+    invariant asserted elsewhere; the test battery in
+    ``tests/test_incremental.py`` also checks against naive)."""
+    steps = 6 if quick else 10
+    seeds = (0, 1) if quick else (0, 1, 2)
+    engine = ChaseEngine(strategy="planned")
+    reference = ChaseEngine(strategy="planned")
+    schedules = 0
+    mismatches: list[str] = []
+    for name, application, edb in _parity_workloads(quick):
+        program = application.program
+        for seed in seeds:
+            schedules += 1
+            rng = random.Random(seed)
+            current = engine.run(program, Database(edb))
+            removed: list = []
+            for step in range(steps):
+                live = list(extensional_facts(current))
+                adds, retracts = [], []
+                roll = rng.random()
+                if roll < 0.45 and live:
+                    retracts = rng.sample(
+                        live, k=min(len(live), rng.randint(1, 3))
+                    )
+                elif roll < 0.8 and removed:
+                    adds = rng.sample(
+                        removed, k=min(len(removed), rng.randint(1, 3))
+                    )
+                else:
+                    if live:
+                        retracts = rng.sample(live, k=1)
+                    if removed:
+                        adds = rng.sample(removed, k=1)
+                outcome = engine.update(program, current, adds, retracts)
+                current = outcome.result
+                removed = [
+                    fact for fact in removed + retracts
+                    if fact not in set(adds)
+                ]
+                fresh = reference.run(
+                    program, Database(extensional_facts(current))
+                )
+                identical = (
+                    tuple(current.database.facts())
+                    == tuple(fresh.database.facts())
+                    and current.records == fresh.records
+                    and current.superseded == fresh.superseded
+                    and current.rounds == fresh.rounds
+                )
+                if not identical:
+                    mismatches.append(f"{name}/seed{seed}/step{step}")
+    return {
+        "identical": not mismatches,
+        "schedules": schedules,
+        "steps_per_schedule": steps,
+        "mismatches": mismatches,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    """Measure the update path and sweep parity; emit BENCH_incremental.json."""
+    repeats = 3 if quick else 5
+    tracer = obs.Tracer()
+    metrics = obs.MetricsRegistry()
+    profiler = obs.KernelProfiler(enabled=True)
+    with obs.observed(tracer=tracer, metrics=metrics, profile=profiler):
+        update = _measure_single_edge(repeats=repeats)
+        parity = _parity_sweep(quick=quick)
+    payload = {
+        "quick": quick,
+        "update": update,
+        "parity": parity,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_incremental.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_incremental ({path}) =====")
+    print(json.dumps(payload, indent=2))
+    emit_stats(
+        "BENCH_incremental", metrics, tracer=tracer, profile=profiler,
+        meta={"benchmark": "incremental", "quick": quick},
+    )
+    append_history("incremental", payload, meta={"benchmark": "incremental"})
+    return payload
+
+
+def check(payload: dict) -> None:
+    """The regression gates (mirrored by the ``incremental`` suite in
+    ``benchmarks/gates.json``):
+
+    * single-edge add ≥ 5x faster than full re-chase + index build;
+    * single-edge retract ≥ 5x faster than the same baseline;
+    * the randomized parity sweep found zero divergences.
+    """
+    for kind in ("add", "retract"):
+        speedup = payload["update"][kind]["speedup"]
+        assert speedup is not None and speedup >= 5.0, (
+            f"incremental {kind} regressed: {speedup:.2f}x vs full "
+            f"re-chase (need ≥ 5x)"
+        )
+    parity = payload["parity"]
+    assert parity["identical"], (
+        f"incremental/full divergence on {parity['mismatches']}"
+    )
+    full_runs = payload["update"]["modes"].get("full", 0)
+    assert full_runs == 0, (
+        f"single-edge updates fell back to full re-chase {full_runs} times"
+    )
+
+
+def test_incremental_benchmark_payload(benchmark):
+    payload = once(benchmark, run, quick=True)
+    check(payload)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats and parity schedules (CI mode)",
+    )
+    arguments = parser.parse_args()
+    check(run(quick=arguments.quick))
+
+
+if __name__ == "__main__":
+    main()

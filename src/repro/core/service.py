@@ -36,7 +36,9 @@ from typing import Iterable, Sequence
 from .. import obs
 from ..datalog.atoms import Fact
 from ..datalog.program import Program
+from ..engine.chase import ChaseEngine
 from ..engine.database import Database
+from ..engine.incremental import UpdateOutcome, extensional_facts
 from ..engine.reasoning import ReasoningResult, reason
 
 # Deprecation alias: the historical service-metrics surface now lives in
@@ -450,6 +452,58 @@ class ExplanationSession:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def update(
+        self,
+        adds: Iterable[Fact] = (),
+        retracts: Iterable[Fact] = (),
+        max_rounds: int = 10_000,
+    ) -> UpdateOutcome:
+        """Apply an extensional add/retract delta to this session, live.
+
+        The chase result is maintained incrementally
+        (:mod:`repro.engine.incremental`) at a cost proportional to the
+        delta's consequences, the provenance index is rebound in place
+        (memoized spines/proofs for untouched subtrees survive), and the
+        explainer is rebound under a fresh memo scope so stale
+        explanation and why-not entries are scoped out exactly as
+        :meth:`re_reason` does.  The returned
+        :class:`~repro.engine.incremental.UpdateOutcome` reports the
+        effective delta and whether the replay ran or fell back to a
+        full re-chase.
+        """
+        adds = tuple(adds)
+        retracts = tuple(retracts)
+        recorder = obs.get_flight()
+        with recorder.record(
+            "update", query=self.compiled.program.name,
+            fingerprint=self.compiled.fingerprint,
+            adds=len(adds), retracts=len(retracts),
+        ) as flight, _Timed(self.service.metrics, "update"):
+            engine = ChaseEngine(strategy="planned", max_rounds=max_rounds)
+            outcome = engine.update(
+                self.compiled.program, self.result.chase_result,
+                adds, retracts,
+            )
+            flight.set(mode=outcome.mode)
+            if outcome.mode != "noop":
+                self.result.apply_update(outcome.result)
+                self.explainer = Explainer(
+                    self.result, compiled=self.compiled,
+                    cache=self.service.explanation_cache,
+                )
+                self._whynot = None
+        self.service.metrics.incr("updates")
+        self.service.metrics.incr(f"updates_{outcome.mode}")
+        return outcome
+
+    def add_facts(self, facts: Iterable[Fact]) -> UpdateOutcome:
+        """Insert extensional facts into the live session (see update)."""
+        return self.update(adds=facts)
+
+    def retract_facts(self, facts: Iterable[Fact]) -> UpdateOutcome:
+        """Retract extensional facts from the live session (see update)."""
+        return self.update(retracts=facts)
+
     def re_reason(
         self,
         database: Database | Iterable[Fact],
@@ -458,16 +512,31 @@ class ExplanationSession:
     ) -> "ExplanationSession":
         """Re-materialize this session over new data, in place.
 
-        Runs a fresh chase, which rebuilds the provenance index, and
-        rebinds the explainer under a fresh memo scope: every cache key
-        of the old instance carries the old binding id, so stale entries
-        can never be served again — they simply age out of the shared
-        LRU.  The compiled artifact is reused as-is (it is
+        When the new database is expressible as an add/retract delta
+        against the current extensional instance (retained facts keep
+        their relative order, new facts appended), the change routes
+        through the incremental :meth:`update` path; otherwise a fresh
+        chase runs, which rebuilds the provenance index from scratch.
+        Either way the explainer is rebound under a fresh memo scope:
+        every cache key of the old instance carries the old binding id,
+        so stale entries can never be served again — they simply age out
+        of the shared LRU.  The compiled artifact is reused as-is (it is
         database-independent).
         """
+        facts = (
+            tuple(database.facts()) if isinstance(database, Database)
+            else tuple(database)
+        )
+        delta = self._as_delta(facts)
+        if delta is not None:
+            adds, retracts = delta
+            self.update(adds=adds, retracts=retracts, max_rounds=max_rounds)
+            self.service.metrics.incr("re_reasons")
+            self.service.metrics.incr("re_reason_incremental")
+            return self
         with _Timed(self.service.metrics, "chase"):
             result = reason(
-                self.compiled.program, database,
+                self.compiled.program, facts,
                 max_rounds=max_rounds, strategy=strategy,
             )
         self.result = result
@@ -477,7 +546,29 @@ class ExplanationSession:
         )
         self._whynot = None
         self.service.metrics.incr("re_reasons")
+        self.service.metrics.incr("re_reason_full")
         return self
+
+    def _as_delta(
+        self, facts: tuple[Fact, ...]
+    ) -> tuple[tuple[Fact, ...], tuple[Fact, ...]] | None:
+        """Express ``facts`` as (adds, retracts) against the current EDB.
+
+        Returns ``None`` when the request is not delta-shaped: duplicate
+        facts, retained facts reordered, or new facts interleaved rather
+        than appended — those need the full re-chase to reproduce the
+        requested insertion order.
+        """
+        if len(set(facts)) != len(facts):
+            return None
+        old_edb = extensional_facts(self.result.chase_result)
+        new_set = set(facts)
+        adds = tuple(f for f in facts if f not in set(old_edb))
+        retained = tuple(f for f in old_edb if f in new_set)
+        if retained + adds != facts:
+            return None
+        retracts = tuple(f for f in old_edb if f not in new_set)
+        return adds, retracts
 
 
 class ExplanationService:

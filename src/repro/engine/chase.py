@@ -339,6 +339,56 @@ class ChaseEngine:
         self._flush_metrics(stats)
         return result
 
+    def update(
+        self,
+        program: Program,
+        previous: ChaseResult,
+        adds: tuple[Fact, ...] | list[Fact] = (),
+        retracts: tuple[Fact, ...] | list[Fact] = (),
+    ):
+        """Apply an extensional add/retract delta to a previous result.
+
+        Returns an :class:`repro.engine.incremental.UpdateOutcome` whose
+        ``result`` is byte-identical (facts, records, explanations) to a
+        fresh :meth:`run` over the post-delta EDB.  The delta is replayed
+        incrementally (:mod:`repro.engine.incremental`) at a cost
+        proportional to its consequences; programs outside the replayable
+        fragment (existential rules) fall back to a full chase
+        transparently.
+        """
+        from .incremental import (
+            IncrementalFallback,
+            UpdateOutcome,
+            flush_update_metrics,
+            incremental_update,
+            resolve_delta,
+        )
+
+        try:
+            return incremental_update(
+                program, previous, adds, retracts, max_rounds=self.max_rounds
+            )
+        except IncrementalFallback:
+            obs.incr("incremental.fallbacks")
+            started = time.perf_counter()
+            new_edb, added, retracted = resolve_delta(
+                previous, adds, retracts
+            )
+            if not added and not retracted:
+                return UpdateOutcome(
+                    result=previous, mode="noop", added=(), retracted=()
+                )
+            result = self.run(program, Database(new_edb))
+            outcome = UpdateOutcome(
+                result=result,
+                mode="full",
+                added=added,
+                retracted=retracted,
+                elapsed_s=time.perf_counter() - started,
+            )
+            flush_update_metrics(outcome)
+            return outcome
+
     @staticmethod
     def _flush_metrics(stats: ChaseStats) -> None:
         """Publish one run's aggregate counts to the ambient registry.

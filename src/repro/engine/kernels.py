@@ -520,6 +520,7 @@ class RuleKernel:
         exclude: frozenset[Fact],
         delta_by_predicate: Mapping[str, list[Fact]] | None = None,
         stats: dict | None = None,
+        profile_label: str | None = None,
     ) -> list[Match]:
         """The rule's full matches in naive enumeration order.
 
@@ -528,7 +529,10 @@ class RuleKernel:
         whose pivot predicate intersects the delta runs and the union is
         deduplicated by parent sequence tuple.  Either way the entries
         are sorted by that tuple and each binding is rebuilt from the
-        matched facts (see class docstring).
+        matched facts (see class docstring).  ``profile_label`` overrides
+        the profiler attribution row (incremental updates label their
+        delta executions ``<rule>+delta`` so hot spots stay separable
+        from full-run kernels in ``repro obs top``).
         """
         if database.symbols is not self.symbols:
             raise ValueError(
@@ -567,7 +571,7 @@ class RuleKernel:
             elapsed = time.perf_counter() - started
             if profiler.enabled:
                 profiler.record(
-                    self.rule_plan.rule.label,
+                    profile_label or self.rule_plan.rule.label,
                     elapsed,
                     probes=counters[0],
                     rows_scanned=counters[1],

@@ -114,6 +114,86 @@ class ProvenanceIndex:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def rebind(self, new_result: ChaseResult) -> dict:
+        """Re-point the index at an incrementally updated chase result.
+
+        Adjacency, buckets and depths are rebuilt in one linear pass
+        (they are the cheap part of the index), while the expensive
+        memoized views — spines, proof DAGs, proof constants, interned
+        keys — are retained for every fact whose derivation subtree is
+        untouched by the update.  A fact is *touched* when its deriving
+        record changed content or numbering, when it was added or
+        removed, or when any ancestor was; the touched set is the
+        forward closure of the changed records over the new reverse
+        adjacency.  Returns invalidation figures for stats documents.
+        """
+        started = time.perf_counter()
+        with obs.span(
+            "explain.index_rebind", program=new_result.program.name,
+            records=len(new_result.records),
+        ) as span:
+            old_derivation = self._derivation
+            old_keys = self._keys
+            old_spines = self._spines
+            old_proofs = self._proofs
+            old_proof_constants = self._proof_constants
+            old_proof_facts = self._proof_facts
+            self.result = new_result
+            self._build(new_result)
+            changed = [
+                fact
+                for fact, record in self._derivation.items()
+                if old_derivation.get(fact) != record
+            ]
+            touched = set(changed)
+            touched.update(
+                fact for fact in old_derivation
+                if fact not in self._derivation
+            )
+            frontier = list(changed)
+            while frontier:
+                for record in self.children(frontier.pop()):
+                    child = record.fact
+                    if child not in touched:
+                        touched.add(child)
+                        frontier.append(child)
+            live = self._derivation
+            self._keys = {
+                fact: key for fact, key in old_keys.items()
+                if fact not in touched
+            }
+            self._spines = {
+                fact: spine for fact, spine in old_spines.items()
+                if fact in live and fact not in touched
+            }
+            self._proofs = {
+                fact: proof for fact, proof in old_proofs.items()
+                if fact in live and fact not in touched
+            }
+            self._proof_constants = {
+                fact: constants
+                for fact, constants in old_proof_constants.items()
+                if fact in live and fact not in touched
+            }
+            self._proof_facts = {
+                fact: facts for fact, facts in old_proof_facts.items()
+                if fact in live and fact not in touched
+            }
+            figures = {
+                "touched": len(touched),
+                "spines_retained": len(self._spines),
+                "proofs_retained": len(self._proofs),
+            }
+            span.set(edges=self._edge_count, **figures)
+        self.build_seconds = time.perf_counter() - started
+        obs.incr("explain.index_rebind")
+        obs.observe("explain.index_rebind_s", self.build_seconds)
+        obs.incr("explain.index_touched", len(touched))
+        return figures
+
+    # ------------------------------------------------------------------
     # O(1) lookups
     # ------------------------------------------------------------------
     def is_derived(self, current: Fact) -> bool:

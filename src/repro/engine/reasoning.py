@@ -55,6 +55,22 @@ class ReasoningResult:
     def database(self) -> Database:
         return self.chase_result.database
 
+    def apply_update(self, new_chase_result: ChaseResult) -> None:
+        """Re-point this result at an incrementally updated chase.
+
+        The chase graph and provenance tracker are thin wrappers and are
+        simply dropped for lazy rebuild; the provenance index — the
+        expensive view — is maintained in place via
+        :meth:`ProvenanceIndex.rebind` so memoized spines and proof DAGs
+        for untouched subtrees survive the update.
+        """
+        self.chase_result = new_chase_result
+        self.__dict__.pop("graph", None)
+        self.__dict__.pop("provenance", None)
+        index = self.__dict__.get("index")
+        if index is not None:
+            index.rebind(new_chase_result)
+
     # ------------------------------------------------------------------
     # Query API
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from .protocol import (
     BatchRequest,
     ExplainRequest,
     ProtocolError,
+    UpdateRequest,
     WhyNotRequest,
     batch_payload,
     encode_body,
@@ -37,7 +38,9 @@ from .protocol import (
     outcome_payload,
     parse_batch_request,
     parse_explain_request,
+    parse_update_request,
     parse_whynot_request,
+    update_payload,
     whynot_payload,
 )
 from .server import (
@@ -59,6 +62,7 @@ __all__ = [
     "ServeConfig",
     "ServerHandle",
     "ShedRequest",
+    "UpdateRequest",
     "WhyNotRequest",
     "WorkerPool",
     "batch_payload",
@@ -68,6 +72,8 @@ __all__ = [
     "outcome_payload",
     "parse_batch_request",
     "parse_explain_request",
+    "parse_update_request",
     "parse_whynot_request",
+    "update_payload",
     "whynot_payload",
 ]

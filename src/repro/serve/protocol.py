@@ -5,7 +5,8 @@ so the server, the load harness, the smoke tests and the byte-parity
 sweep all speak the same dialect:
 
 * **requests** are parsed into frozen dataclasses
-  (:class:`ExplainRequest`, :class:`BatchRequest`, :class:`WhyNotRequest`)
+  (:class:`ExplainRequest`, :class:`BatchRequest`, :class:`WhyNotRequest`,
+  :class:`UpdateRequest`)
   with typed validation errors (:class:`ProtocolError` carries the HTTP
   status the server should answer with);
 * **responses** are canonical ``repro-serve/1`` payloads rendered by
@@ -75,6 +76,14 @@ class WhyNotRequest:
     """``POST /whynot``: one absent fact to probe."""
 
     query: Fact
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """``POST /update``: an extensional add/retract delta."""
+
+    adds: tuple[Fact, ...] = ()
+    retracts: tuple[Fact, ...] = ()
 
 
 def _decode_json(body: bytes) -> dict:
@@ -150,6 +159,29 @@ def parse_whynot_request(body: bytes) -> WhyNotRequest:
     return WhyNotRequest(query=_parse_query(payload.get("query")))
 
 
+def _parse_fact_list(payload: dict, field: str) -> tuple[Fact, ...]:
+    raw = payload.get(field, [])
+    if not isinstance(raw, list):
+        raise ProtocolError(f"{field!r} must be a list of fact strings")
+    return tuple(
+        _parse_query(entry, field=f"{field}[{index}]")
+        for index, entry in enumerate(raw)
+    )
+
+
+def parse_update_request(body: bytes) -> UpdateRequest:
+    payload = _decode_json(body)
+    request = UpdateRequest(
+        adds=_parse_fact_list(payload, "adds"),
+        retracts=_parse_fact_list(payload, "retracts"),
+    )
+    if not request.adds and not request.retracts:
+        raise ProtocolError(
+            "an update needs at least one of 'adds' or 'retracts'"
+        )
+    return request
+
+
 # ----------------------------------------------------------------------
 # Response payloads
 # ----------------------------------------------------------------------
@@ -206,6 +238,21 @@ def batch_payload(
             if outcome.status == BatchOutcome.STATUS_DEADLINE
         ),
         "results": [outcome_payload(outcome) for outcome in outcomes],
+    }
+
+
+def update_payload(outcome) -> dict:
+    """The serialization of an applied update
+    (an :class:`~repro.engine.incremental.UpdateOutcome`)."""
+    return {
+        "format": SERVE_FORMAT,
+        "status": "ok",
+        "mode": outcome.mode,
+        "added": [str(fact) for fact in outcome.added],
+        "retracted": [str(fact) for fact in outcome.retracted],
+        "replayed": outcome.replayed,
+        "recomputed": outcome.recomputed,
+        "rederived": outcome.rederived,
     }
 
 

@@ -8,6 +8,7 @@ dependency — exposing the explanation service to network clients:
 ``POST /explain``            one query -> explanation (or 504 partial)
 ``POST /explain/batch``      many queries under one deadline budget
 ``POST /whynot``             why a fact was *not* derived
+``POST /update``             apply an extensional add/retract delta
 ``GET /healthz``             liveness + breaker/queue/worker view
 ``GET /metrics``             Prometheus text from the obs registry
 ``GET /flight/<qid>``        one flight record as ``repro-flight/1``
@@ -60,6 +61,7 @@ from .protocol import (
     BatchRequest,
     ExplainRequest,
     ProtocolError,
+    UpdateRequest,
     WhyNotRequest,
     batch_payload,
     encode_body,
@@ -67,7 +69,9 @@ from .protocol import (
     explanation_payload,
     parse_batch_request,
     parse_explain_request,
+    parse_update_request,
     parse_whynot_request,
+    update_payload,
     whynot_payload,
 )
 from .workers import WorkerPool
@@ -487,6 +491,7 @@ class ExplanationServer:
         "/explain": "explain",
         "/explain/batch": "explain_batch",
         "/whynot": "whynot",
+        "/update": "update",
     }
 
     async def _dispatch_post(
@@ -550,11 +555,17 @@ class ExplanationServer:
             "explain": parse_explain_request,
             "explain_batch": parse_batch_request,
             "whynot": parse_whynot_request,
+            "update": parse_update_request,
         }[route]
         request = parser(body)  # ProtocolError propagates to _dispatch
         assert self.pool is not None
         with self.flight.record(f"serve.{route}") as record:
             query_id = record.query_id or ""
+            if isinstance(request, UpdateRequest):
+                # Updates target the whole pool, not one borrowed worker.
+                status, payload = self._serve_update(request, record)
+                record.set(http_status=status)
+                return status, payload, query_id
 
             def task(session: ExplanationSession) -> tuple[int, dict]:
                 if isinstance(request, ExplainRequest):
@@ -626,6 +637,21 @@ class ExplanationServer:
     ) -> tuple[int, dict]:
         answer = session.why_not(request.query)
         return 200, whynot_payload(answer)
+
+    def _serve_update(
+        self, request: UpdateRequest, record
+    ) -> tuple[int, dict]:
+        assert self.pool is not None
+        record.set(adds=len(request.adds), retracts=len(request.retracts))
+        try:
+            outcome = self.pool.update(request.adds, request.retracts)
+        except ValueError as error:
+            # A semantically invalid delta (e.g. retracting a derived
+            # fact) is the client's mistake, not server unhealth.
+            self.metrics.incr("serve.bad_requests")
+            return 400, error_payload("bad_request", str(error))
+        record.set(mode=outcome.mode)
+        return 200, update_payload(outcome)
 
 
 class ServerHandle:

@@ -30,12 +30,19 @@ restart story is judged by.
 from __future__ import annotations
 
 import queue
+import threading
 import time
-from typing import Callable, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 from ..apps.base import KGApplication
 from ..core.service import ExplanationService, ExplanationSession
+from ..datalog.atoms import Fact
 from ..engine.database import Database
+from ..engine.incremental import (
+    UpdateOutcome,
+    extensional_facts,
+    resolve_delta,
+)
 from ..io import dumps_database, loads_database
 from ..obs.metrics import ServiceMetrics
 
@@ -68,6 +75,7 @@ class WorkerPool:
         self._available: "queue.SimpleQueue[ExplanationSession]" = (
             queue.SimpleQueue()
         )
+        self._update_lock = threading.Lock()
         for _ in range(workers):
             self._spin_up_one()
 
@@ -122,6 +130,64 @@ class WorkerPool:
             return task(worker)
         finally:
             self._available.put(worker)
+
+    # ------------------------------------------------------------------
+    # Live updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        adds: Iterable[Fact] = (),
+        retracts: Iterable[Fact] = (),
+        timeout_s: float = 30.0,
+    ) -> UpdateOutcome:
+        """Apply one extensional delta to every warm worker.
+
+        All workers are checked out first — an update never races a
+        request against a half-updated pool, and in-flight requests
+        finish against the pre-update instance before the delta lands.
+        The update lock serializes concurrent updates (two updates each
+        holding part of the pool would deadlock on the rest).  Every
+        session applies the same delta incrementally, so the pool stays
+        byte-identical across workers; the stored snapshot is refreshed
+        to the post-update EDB for any future spin-up.
+        """
+        adds = tuple(adds)
+        retracts = tuple(retracts)
+        with self._update_lock:
+            checked_out: list[ExplanationSession] = []
+            try:
+                for _ in range(len(self._workers)):
+                    try:
+                        checked_out.append(
+                            self._available.get(timeout=timeout_s)
+                        )
+                    except queue.Empty:
+                        raise RuntimeError(
+                            f"could not drain the pool within "
+                            f"{timeout_s:.1f}s for an update "
+                            f"({len(checked_out)}/{len(self._workers)} "
+                            "workers held)"
+                        )
+                # Validate once before touching any worker: a rejected
+                # delta (e.g. retracting a derived fact) must leave the
+                # pool untouched, not half-updated.
+                resolve_delta(
+                    checked_out[0].result.chase_result, adds, retracts
+                )
+                outcome: UpdateOutcome | None = None
+                for session in checked_out:
+                    outcome = session.update(adds=adds, retracts=retracts)
+                assert outcome is not None  # pool is never empty
+                self.snapshot = dumps_database(
+                    Database(
+                        extensional_facts(checked_out[0].result.chase_result)
+                    )
+                )
+                self.metrics.incr("serve.updates")
+                return outcome
+            finally:
+                for session in checked_out:
+                    self._available.put(session)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

@@ -1,0 +1,442 @@
+"""Tests for incremental chase maintenance (repro.engine.incremental).
+
+The contract under test is *byte parity*: after any add/retract
+schedule, the incrementally maintained result — facts, records,
+supersessions, rounds, violations — and everything served off it
+(explanations, why-not answers, the provenance index) must be identical
+to a fresh session built from scratch on the post-delta database.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.apps import (
+    company_control,
+    generators,
+    golden_powers,
+    integrated_ownership,
+)
+from repro.apps.company_control import company, control, own
+from repro.core.service import ExplanationService
+from repro.datalog import Fact, Variable, fact, parse_program
+from repro.engine.chase import ChaseEngine
+from repro.engine.database import Database
+from repro.engine.incremental import (
+    IncrementalFallback,
+    extensional_facts,
+    incremental_update,
+    resolve_delta,
+)
+def _assert_identical(incremental, fresh):
+    assert tuple(incremental.database.facts()) == tuple(
+        fresh.database.facts()
+    )
+    assert incremental.records == fresh.records
+    for mine, theirs in zip(incremental.records, fresh.records):
+        # Dataclass equality compares binding dicts order-insensitively;
+        # the explanation surfaces iterate them, so pin the order too.
+        assert list(mine.binding.items()) == list(theirs.binding.items())
+    assert incremental.superseded == fresh.superseded
+    assert incremental.rounds == fresh.rounds
+    assert incremental.stats.rounds_per_stratum == (
+        fresh.stats.rounds_per_stratum
+    )
+    assert [
+        (violation.constraint.label, violation.witnesses)
+        for violation in incremental.violations
+    ] == [
+        (violation.constraint.label, violation.witnesses)
+        for violation in fresh.violations
+    ]
+
+
+# ----------------------------------------------------------------------
+# Delta normalization
+# ----------------------------------------------------------------------
+
+class TestResolveDelta:
+    @pytest.fixture(scope="class")
+    def base(self, control_app):
+        database = Database([
+            company("A"), company("B"), own("A", "B", 0.8),
+        ])
+        return ChaseEngine(strategy="planned").run(
+            control_app.program, database
+        )
+
+    def test_extensional_facts_excludes_derived(self, base):
+        edb = extensional_facts(base)
+        assert set(edb) == {company("A"), company("B"), own("A", "B", 0.8)}
+        assert control("A", "B") not in edb
+
+    def test_retracting_derived_fact_is_an_error(self, base):
+        with pytest.raises(ValueError, match="cannot retract derived fact"):
+            resolve_delta(base, [], [control("A", "B")])
+
+    def test_adding_non_ground_fact_is_an_error(self, base):
+        open_atom = Fact("Control", (Variable("x"), Variable("x")))
+        with pytest.raises(ValueError, match="ground"):
+            resolve_delta(base, [open_atom], [])
+
+    def test_redundant_delta_is_dropped(self, base):
+        new_edb, added, retracted = resolve_delta(
+            base, [company("A")], [company("Ghost")]
+        )
+        assert added == () and retracted == ()
+        assert new_edb == extensional_facts(base)
+
+    def test_retained_facts_keep_order_adds_append(self, base):
+        new_edb, added, retracted = resolve_delta(
+            base, [company("C")], [company("A")]
+        )
+        assert added == (company("C"),)
+        assert retracted == (company("A"),)
+        assert new_edb == (
+            company("B"), own("A", "B", 0.8), company("C")
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine-level update outcomes
+# ----------------------------------------------------------------------
+
+class TestEngineUpdate:
+    def test_noop_delta_returns_previous_result(self, control_app):
+        engine = ChaseEngine(strategy="planned")
+        base = engine.run(
+            control_app.program,
+            Database([company("A"), company("B"), own("A", "B", 0.8)]),
+        )
+        outcome = engine.update(
+            control_app.program, base, adds=[company("A")]
+        )
+        assert outcome.mode == "noop"
+        assert outcome.result is base
+
+    def test_single_add_matches_fresh_chase(self, control_app):
+        engine = ChaseEngine(strategy="planned")
+        base = engine.run(
+            control_app.program,
+            generators.random_ownership_database(
+                entities=12, edges=30, seed=3
+            ),
+        )
+        edge = own("Invest0", "Gruppo1", 0.7)
+        outcome = engine.update(control_app.program, base, adds=[edge])
+        assert outcome.mode == "incremental"
+        assert outcome.added == (edge,)
+        assert outcome.replayed > 0
+        fresh = ChaseEngine(strategy="naive").run(
+            control_app.program,
+            Database(extensional_facts(outcome.result)),
+        )
+        _assert_identical(outcome.result, fresh)
+
+    def test_retraction_rederives_alternative_support(self, control_app):
+        # B is controlled via two independent majority edges; dropping
+        # one must keep Control(A, B) alive through the other (the DRed
+        # rederivation step).
+        engine = ChaseEngine(strategy="planned")
+        base = engine.run(
+            control_app.program,
+            Database([
+                company("A"), company("B"), company("C"),
+                own("A", "B", 0.6),
+                own("A", "C", 0.6), own("C", "B", 0.6),
+            ]),
+        )
+        assert control("A", "B") in base.database
+        outcome = engine.update(
+            control_app.program, base, retracts=[own("A", "B", 0.6)]
+        )
+        assert outcome.mode == "incremental"
+        assert control("A", "B") in outcome.result.database
+        fresh = ChaseEngine(strategy="naive").run(
+            control_app.program,
+            Database(extensional_facts(outcome.result)),
+        )
+        _assert_identical(outcome.result, fresh)
+
+    def test_existential_program_falls_back(self):
+        # z is unbound in the body: an existential rule, outside the
+        # replayable fragment.
+        program = parse_program(
+            "e: Person(x) -> Guardian(x, z).",
+            name="existential", goal="Guardian",
+        )
+        engine = ChaseEngine(strategy="naive")
+        base = engine.run(program, Database([fact("Person", "Ann")]))
+        with pytest.raises(IncrementalFallback):
+            incremental_update(program, base, [fact("Person", "Bo")], [])
+        outcome = engine.update(program, base, adds=[fact("Person", "Bo")])
+        assert outcome.mode == "full"
+        assert outcome.result.database.facts("Guardian")
+
+    def test_update_metrics_and_counters(self, control_app):
+        metrics = obs.MetricsRegistry()
+        with obs.observed(metrics=metrics):
+            engine = ChaseEngine(strategy="planned")
+            base = engine.run(
+                control_app.program,
+                generators.random_ownership_database(
+                    entities=10, edges=24, seed=5
+                ),
+            )
+            edge = own("Invest0", "Gruppo1", 0.7)
+            engine.update(control_app.program, base, adds=[edge])
+        assert metrics.counter_value("incremental.updates") == 1
+        assert metrics.counter_value("chase.delta_adds") == 1
+        assert metrics.counter_value("chase.delta_records_replayed") > 0
+
+
+# ----------------------------------------------------------------------
+# Randomized schedules across every bundled application
+# ----------------------------------------------------------------------
+
+def _golden_powers_workload():
+    database = generators.random_ownership_database(
+        entities=14, edges=40, seed=13
+    )
+    names = [
+        fact.terms[0].value for fact in database.facts()
+        if fact.predicate == "Company"
+    ]
+    facts = list(database.facts())
+    facts += [golden_powers.foreign(name) for name in names[::3]]
+    facts += [golden_powers.strategic(name) for name in names[1::3]]
+    facts += [golden_powers.exempt(name) for name in names[::5]]
+    facts += [golden_powers.vetoed(name) for name in names[::7]]
+    return golden_powers.build(), tuple(facts)
+
+
+def _battery_workloads():
+    workloads = [
+        (
+            "company_control",
+            company_control.build(),
+            generators.random_ownership_database(
+                entities=20, edges=60, seed=11
+            ).facts(),
+        ),
+        (
+            "integrated_ownership",
+            integrated_ownership.build(),
+            generators.random_ownership_database(
+                entities=10, edges=26, seed=7
+            ).facts(),
+        ),
+    ]
+    scenario = generators.close_links_common_control(seed=3)
+    workloads.append(
+        ("close_links", scenario.application, scenario.database.facts())
+    )
+    cascade = generators.stress_cascade(
+        hops=5, seed=5, dual_final=True, debts_per_hop=2
+    )
+    workloads.append(
+        ("stress_test", cascade.application, cascade.database.facts())
+    )
+    workloads.append(("golden_powers", *_golden_powers_workload()))
+    return workloads
+
+
+@pytest.mark.parametrize(
+    "name,application,edb",
+    _battery_workloads(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_randomized_schedule_matches_fresh_chase(name, application, edb):
+    """Every bundled app: a randomized add/retract schedule where each
+    step's incremental result equals a from-scratch chase."""
+    rng = random.Random(1)
+    engine = ChaseEngine(strategy="planned")
+    reference = ChaseEngine(strategy="naive")
+    program = application.program
+    current = engine.run(program, Database(edb))
+    removed: list = []
+    for _step in range(8):
+        live = list(extensional_facts(current))
+        adds, retracts = [], []
+        roll = rng.random()
+        if roll < 0.45 and live:
+            retracts = rng.sample(live, k=min(len(live), rng.randint(1, 3)))
+        elif roll < 0.8 and removed:
+            adds = rng.sample(removed, k=min(len(removed), rng.randint(1, 3)))
+        else:
+            if live:
+                retracts = rng.sample(live, k=1)
+            if removed:
+                adds = rng.sample(removed, k=1)
+        outcome = engine.update(program, current, adds, retracts)
+        current = outcome.result
+        removed = [
+            fact for fact in removed + retracts if fact not in set(adds)
+        ]
+        fresh = reference.run(
+            program, Database(extensional_facts(current))
+        )
+        _assert_identical(current, fresh)
+
+
+# ----------------------------------------------------------------------
+# Session-level parity: explanations, why-not, provenance index
+# ----------------------------------------------------------------------
+
+class TestSessionUpdate:
+    @pytest.fixture()
+    def service(self):
+        with ExplanationService(llm=None) as service:
+            yield service
+
+    def test_explanations_match_fresh_session(self, control_app, service):
+        database = generators.random_ownership_database(
+            entities=16, edges=48, seed=9
+        )
+        session = service.session(control_app, database, strategy="planned")
+        session.result.index
+        rng = random.Random(2)
+        removed: list = []
+        for _step in range(4):
+            live = list(extensional_facts(session.result.chase_result))
+            retracts = rng.sample(live, k=2)
+            adds = rng.sample(removed, k=1) if removed else []
+            outcome = session.update(adds=adds, retracts=retracts)
+            assert outcome.mode == "incremental"
+            removed = [
+                fact for fact in removed + retracts
+                if fact not in set(adds)
+            ]
+            fresh = service.session(
+                control_app,
+                list(extensional_facts(session.result.chase_result)),
+                strategy="naive",
+            )
+            assert session.answers() == fresh.answers()
+            for query in session.answers()[:6]:
+                maintained = session.explain(query)
+                rebuilt = fresh.explain(query)
+                assert maintained.text == rebuilt.text
+                assert maintained.to_dict() == rebuilt.to_dict()
+
+    def test_whynot_after_retraction_under_negation(self, service):
+        application, edb = _golden_powers_workload()
+        session = service.session(application, edb, strategy="planned")
+        exempt = next(
+            fact for fact in extensional_facts(session.result.chase_result)
+            if fact.predicate == "Exempt"
+        )
+        investor = exempt.terms[0].value
+        # Retracting the exemption can only create alerts (negation);
+        # whichever side each probe lands on, the maintained session's
+        # why-not answers must match a fresh session's byte for byte.
+        outcome = session.update(retracts=[exempt])
+        assert outcome.mode == "incremental"
+        fresh = service.session(
+            application,
+            list(extensional_facts(session.result.chase_result)),
+            strategy="naive",
+        )
+        assert session.answers() == fresh.answers()
+        strategic = [
+            fact.terms[0].value
+            for fact in session.result.database.facts()
+            if fact.predicate == "Strategic"
+        ]
+        probes = [
+            golden_powers.alert(investor, asset) for asset in strategic[:3]
+        ]
+        probes.append(golden_powers.alert(investor, "Absentia"))
+        for probe in probes:
+            if probe in set(session.answers()):
+                continue
+            assert session.why_not(probe).text == fresh.why_not(probe).text
+
+    def test_add_retract_facts_shorthand(self, control_app, service):
+        session = service.session(
+            control_app,
+            [company("A"), company("B")],
+            strategy="planned",
+        )
+        edge = own("A", "B", 0.9)
+        assert session.add_facts([edge]).mode == "incremental"
+        assert control("A", "B") in session.result.database
+        assert session.retract_facts([edge]).mode == "incremental"
+        assert control("A", "B") not in session.result.database
+        assert service.metrics.counter_value("updates") == 2
+
+    def test_index_is_rebound_not_rebuilt(self, control_app, service):
+        database = generators.random_ownership_database(
+            entities=14, edges=36, seed=4
+        )
+        session = service.session(control_app, database, strategy="planned")
+        index = session.result.index
+        for query in session.answers()[:8]:
+            index.spine(query)
+        memoized = index.snapshot()["spines_memoized"]
+        assert memoized > 0
+        edge = own("Invest0", "Gruppo1", 0.7)
+        session.update(adds=[edge])
+        assert session.result.index is index  # same object, rebound
+        retained = index.snapshot()["spines_memoized"]
+        assert retained <= memoized
+        # Retained spines must still be *correct*: identical to a fresh
+        # session's extraction on the post-update database.
+        fresh = service.session(
+            control_app,
+            list(extensional_facts(session.result.chase_result)),
+            strategy="planned",
+        )
+        for query in session.answers():
+            assert index.spine(query) == fresh.result.index.spine(query)
+
+    def test_re_reason_routes_through_delta_path(self, control_app, service):
+        session = service.session(
+            control_app,
+            [company("A"), company("B"), own("A", "B", 0.8)],
+            strategy="planned",
+        )
+        # Delta-shaped change: retained prefix + appended new fact.
+        session.re_reason([
+            company("A"), company("B"), own("A", "B", 0.8),
+            own("B", "A", 0.6),
+        ])
+        assert control("B", "A") in session.result.database
+        assert service.metrics.counter_value("re_reason_incremental") == 1
+        assert service.metrics.counter_value("updates_incremental") == 1
+        # Reordered EDB is not delta-shaped: full re-chase fallback.
+        session.re_reason([
+            own("A", "B", 0.8), company("B"), company("A"),
+        ])
+        assert service.metrics.counter_value("re_reason_full") == 1
+        assert service.metrics.counter_value("re_reasons") == 2
+
+
+# ----------------------------------------------------------------------
+# Profiler attribution
+# ----------------------------------------------------------------------
+
+def test_delta_kernels_get_their_own_profile_rows(control_app):
+    profiler = obs.KernelProfiler(enabled=True)
+    with obs.observed(profile=profiler):
+        engine = ChaseEngine(strategy="planned")
+        base = engine.run(
+            control_app.program,
+            generators.random_ownership_database(
+                entities=12, edges=30, seed=3
+            ),
+        )
+        engine.update(
+            control_app.program, base,
+            adds=[own("Invest0", "Gruppo1", 0.7)],
+        )
+    snapshot = profiler.snapshot()
+    delta_rows = [label for label in snapshot if label.endswith("+delta")]
+    assert delta_rows, f"no +delta rows in {list(snapshot)}"
+    base_rule = delta_rows[0][: -len("+delta")]
+    assert base_rule in snapshot  # full-run rows stay separately labeled
+    rendered = obs.render_top(snapshot, limit=20, key="wall_s")
+    assert any("+delta" in line for line in rendered.splitlines())

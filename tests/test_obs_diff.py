@@ -145,7 +145,7 @@ class TestGateConfig:
     def test_shipped_gate_config_loads(self):
         gates = load_gates(str(GATES_PATH))
         assert set(gates["suites"]) == {
-            "engine", "service", "explain", "load",
+            "engine", "service", "explain", "load", "incremental",
         }
 
     def test_engine_suite_reproduces_planned_gates(self):

@@ -19,6 +19,7 @@ from repro.serve import (
     ExplanationServer,
     ProtocolError,
     ServeConfig,
+    UpdateRequest,
     WhyNotRequest,
     batch_payload,
     encode_body,
@@ -26,6 +27,7 @@ from repro.serve import (
     explanation_payload,
     parse_batch_request,
     parse_explain_request,
+    parse_update_request,
     parse_whynot_request,
     whynot_payload,
 )
@@ -122,6 +124,38 @@ class TestProtocolRoundTrips:
     def test_batch_request_rejections(self, body):
         with pytest.raises(ProtocolError):
             parse_batch_request(body)
+
+    def test_update_request_round_trip(self):
+        request = parse_update_request(_body({
+            "adds": ["Own(A, B, 0.6)", "Company(B)"],
+            "retracts": ["Own(A, C, 0.4)"],
+        }))
+        assert isinstance(request, UpdateRequest)
+        assert [str(fact) for fact in request.adds] == [
+            "Own(A, B, 0.6)", "Company(B)",
+        ]
+        assert [str(fact) for fact in request.retracts] == ["Own(A, C, 0.4)"]
+
+    def test_update_request_one_side_suffices(self):
+        request = parse_update_request(_body({"adds": ["Company(A)"]}))
+        assert request.retracts == ()
+        request = parse_update_request(_body({"retracts": ["Company(A)"]}))
+        assert request.adds == ()
+
+    @pytest.mark.parametrize("body", [
+        b"",
+        b"not json",
+        _body({}),                                   # empty delta
+        _body({"adds": [], "retracts": []}),
+        _body({"adds": "Company(A)"}),               # not a list
+        _body({"adds": [7]}),
+        _body({"adds": ["Company(x)"]}),             # variables: not ground
+        _body({"retracts": ["   "]}),
+    ])
+    def test_update_request_rejections(self, body):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_update_request(body)
+        assert excinfo.value.status == 400
 
     def test_encode_body_is_canonical(self):
         payload = {"zebra": 1, "alpha": {"beta": "é"}}
@@ -463,3 +497,121 @@ class TestByteParity:
                 assert served == expected
         finally:
             service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Live updates over HTTP: POST /update
+# ----------------------------------------------------------------------
+
+class TestUpdateEndpoint:
+    """POST /update against a dedicated server (updates mutate worker
+    state, so the module-scoped shared server stays out of this), with a
+    mirror in-process session applying the same deltas for byte parity."""
+
+    @pytest.fixture()
+    def setup(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=1, strategy="planned",
+                breaker_window=4, breaker_min_calls=2,
+                breaker_cooldown_s=60.0,
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        service = ExplanationService(llm=None)
+        mirror = service.session(
+            scenario.application, loads_database(snapshot),
+            strategy="planned",
+        )
+        try:
+            with instance.run_in_thread():
+                yield instance, mirror
+        finally:
+            service.shutdown()
+
+    def test_update_then_explain_byte_parity(self, setup):
+        instance, mirror = setup
+        adds = ["Company(Absentia0)", "Own(IrishBank, Absentia0, 0.9)"]
+        status, _headers, data = _request(
+            instance, "POST", "/update", {"adds": adds}
+        )
+        assert status == 200
+        payload = json.loads(data)
+        assert payload["status"] == "ok"
+        assert payload["mode"] == "incremental"
+        assert payload["added"] == adds
+        assert payload["retracted"] == []
+        assert payload["replayed"] > 0
+        mirror.update(adds=[parse_fact(entry) for entry in adds])
+        derived = "Control(IrishBank, Absentia0)"
+        status, _headers, served = _request(
+            instance, "POST", "/explain", {"query": derived}
+        )
+        assert status == 200
+        expected = encode_body(
+            explanation_payload(mirror.explain(parse_fact(derived)))
+        )
+        assert served == expected
+        assert instance.metrics.counter_value("serve.updates") == 1
+
+    def test_retraction_switches_explain_to_whynot(self, setup, scenario):
+        # Dropping the FrenchPLC edge starves IrishBank's joint majority
+        # over MadridCredit: the old answer must 404 and the why-not
+        # report must match the mirror byte for byte.
+        instance, mirror = setup
+        edge = "Own(FrenchPLC, MadridCredit, 0.21)"
+        status, _headers, data = _request(
+            instance, "POST", "/update", {"retracts": [edge]}
+        )
+        assert status == 200
+        assert json.loads(data)["retracted"] == [edge]
+        mirror.update(retracts=[parse_fact(edge)])
+        target = str(scenario.target)
+        status, _headers, _data = _request(
+            instance, "POST", "/explain", {"query": target}
+        )
+        assert status == 404
+        status, _headers, served = _request(
+            instance, "POST", "/whynot", {"query": target}
+        )
+        assert status == 200
+        expected = encode_body(
+            whynot_payload(mirror.why_not(parse_fact(target)))
+        )
+        assert served == expected
+
+    def test_retracting_derived_fact_is_400(self, setup):
+        instance, _mirror = setup
+        status, _headers, data = _request(
+            instance, "POST", "/update",
+            {"retracts": ["Control(IrishBank, FondoItaliano)"]},
+        )
+        assert status == 400
+        payload = json.loads(data)
+        assert payload["status"] == "bad_request"
+        assert "derived" in payload["error"]
+        assert instance.metrics.counter_value("serve.bad_requests") == 1
+
+    def test_empty_delta_is_400(self, setup):
+        instance, _mirror = setup
+        status, _headers, data = _request(
+            instance, "POST", "/update", {"adds": [], "retracts": []}
+        )
+        assert status == 400
+        assert json.loads(data)["status"] == "bad_request"
+
+    def test_open_breaker_sheds_update_503(self, setup):
+        instance, _mirror = setup
+        for _ in range(4):
+            instance.breaker.observe_health(False)
+        status, headers, data = _request(
+            instance, "POST", "/update",
+            {"adds": ["Company(Absentia0)"]},
+        )
+        assert status == 503
+        assert int(headers["Retry-After"]) >= 60
+        payload = json.loads(data)
+        assert payload["status"] == "shed"
+        assert "circuit open" in payload["error"]

@@ -1,0 +1,399 @@
+"""Multi-core scale-out: process-backed serving + shard-parallel chase.
+
+Two claims under measurement, both capped by the GIL before this PR:
+
+1. **Serving throughput** — a CPU-bound request mix (distinct why-not
+   probes, every one a memo miss doing real counterfactual search) is
+   driven against the same snapshot twice: once on the ``thread``
+   backend (all sessions behind one GIL) and once on the ``process``
+   backend at 1/2/4 workers.  On a ≥4-core machine the process backend
+   must clear **2x** the thread backend's throughput at 4 workers; on
+   smaller machines the speedup keys are omitted and the gate skips
+   (``optional: true`` in ``gates.json``).
+2. **Chase wall time** — a multi-component ownership workload (disjoint
+   renamed copies of a recursive control chain) is chased with
+   ``strategy="planned"`` and ``strategy="parallel"`` at 1/2/4
+   processes, with a full result-signature parity check.
+
+A byte-parity sweep then proves determinism where it matters: for every
+bundled application instance (and the multi-component unions) the
+parallel chase must reproduce the planned chase **exactly** — records,
+order, rounds, delta sizes, stats, violations — with zero fallbacks on
+shardable programs.
+
+Emits ``BENCH_parallel.json`` + ``BENCH_parallel_stats.json``; CI gates
+parity/fallbacks (and throughput on big-enough runners) via the
+``parallel`` suite in ``benchmarks/gates.json``.
+
+Runs standalone (``python benchmarks/bench_parallel.py [--quick]``) or
+under pytest with the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import threading
+import time
+
+from repro import obs
+from repro.apps import figures, generators
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.engine import ChaseEngine, Database
+from repro.io import dumps_database
+from repro.obs.metrics import MetricsRegistry, ServiceMetrics
+from repro.serve import ExplanationServer, ServeConfig
+
+from _harness import RESULTS_DIR, Phases, append_history, emit_stats
+
+#: Worker counts swept on the process backend.
+WORKER_SWEEP = (1, 2, 4)
+
+#: Every bundled application instance, for the chase parity sweep.
+PARITY_SCENARIOS = (
+    lambda: figures.figure8_instance(),
+    lambda: figures.figure12_stress_instance(),
+    lambda: figures.figure12_control_instance(),
+    lambda: figures.figure15_instance(),
+    lambda: generators.close_links_common_control(seed=0),
+    lambda: generators.control_with_steps(6, seed=1),
+    lambda: generators.stress_with_steps(6, seed=1),
+)
+
+#: Multi-component workloads: disjoint renamed unions, so the EDB
+#: decomposes into as many weakly-connected components as copies.
+UNION_WORKLOADS = (
+    ("control_union", lambda: generators.control_with_steps(7, seed=2), 6),
+    ("stress_union", lambda: generators.stress_with_steps(5, seed=2), 4),
+)
+
+
+def _suffix(term, copy):
+    if isinstance(term, Constant) and isinstance(term.value, str):
+        return Constant(f"{term.value}@{copy}")
+    return term
+
+
+def _union_of(build, copies):
+    base = build()
+    facts = [
+        Atom(f.predicate, tuple(_suffix(t, copy) for t in f.terms))
+        for copy in range(copies)
+        for f in base.database.facts()
+    ]
+    return base.application.program, Database(facts)
+
+
+def _signature(result):
+    """The full determinism contract: records, order, stats, violations."""
+    return (
+        tuple(
+            (
+                record.index, record.round, record.rule.label,
+                str(record.fact),
+                tuple(str(parent) for parent in record.parents),
+                tuple(
+                    (str(c.value), tuple(str(f) for f in c.facts))
+                    for c in record.contributors
+                ),
+            )
+            for record in result.records
+        ),
+        tuple(str(f) for f in result.database.facts()),
+        result.stats.rounds,
+        tuple(result.stats.rounds_per_stratum),
+        tuple(result.stats.delta_sizes),
+        dict(result.stats.rule_firings),
+        tuple(
+            (v.constraint.label, tuple(str(w) for w in v.witnesses))
+            for v in result.violations
+        ),
+        tuple(sorted(str(f) for f in result.superseded)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Serving throughput: thread vs process backend
+# ----------------------------------------------------------------------
+
+class _ProbeClient(threading.Thread):
+    """Closed-loop client issuing distinct (never-memoized) why-nots."""
+
+    def __init__(self, host, port, predicate, arity, slot, stop_at):
+        super().__init__(daemon=True)
+        self.host = host
+        self.port = port
+        self.predicate = predicate
+        self.arity = arity
+        self.slot = slot
+        self.stop_at = stop_at
+        self.requests = 0
+        self.errors = 0
+        self.failures: list[str] = []
+
+    def run(self):
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=60
+        )
+        try:
+            while time.perf_counter() < self.stop_at:
+                arguments = ", ".join(
+                    f"Probe{self.slot}x{self.requests}n{n}"
+                    for n in range(self.arity)
+                )
+                body = json.dumps(
+                    {"query": f"{self.predicate}({arguments})"}
+                ).encode("utf-8")
+                connection.request(
+                    "POST", "/whynot", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                data = response.read()
+                if response.status != 200:
+                    self.errors += 1
+                    if len(self.failures) < 3:
+                        self.failures.append(
+                            f"{response.status}: {data[:120]!r}"
+                        )
+                self.requests += 1
+        except Exception as error:
+            self.errors += 1
+            self.failures.append(f"transport: {type(error).__name__}: {error}")
+        finally:
+            connection.close()
+
+
+def _measure_backend(scenario, snapshot, backend, workers, duration_s,
+                     concurrency):
+    server = ExplanationServer(
+        scenario.application, snapshot=snapshot,
+        config=ServeConfig(
+            workers=workers, backend=backend, strategy="planned",
+            queue_limit=max(64, concurrency * 4), default_deadline_s=60.0,
+            slo_period_s=60.0, slo_interval_requests=10_000,
+        ),
+        llm=None,
+    )
+    handle = server.run_in_thread()
+    try:
+        started = time.perf_counter()
+        stop_at = started + duration_s
+        clients = [
+            _ProbeClient(
+                server.host, server.port,
+                scenario.target.predicate, scenario.target.arity,
+                slot, stop_at,
+            )
+            for slot in range(concurrency)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=duration_s + 120)
+        elapsed = time.perf_counter() - started
+    finally:
+        handle.stop()
+    requests = sum(client.requests for client in clients)
+    errors = sum(client.errors for client in clients)
+    failures = [f for client in clients for f in client.failures]
+    return {
+        "backend": backend,
+        "workers": workers,
+        "duration_s": round(elapsed, 3),
+        "requests": requests,
+        "errors": errors,
+        "failures": failures,
+        "throughput_rps": round(requests / elapsed, 3) if elapsed else 0.0,
+    }
+
+
+def _serve_sweep(duration_s, concurrency, phases):
+    scenario = generators.control_with_steps(7, seed=3)
+    snapshot = dumps_database(scenario.database)
+    runs = []
+    with phases.phase("serve_thread"):
+        thread_run = _measure_backend(
+            scenario, snapshot, "thread", max(WORKER_SWEEP),
+            duration_s, concurrency,
+        )
+        runs.append(thread_run)
+    with phases.phase("serve_process"):
+        process_runs = {
+            workers: _measure_backend(
+                scenario, snapshot, "process", workers,
+                duration_s, concurrency,
+            )
+            for workers in WORKER_SWEEP
+        }
+        runs.extend(process_runs.values())
+    cores = os.cpu_count() or 1
+    section = {
+        "cores": cores,
+        "concurrency": concurrency,
+        "thread_rps_4w": thread_run["throughput_rps"],
+        "process_rps": {
+            str(workers): run["throughput_rps"]
+            for workers, run in process_runs.items()
+        },
+        "errors": sum(run["errors"] for run in runs),
+        "failures": [f for run in runs for f in run["failures"]],
+        "runs": runs,
+    }
+    # The ≥2x gate is only meaningful when 4 worker processes have 4
+    # cores to land on; smaller runners omit the key and the optional
+    # gate skips cleanly.
+    if cores >= 4 and thread_run["throughput_rps"] > 0:
+        section["speedup_process_vs_thread_4w"] = round(
+            process_runs[4]["throughput_rps"]
+            / thread_run["throughput_rps"],
+            3,
+        )
+    return section
+
+
+# ----------------------------------------------------------------------
+# Chase wall time + parity
+# ----------------------------------------------------------------------
+
+def _chase_sweep(phases):
+    name, build, copies = UNION_WORKLOADS[0]
+    program, database = _union_of(build, copies)
+    with phases.phase("chase_planned"):
+        started = time.perf_counter()
+        planned = ChaseEngine(strategy="planned").run(
+            program, database.copy()
+        )
+        planned_s = time.perf_counter() - started
+    reference = _signature(planned)
+    times = {}
+    identical = True
+    cores = os.cpu_count() or 1
+    with phases.phase("chase_parallel"):
+        for processes in (1, 2, 4):
+            started = time.perf_counter()
+            result = ChaseEngine(
+                strategy="parallel", processes=processes
+            ).run(program, database.copy())
+            times[str(processes)] = round(time.perf_counter() - started, 6)
+            identical = identical and _signature(result) == reference
+    section = {
+        "workload": name,
+        "components": copies,
+        "facts": len(database.facts()),
+        "records": len(planned.records),
+        "planned_s": round(planned_s, 6),
+        "parallel_s": times,
+        "identical": identical,
+        "cores": cores,
+    }
+    if cores >= 4 and times["4"] > 0:
+        section["speedup_4p"] = round(planned_s / times["4"], 3)
+    return section
+
+
+def _parity_sweep(phases):
+    """Planned-vs-parallel signature parity over every bundled app and
+    the multi-component unions, counting unexpected fallbacks."""
+    scenarios = 0
+    fallbacks = 0
+    divergences = []
+    workloads = [
+        (getattr(build, "__name__", f"scenario_{i}"),
+         lambda build=build: (
+             (lambda s: (s.application.program, s.database))(build())
+         ))
+        for i, build in enumerate(PARITY_SCENARIOS)
+    ] + [
+        (name, lambda build=build, copies=copies: _union_of(build, copies))
+        for name, build, copies in UNION_WORKLOADS
+    ]
+    with phases.phase("parity"):
+        for name, load in workloads:
+            program, database = load()
+            planned = ChaseEngine(strategy="planned").run(
+                program, database.copy()
+            )
+            registry = MetricsRegistry()
+            with obs.observed(metrics=registry):
+                parallel = ChaseEngine(strategy="parallel").run(
+                    program, database.copy()
+                )
+            fallbacks += registry.counter_value("engine.parallel_fallback")
+            if _signature(planned) != _signature(parallel):
+                divergences.append(name)
+            scenarios += 1
+    return {
+        "scenarios": scenarios,
+        "identical": not divergences,
+        "divergences": divergences,
+        "unexpected_fallbacks": fallbacks,
+    }
+
+
+def run(quick=False):
+    duration_s = 2.0 if quick else 6.0
+    concurrency = 4 if quick else 8
+    payload = {"quick": quick}
+    phases = Phases()
+    metrics = ServiceMetrics()
+    payload["serve"] = _serve_sweep(duration_s, concurrency, phases)
+    payload["chase"] = _chase_sweep(phases)
+    payload["parity"] = _parity_sweep(phases)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_parallel.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\n===== BENCH_parallel ({path}) =====")
+    print(json.dumps(payload, indent=2))
+    emit_stats(
+        "BENCH_parallel", metrics,
+        meta={"benchmark": "parallel", "quick": quick,
+              "cores": os.cpu_count()},
+        phases=phases,
+    )
+    append_history("parallel", payload, meta={"benchmark": "parallel"})
+    return payload
+
+
+def check(payload):
+    """Determinism is unconditional; the speedups are core-gated."""
+    serve = payload["serve"]
+    assert serve["errors"] == 0, f"serve errors: {serve['failures']}"
+    assert serve["thread_rps_4w"] > 0
+    assert all(rps > 0 for rps in serve["process_rps"].values())
+    chase = payload["chase"]
+    assert chase["identical"], "parallel chase diverged from planned"
+    assert chase["records"] > 0
+    parity = payload["parity"]
+    assert parity["identical"], f"parity diverged: {parity['divergences']}"
+    assert parity["unexpected_fallbacks"] == 0, (
+        f"{parity['unexpected_fallbacks']} shardable programs fell back"
+    )
+    assert parity["scenarios"] == len(PARITY_SCENARIOS) + len(UNION_WORKLOADS)
+    if serve["cores"] >= 4:
+        assert "speedup_process_vs_thread_4w" in serve
+
+
+def test_parallel(benchmark):
+    from _harness import once
+
+    payload = once(benchmark, run, quick=True)
+    check(payload)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shorter load duration / lower concurrency (CI mode)",
+    )
+    arguments = parser.parse_args()
+    check(run(quick=arguments.quick))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,716 @@
+"""EDB partitioning and the shard-parallel chase merge.
+
+Ownership graphs decompose into corporate groups: two facts that share no
+entity constant can never feed the same rule application (rule bodies are
+joined through shared variables over entity identifiers).  This module
+exploits that structure for the ``parallel`` chase strategy:
+
+1. :func:`analyze_program` decides whether a program is **shard-safe** —
+   whether running the chase independently per weakly-connected component
+   of the EDB provably yields the same facts, records and provenance as a
+   single global run.  The analysis combines the rule dependency graph
+   (predicate positions are typed by propagating EDB value types through
+   rule heads to fixpoint) with a cross-shard probe over the concrete
+   instance: a position that ever holds a numeric value is *data* and is
+   excluded from connectivity, everything else is an *entity* position.
+2. :func:`partition_database` splits the EDB into weakly-connected
+   components over shared entity constants (union-find), ordered by the
+   minimum interned symbol id of each component; facts mentioning no
+   entity constant are replicated into every shard (they may join with
+   any component).
+3. :func:`merge_shard_results` reassembles per-shard planned-chase runs
+   into one :class:`~repro.engine.chase.ChaseResult` that is
+   byte-identical to a global ``planned`` run: shard records are
+   re-rounded against the global round timeline (a stratum's global round
+   count is the max over shards), interleaved within each (round, rule)
+   slot by the interned insertion sequence of their parent facts (the
+   naive enumeration order), and replayed into a fresh database built
+   from the original EDB so insertion sequences and the symbol table come
+   out exactly as the single-shard run would have produced them.
+
+Programs outside the safe fragment (existential rules, heads without an
+entity variable, bodies not connected through entity variables,
+unanchored negation, aggregates grouped only by data values, joins that
+mix entity and tag sorts) are reported as non-shardable; the engine
+falls back to single-shard ``planned`` and bumps the
+``engine.parallel_fallback`` counter rather than risk a wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..datalog.atoms import Atom, Fact
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.stratification import stratify
+from ..datalog.terms import Constant, Term, Variable
+from .chase import ChaseResult, ChaseStepRecord
+from .database import Database
+
+#: Position key: (predicate, argument index).
+Position = tuple[str, int]
+
+
+def _is_data_value(value: object) -> bool:
+    """Whether a constant value is *data* (numbers, booleans) rather than
+    an entity identifier.  Data values may coincide across components by
+    accident (two unrelated loans of 0.5) and therefore never drive
+    connectivity."""
+    return isinstance(value, (int, float, bool))
+
+
+def _is_entity_constant(term: Term) -> bool:
+    return isinstance(term, Constant) and not _is_data_value(term.value)
+
+
+@dataclass(frozen=True)
+class PartitionAnalysis:
+    """Verdict of the shard-safety analysis for (program, database).
+
+    Positions come in three sorts.  **Entity** positions hold component
+    identifiers — the values union-find groups on.  **Data** positions
+    hold numbers/booleans (loan amounts, shares); equal values across
+    components are coincidences, never links.  **Tag** positions hold
+    constants a rule head introduced (``Risk(c, e, "long")``) or the
+    non-numeric residue of mixed EDB columns — shared across every
+    component by construction, so they also must not drive connectivity.
+    ``non_entity_positions`` is data ∪ tag.
+    """
+
+    shardable: bool
+    #: Human-readable reasons the program is not shardable (empty when it is).
+    reasons: tuple[str, ...] = ()
+    #: Positions that may hold data (numeric/aggregate) values.
+    data_positions: frozenset[Position] = frozenset()
+    #: Positions that may hold head-introduced tag constants.
+    tag_positions: frozenset[Position] = frozenset()
+
+    @property
+    def non_entity_positions(self) -> frozenset[Position]:
+        return self.data_positions | self.tag_positions
+
+    def entity_variables(self, rule: Rule) -> frozenset[Variable]:
+        """Variables of ``rule`` bound at an entity position of the
+        positive body (the variables that anchor a match to a component).
+        """
+        flagged = self.non_entity_positions
+        found = set()
+        for atom in rule.body:
+            for index, term in enumerate(atom.terms):
+                if (
+                    isinstance(term, Variable)
+                    and (atom.predicate, index) not in flagged
+                ):
+                    found.add(term)
+        return frozenset(found)
+
+
+def _seed_position_flags(
+    database: Database,
+) -> tuple[set[Position], set[Position]]:
+    """The cross-shard probe: positions typed from the live instance.
+
+    Returns ``(data, tag)`` seed sets.  A position is data as soon as one
+    fact holds a numeric/boolean value there; a *mixed* column (numeric
+    and non-numeric values) is additionally tag-flagged — its non-numeric
+    values are not grouped by union-find, so they behave like tags.
+    """
+    holds_number: set[Position] = set()
+    holds_other: set[Position] = set()
+    for current in database.facts():
+        for index, term in enumerate(current.terms):
+            position = (current.predicate, index)
+            if isinstance(term, Constant) and _is_data_value(term.value):
+                holds_number.add(position)
+            else:
+                holds_other.add(position)
+    return set(holds_number), holds_number & holds_other
+
+
+def _propagate_position_flags(
+    program: Program, data: set[Position], tag: set[Position]
+) -> tuple[frozenset[Position], frozenset[Position]]:
+    """Propagate position sorts through rule heads to fixpoint.
+
+    A head position inherits the sort of the term it carries: numeric
+    constants, aggregate results and assignment targets are data;
+    non-numeric constants are tags; a variable is an entity iff it has at
+    least one entity-sort occurrence in the positive body (its binding is
+    then a component-local value), otherwise it forwards the flags of the
+    positions it reads from.  Flags only grow, so the loop terminates.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            computed = {
+                variable for variable, _expression in rule.assignments
+            }
+            if rule.aggregate is not None:
+                computed.add(rule.aggregate.result)
+            occurrences: dict[Variable, list[Position]] = {}
+            for atom in rule.body:
+                for index, term in enumerate(atom.terms):
+                    if isinstance(term, Variable):
+                        occurrences.setdefault(term, []).append(
+                            (atom.predicate, index)
+                        )
+            for index, term in enumerate(rule.head.terms):
+                position = (rule.head.predicate, index)
+                if isinstance(term, Constant):
+                    flag_data = _is_data_value(term.value)
+                    flag_tag = not flag_data
+                elif isinstance(term, Variable):
+                    if term in computed:
+                        flag_data, flag_tag = True, False
+                    else:
+                        sources = occurrences.get(term, [])
+                        if any(
+                            p not in data and p not in tag for p in sources
+                        ):
+                            # One entity-sort occurrence pins the binding
+                            # to a component-local value.
+                            flag_data = flag_tag = False
+                        else:
+                            flag_data = any(p in data for p in sources)
+                            flag_tag = any(p in tag for p in sources)
+                            if not sources:
+                                flag_tag = True
+                else:  # labelled nulls never appear in safe heads
+                    flag_data, flag_tag = False, True
+                if flag_data and position not in data:
+                    data.add(position)
+                    changed = True
+                if flag_tag and position not in tag:
+                    tag.add(position)
+                    changed = True
+    return frozenset(data), frozenset(tag)
+
+
+def _atom_entity_variables(
+    atom: Atom, flagged: frozenset[Position]
+) -> frozenset[Variable]:
+    return frozenset(
+        term
+        for index, term in enumerate(atom.terms)
+        if isinstance(term, Variable)
+        and (atom.predicate, index) not in flagged
+    )
+
+
+def _atom_floats(atom: Atom, flagged: frozenset[Position]) -> bool:
+    """Whether ``atom`` is exempt from connectivity: no entity variable
+    and no entity constant at an entity position, so (in a program that
+    passed the other checks) it can only match replicated facts — or
+    nothing at all."""
+    for index, term in enumerate(atom.terms):
+        if (atom.predicate, index) in flagged:
+            continue
+        if isinstance(term, Variable):
+            return False
+        if _is_entity_constant(term):
+            return False
+    return True
+
+
+def _check_rule(
+    rule: Rule,
+    data: frozenset[Position],
+    tag: frozenset[Position],
+    reasons: list[str],
+) -> None:
+    """Append every way ``rule`` breaks shard-safety to ``reasons``."""
+    flagged = data | tag
+    if rule.is_existential:
+        reasons.append(
+            f"rule {rule.label}: existential heads need globally ordered "
+            "null labels"
+        )
+        return
+
+    entity_vars = {
+        term
+        for atom in rule.body
+        for term in _atom_entity_variables(atom, flagged)
+    }
+
+    # Sort-mixing hazards.  An entity-bound variable probing a tag
+    # position (or a non-numeric constant sitting at a flagged position)
+    # could match a head-introduced tag that collides with an entity
+    # name — the matched fact's component is then unknowable statically.
+    # (Entity variables at pure-data positions are fine: entity values
+    # are non-numeric, so such a join is empty everywhere.)
+    for atom in (*rule.body, *rule.negated):
+        for index, term in enumerate(atom.terms):
+            position = (atom.predicate, index)
+            if (
+                isinstance(term, Variable)
+                and term in entity_vars
+                and position in tag
+            ):
+                reasons.append(
+                    f"rule {rule.label}: entity variable {term} also reads "
+                    f"the tag position {atom.predicate}[{index}] "
+                    "(value-collision risk across shards)"
+                )
+                return
+            if (
+                _is_entity_constant(term)
+                and position in flagged
+            ):
+                reasons.append(
+                    f"rule {rule.label}: constant {term} probes the "
+                    f"non-entity position {atom.predicate}[{index}]; the "
+                    "matched fact's component is not derivable"
+                )
+                return
+
+    # Head: at least one entity variable — two shards can then never
+    # derive the same fact, which the merge relies on.  Tag constants in
+    # the head are fine; they were flagged by the propagation above and
+    # consumers are vetted against them.
+    head_entities = {
+        term
+        for index, term in enumerate(rule.head.terms)
+        if isinstance(term, Variable)
+        and (rule.head.predicate, index) not in flagged
+        and term in entity_vars
+    }
+    if not head_entities:
+        reasons.append(
+            f"rule {rule.label}: head carries no entity variable; "
+            "identical facts could be derived in two shards"
+        )
+        return
+
+    # Body: atoms carrying entity variables must form one connected
+    # component through shared entity variables (floating atoms match
+    # only replicated facts).  An atom anchored solely by an entity
+    # constant cannot be tied to the rest of the match.
+    anchored: list[frozenset[Variable]] = []
+    for atom in rule.body:
+        atom_entities = _atom_entity_variables(atom, flagged)
+        if atom_entities:
+            anchored.append(atom_entities)
+        elif not _atom_floats(atom, flagged):
+            reasons.append(
+                f"rule {rule.label}: body atom {atom} is anchored only by "
+                "an entity constant"
+            )
+            return
+    if anchored:
+        reached = set(anchored[0])
+        frontier = True
+        remaining = list(anchored[1:])
+        while frontier and remaining:
+            frontier = False
+            for atom_entities in list(remaining):
+                if atom_entities & reached:
+                    reached.update(atom_entities)
+                    remaining.remove(atom_entities)
+                    frontier = True
+        if remaining:
+            reasons.append(
+                f"rule {rule.label}: body is not connected through entity "
+                "variables (a match could span two components)"
+            )
+            return
+
+    # Negation: each negated atom must be anchored to the match's
+    # component by a positive entity variable (or float) — otherwise the
+    # shard-local absence check is not the global one.
+    for negated in rule.negated:
+        if _atom_floats(negated, flagged):
+            continue
+        if not (_atom_entity_variables(negated, flagged) & entity_vars):
+            if any(_is_entity_constant(term) for term in negated.terms):
+                reasons.append(
+                    f"rule {rule.label}: negated atom {negated} is anchored "
+                    "only by an entity constant"
+                )
+            else:
+                reasons.append(
+                    f"rule {rule.label}: negated atom {negated} shares no "
+                    "entity variable with the positive body"
+                )
+            return
+
+    # Aggregation: the group key must include an entity variable, or one
+    # global group would span every shard.  The key is the group-by set
+    # plus any body variable a post-aggregation condition fixes —
+    # mirroring the engine's own key construction.
+    if rule.aggregate is not None:
+        key_vars = list(rule.aggregate.group_by)
+        for condition in rule.conditions:
+            variables = condition.variables()
+            if rule.aggregate.result not in variables:
+                continue
+            for variable in sorted(variables, key=lambda v: v.name):
+                if variable != rule.aggregate.result and variable not in key_vars:
+                    key_vars.append(variable)
+        if not any(variable in entity_vars for variable in key_vars):
+            reasons.append(
+                f"rule {rule.label}: aggregate group key has no entity "
+                "variable (one group would span all shards)"
+            )
+
+
+def analyze_program(
+    program: Program, database: Database
+) -> PartitionAnalysis:
+    """Decide shard-safety of ``program`` over ``database``.
+
+    Pure analysis — no chase work; cost is linear in |EDB| + |rules|
+    times the typing fixpoint (bounded by the number of positions).
+    """
+    seed_data, seed_tag = _seed_position_flags(database)
+    data, tag = _propagate_position_flags(program, seed_data, seed_tag)
+    reasons: list[str] = []
+    for rule in program.rules:
+        _check_rule(rule, data, tag, reasons)
+    return PartitionAnalysis(
+        shardable=not reasons,
+        reasons=tuple(reasons),
+        data_positions=data,
+        tag_positions=tag,
+    )
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Partition:
+    """The EDB split into shards (component order is deterministic:
+    ascending minimum interned symbol id)."""
+
+    #: Per-shard fact tuples, each preserving the original EDB order;
+    #: replicated (entity-free) facts appear in every shard.
+    shards: tuple[tuple[Fact, ...], ...]
+    #: Facts replicated into every shard (no entity constants).
+    replicated: tuple[Fact, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.shards)
+
+
+class _UnionFind:
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        parent = self.parent.setdefault(item, item)
+        while parent != item:
+            grandparent = self.parent[parent]
+            self.parent[item] = grandparent
+            item, parent = parent, grandparent
+        return item
+
+    def union(self, first: int, second: int) -> None:
+        root_first, root_second = self.find(first), self.find(second)
+        if root_first != root_second:
+            # Deterministic representative: the smaller interned id wins,
+            # which is also each component's ordering key.
+            if root_second < root_first:
+                root_first, root_second = root_second, root_first
+            self.parent[root_second] = root_first
+
+
+def partition_database(
+    database: Database, analysis: PartitionAnalysis | None = None
+) -> Partition:
+    """Split the EDB into weakly-connected components over shared entity
+    constants.  ``analysis`` refines entity detection with the typed
+    positions (a numeric-looking value at an entity position stays an
+    entity); without it, any non-data constant is an entity.
+    """
+    flagged = (
+        analysis.non_entity_positions if analysis is not None else frozenset()
+    )
+    symbols = database.symbols
+    union = _UnionFind()
+    fact_entities: list[tuple[Fact, list[int]]] = []
+    for current in database.facts():
+        ids: list[int] = []
+        for index, term in enumerate(current.terms):
+            if (current.predicate, index) in flagged:
+                continue
+            if _is_entity_constant(term):
+                symbol_id = symbols.lookup(term)
+                if symbol_id is not None:
+                    ids.append(symbol_id)
+        fact_entities.append((current, ids))
+        for symbol_id in ids[1:]:
+            union.union(ids[0], symbol_id)
+        if ids:
+            union.find(ids[0])
+
+    components: dict[int, list[Fact]] = {}
+    replicated: list[Fact] = []
+    for current, ids in fact_entities:
+        if not ids:
+            replicated.append(current)
+            continue
+        components.setdefault(union.find(ids[0]), []).append(current)
+
+    ordered_roots = sorted(components)
+    shards = []
+    for root in ordered_roots:
+        if replicated:
+            # Replicated facts keep their original interleaving with the
+            # component's own facts so shard-local insertion order stays a
+            # subsequence of the global order.
+            members = set(map(id, components[root]))
+            merged = [
+                current for current, ids in fact_entities
+                if not ids or id(current) in members
+            ]
+            shards.append(tuple(merged))
+        else:
+            shards.append(tuple(components[root]))
+    if not shards and replicated:
+        shards = [tuple(replicated)]
+    return Partition(shards=tuple(shards), replicated=tuple(replicated))
+
+
+# ----------------------------------------------------------------------
+# Per-shard execution payloads
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardOutcome:
+    """The picklable residue of one shard's planned chase run."""
+
+    records: list[ChaseStepRecord]
+    rounds_per_stratum: list[int]
+    delta_sizes: list[int]
+    superseded: tuple[Fact, ...]
+    facts_deduplicated: int
+    plans: dict[str, dict]
+    plans_compiled: int
+    kernels_compiled: int
+    kernel_compile_s: float
+
+
+def run_shard(
+    program: Program, facts: tuple[Fact, ...], max_rounds: int
+) -> ShardOutcome:
+    """Chase one shard with the planned strategy and trim the result to
+    its picklable merge inputs.  Constraints are stripped — violations
+    are enumerated once, on the merged instance, to keep their global
+    order."""
+    from .chase import ChaseEngine
+
+    shard_program = (
+        replace(program, constraints=(), schema={})
+        if program.constraints else program
+    )
+    result = ChaseEngine(max_rounds=max_rounds, strategy="planned").run(
+        shard_program, Database(facts)
+    )
+    stats = result.stats
+    return ShardOutcome(
+        records=list(result.records),
+        rounds_per_stratum=list(stats.rounds_per_stratum),
+        delta_sizes=list(stats.delta_sizes),
+        superseded=tuple(result.superseded),
+        facts_deduplicated=stats.facts_deduplicated,
+        plans={label: dict(entry) for label, entry in stats.plans.items()},
+        plans_compiled=stats.plans_compiled,
+        kernels_compiled=stats.kernels_compiled,
+        kernel_compile_s=stats.kernel_compile_s,
+    )
+
+
+def _run_shard_payload(
+    payload: tuple[Program, tuple[Fact, ...], int]
+) -> ShardOutcome:
+    """Module-level process-pool entry point (spawn-picklable)."""
+    program, facts, max_rounds = payload
+    return run_shard(program, facts, max_rounds)
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Slot:
+    """Sort identity of one shard record in the global timeline."""
+
+    stratum: int
+    round_in_stratum: int
+    rule_position: int
+    shard: int
+    local_index: int
+    record: ChaseStepRecord = field(compare=False)
+
+
+def _rule_positions(program: Program) -> dict[str, tuple[int, int]]:
+    """label -> (stratum index, position within the stratum's rule group),
+    the order rules execute in within a round."""
+    if program.has_negation:
+        groups = stratify(program).strata
+    else:
+        groups = (program.rules,)
+    positions: dict[str, tuple[int, int]] = {}
+    for stratum_index, rules in enumerate(groups):
+        for rule_index, rule in enumerate(rules):
+            positions[rule.label] = (stratum_index, rule_index)
+    return positions
+
+
+def _annotate(
+    outcome: ShardOutcome,
+    shard: int,
+    positions: dict[str, tuple[int, int]],
+) -> list[_Slot]:
+    offsets = [0]
+    for rounds in outcome.rounds_per_stratum:
+        offsets.append(offsets[-1] + rounds)
+    slots = []
+    for local_index, record in enumerate(outcome.records):
+        stratum, _rule_index = positions[record.rule.label]
+        slots.append(
+            _Slot(
+                stratum=stratum,
+                round_in_stratum=record.round - offsets[stratum],
+                rule_position=positions[record.rule.label][1],
+                shard=shard,
+                local_index=local_index,
+                record=record,
+            )
+        )
+    return slots
+
+
+def merge_shard_results(
+    program: Program,
+    database: Database,
+    outcomes: list[ShardOutcome],
+) -> ChaseResult:
+    """Reassemble per-shard runs into one global-order ChaseResult.
+
+    Within one (stratum, round, rule) slot the global planned/naive run
+    enumerates matches in lexicographic order of the matched body facts'
+    insertion sequences; shard-local record order is a subsequence of
+    that, so interleaving shards by each record's parent-sequence tuple
+    (contributors' first match for aggregates — the group-appearance
+    order) reproduces the global record order exactly.  Replaying the
+    interleaved records into a copy of the original EDB then reproduces
+    the global insertion sequences and symbol interning order, which is
+    what downstream provenance and ``repro-db/1`` snapshots key on.
+    """
+    working = database.copy()
+    result = ChaseResult(program=program, database=working)
+    stats = result.stats
+    positions = _rule_positions(program)
+
+    strata_counts = {len(o.rounds_per_stratum) for o in outcomes}
+    assert len(strata_counts) == 1, "shards must share the stratum layout"
+    num_strata = strata_counts.pop()
+    global_rounds = [
+        max(o.rounds_per_stratum[t] for o in outcomes)
+        for t in range(num_strata)
+    ]
+    global_offsets = [0]
+    for rounds in global_rounds:
+        global_offsets.append(global_offsets[-1] + rounds)
+
+    slots: list[_Slot] = []
+    for shard, outcome in enumerate(outcomes):
+        slots.extend(_annotate(outcome, shard, positions))
+
+    # Group records by execution slot, then replay slots in order; within
+    # a slot, order by the parents' global insertion sequences (computed
+    # against the instance as replayed so far — parents always precede
+    # their record).
+    grouped: dict[tuple[int, int, int], list[_Slot]] = {}
+    for slot in slots:
+        grouped.setdefault(
+            (slot.stratum, slot.round_in_stratum, slot.rule_position), []
+        ).append(slot)
+
+    rules_by_label = {rule.label: rule for rule in program.rules}
+
+    def match_key(slot: _Slot) -> tuple[int, ...]:
+        record = slot.record
+        parents = (
+            record.contributors[0].facts
+            if record.contributors else record.parents
+        )
+        return tuple(working.sequence(parent) for parent in parents)
+
+    for key in sorted(grouped):
+        stratum, round_in_stratum, _rule_position = key
+        group = grouped[key]
+        group.sort(key=lambda slot: (match_key(slot), slot.shard))
+        global_round = global_offsets[stratum] + round_in_stratum
+        for slot in group:
+            record = slot.record
+            added = working.add(record.fact)
+            assert added, (
+                f"shard merge re-derived {record.fact}; "
+                "the program is not shard-safe"
+            )
+            merged = replace(
+                record,
+                index=len(result.records),
+                round=global_round,
+                rule=rules_by_label[record.rule.label],
+            )
+            result.records.append(merged)
+            result.derivation[merged.fact] = merged
+            stats.record_firing(merged.rule.label, merged.fact.predicate)
+
+    for outcome in outcomes:
+        result.superseded.update(outcome.superseded)
+
+    # Stats: global rounds are per-stratum maxima; per-round deltas sum
+    # across shards (a shard past its own fixpoint contributes zero).
+    result.rounds = sum(global_rounds)
+    stats.rounds = result.rounds
+    stats.strata = num_strata
+    stats.rounds_per_stratum = list(global_rounds)
+    merged_deltas: list[int] = []
+    shard_offsets = []
+    for outcome in outcomes:
+        offsets = [0]
+        for rounds in outcome.rounds_per_stratum:
+            offsets.append(offsets[-1] + rounds)
+        shard_offsets.append(offsets)
+    for stratum in range(num_strata):
+        for round_in_stratum in range(1, global_rounds[stratum] + 1):
+            total = 0
+            for shard, outcome in enumerate(outcomes):
+                if round_in_stratum > outcome.rounds_per_stratum[stratum]:
+                    continue
+                index = shard_offsets[shard][stratum] + round_in_stratum - 1
+                if index < len(outcome.delta_sizes):
+                    total += outcome.delta_sizes[index]
+            merged_deltas.append(total)
+    stats.delta_sizes = merged_deltas
+    stats.facts_deduplicated = sum(o.facts_deduplicated for o in outcomes)
+    stats.plans_compiled = sum(o.plans_compiled for o in outcomes)
+    stats.kernels_compiled = sum(o.kernels_compiled for o in outcomes)
+    stats.kernel_compile_s = sum(o.kernel_compile_s for o in outcomes)
+    for outcome in outcomes:
+        for label, entry in outcome.plans.items():
+            held = stats.plans.setdefault(label, {})
+            for name, value in entry.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    base = held.get(name, 0)
+                    held[name] = (
+                        base + value
+                        if isinstance(base, (int, float)) else value
+                    )
+                else:
+                    held.setdefault(name, value)
+    return result

@@ -191,6 +191,20 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _cooldown_remaining_locked(self) -> float:
+        if self._state != OPEN:
+            return 0.0
+        return max(
+            0.0, self.cooldown_s - (self._clock() - self._opened_at)
+        )
+
+    def cooldown_remaining_s(self) -> float:
+        """Seconds until an open breaker allows its half-open probe
+        (0.0 whenever the breaker is not open)."""
+        with self._lock:
+            self._tick_locked()
+            return self._cooldown_remaining_locked()
+
     def snapshot(self) -> dict:
         with self._lock:
             self._tick_locked()
@@ -200,6 +214,7 @@ class CircuitBreaker:
                 "state": self._state,
                 "window": len(outcomes),
                 "failures_in_window": outcomes.count(False),
+                "cooldown_remaining_s": self._cooldown_remaining_locked(),
             }
 
 

@@ -43,6 +43,14 @@ from .protocol import (
     update_payload,
     whynot_payload,
 )
+from .procpool import ProcessWorkerPool
+from .routes import (
+    PARSERS,
+    serve_batch,
+    serve_explain,
+    serve_session_request,
+    serve_whynot,
+)
 from .server import (
     DEFAULT_SLO_CONFIG,
     ExplanationServer,
@@ -57,6 +65,8 @@ __all__ = [
     "DEFAULT_SLO_CONFIG",
     "ExplainRequest",
     "ExplanationServer",
+    "PARSERS",
+    "ProcessWorkerPool",
     "ProtocolError",
     "SERVE_FORMAT",
     "ServeConfig",
@@ -74,6 +84,10 @@ __all__ = [
     "parse_explain_request",
     "parse_update_request",
     "parse_whynot_request",
+    "serve_batch",
+    "serve_explain",
+    "serve_session_request",
+    "serve_whynot",
     "update_payload",
     "whynot_payload",
 ]

@@ -73,9 +73,12 @@ class AdmissionController:
         if self.breaker.state == OPEN:
             self.metrics.incr("serve.shed_breaker")
             obs.flight_event("shed", reason="breaker_open")
+            # Retry after the breaker's *remaining* cooldown, not the
+            # full one — a request shed 25s into a 30s cooldown should
+            # come back in 5s, not 30.
             raise ShedRequest(
                 "circuit open (sustained SLO breach); backing off",
-                max(self.retry_after_s, self.breaker.cooldown_s),
+                max(self.retry_after_s, self.breaker.cooldown_remaining_s()),
             )
         with self._lock:
             if self._admitted >= self.limit:

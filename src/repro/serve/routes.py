@@ -1,0 +1,137 @@
+"""Backend-agnostic request serving: parse + serve one session request.
+
+The HTTP server, the thread-backed :class:`~repro.serve.workers.WorkerPool`
+and the process-backed :class:`~repro.serve.procpool.ProcessWorkerPool`
+all answer the same four routes with the same canonical-JSON payloads.
+This module is the single definition of that behaviour: a route-name →
+parser table plus one function per route turning a parsed request and a
+warm :class:`~repro.core.service.ExplanationSession` into an HTTP
+``(status, payload)`` pair.  Because worker processes import this module
+too, thread- and process-backend responses are byte-identical by
+construction — there is only one serializer to diverge from.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..core.service import BatchOutcome, ExplanationSession
+from ..obs.metrics import ServiceMetrics
+from ..resilience.policy import Deadline, DeadlineExceeded
+from .protocol import (
+    BatchRequest,
+    ExplainRequest,
+    WhyNotRequest,
+    batch_payload,
+    error_payload,
+    explanation_payload,
+    parse_batch_request,
+    parse_explain_request,
+    parse_update_request,
+    parse_whynot_request,
+    whynot_payload,
+)
+
+#: Route name → body parser.  ``update`` parses here like the others but
+#: is served by the pool itself (it targets every worker, not one).
+PARSERS = {
+    "explain": parse_explain_request,
+    "explain_batch": parse_batch_request,
+    "whynot": parse_whynot_request,
+    "update": parse_update_request,
+}
+
+
+def _deadline(requested: float | None, default_deadline_s: float) -> Deadline:
+    budget = requested if requested is not None else default_deadline_s
+    return Deadline(budget)
+
+
+def serve_explain(
+    session: ExplanationSession,
+    request: ExplainRequest,
+    *,
+    default_deadline_s: float,
+    metrics: ServiceMetrics,
+) -> tuple[int, dict]:
+    deadline = _deadline(request.deadline_s, default_deadline_s)
+    try:
+        deadline.check("explain request admission")
+        explanation = session.explain(
+            request.query, prefer_enhanced=request.prefer_enhanced
+        )
+        # Work that *finished* is returned even if the budget ran out
+        # meanwhile — computed results are never discarded.
+        return 200, explanation_payload(explanation, audit=request.audit)
+    except DeadlineExceeded as error:
+        metrics.incr("serve.deadline_exceeded")
+        obs.flight_event("deadline_exceeded", where="explain")
+        return 504, error_payload("deadline_exceeded", str(error))
+    except KeyError as error:
+        return 404, error_payload(
+            "not_derived",
+            f"{request.query} was not derived: {error}",
+        )
+
+
+def serve_batch(
+    session: ExplanationSession,
+    request: BatchRequest,
+    *,
+    default_deadline_s: float,
+    metrics: ServiceMetrics,
+) -> tuple[int, dict]:
+    deadline = _deadline(request.deadline_s, default_deadline_s)
+    outcomes = session.explain_batch(
+        list(request.queries), deadline=deadline,
+        prefer_enhanced=request.prefer_enhanced,
+    )
+    assert all(isinstance(o, BatchOutcome) for o in outcomes)
+    missed = sum(
+        1 for outcome in outcomes
+        if outcome.status == BatchOutcome.STATUS_DEADLINE
+    )
+    if missed:
+        metrics.incr("serve.deadline_exceeded")
+        obs.flight_event(
+            "deadline_exceeded", where="explain_batch", missed=missed
+        )
+        # 504 with a partial-result body: the served prefix rides along
+        # so the client keeps every explanation the budget did cover.
+        return 504, batch_payload(outcomes, partial=True)
+    return 200, batch_payload(outcomes)
+
+
+def serve_whynot(
+    session: ExplanationSession,
+    request: WhyNotRequest,
+    *,
+    default_deadline_s: float,
+    metrics: ServiceMetrics,
+) -> tuple[int, dict]:
+    answer = session.why_not(request.query)
+    return 200, whynot_payload(answer)
+
+
+def serve_session_request(
+    session: ExplanationSession,
+    request: ExplainRequest | BatchRequest | WhyNotRequest,
+    *,
+    default_deadline_s: float,
+    metrics: ServiceMetrics,
+) -> tuple[int, dict]:
+    """Serve one parsed session-scoped request (not ``update``)."""
+    if isinstance(request, ExplainRequest):
+        return serve_explain(
+            session, request,
+            default_deadline_s=default_deadline_s, metrics=metrics,
+        )
+    if isinstance(request, BatchRequest):
+        return serve_batch(
+            session, request,
+            default_deadline_s=default_deadline_s, metrics=metrics,
+        )
+    assert isinstance(request, WhyNotRequest)
+    return serve_whynot(
+        session, request,
+        default_deadline_s=default_deadline_s, metrics=metrics,
+    )

@@ -47,32 +47,19 @@ from typing import Callable, Sequence
 
 from .. import obs
 from ..apps.base import KGApplication
-from ..core.service import BatchOutcome, ExplanationSession
 from ..engine.database import Database
 from ..io import dumps_database
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import ServiceMetrics
 from ..obs.slo import SLOEvaluator
 from ..resilience.breaker import OPEN, CircuitBreaker
-from ..resilience.policy import Deadline, DeadlineExceeded
 from .admission import AdmissionController, ShedRequest
+from .procpool import ProcessWorkerPool
 from .protocol import (
     SERVE_FORMAT,
-    BatchRequest,
-    ExplainRequest,
     ProtocolError,
-    UpdateRequest,
-    WhyNotRequest,
-    batch_payload,
     encode_body,
     error_payload,
-    explanation_payload,
-    parse_batch_request,
-    parse_explain_request,
-    parse_update_request,
-    parse_whynot_request,
-    update_payload,
-    whynot_payload,
 )
 from .workers import WorkerPool
 
@@ -114,6 +101,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0                      # 0 = ephemeral (tests, benchmarks)
     workers: int = 2
+    backend: str = "thread"            # "thread" | "process"
     queue_limit: int = 64              # admitted (in-flight + queued) bound
     default_deadline_s: float = 10.0   # per-request budget when unspecified
     retry_after_s: float = 1.0         # hint on queue sheds
@@ -165,7 +153,12 @@ class ExplanationServer:
             self.config.queue_limit, self.breaker, self.metrics,
             retry_after_s=self.config.retry_after_s,
         )
-        self.pool: WorkerPool | None = None
+        if self.config.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', "
+                f"got {self.config.backend!r}"
+            )
+        self.pool: WorkerPool | ProcessWorkerPool | None = None
         self.host = self.config.host
         self.port = self.config.port
         self._executor: ThreadPoolExecutor | None = None
@@ -182,12 +175,23 @@ class ExplanationServer:
     async def start(self) -> None:
         """Spin workers up and bind the listening socket."""
         if self.pool is None:
-            self.pool = WorkerPool(
-                self.application, self.snapshot,
-                workers=self.config.workers,
-                strategy=self.config.strategy,
-                llm=self.llm, metrics=self.metrics,
-            )
+            if self.config.backend == "process":
+                self.pool = ProcessWorkerPool(
+                    self.application, self.snapshot,
+                    workers=self.config.workers,
+                    strategy=self.config.strategy,
+                    llm=self.llm, metrics=self.metrics,
+                    default_deadline_s=self.config.default_deadline_s,
+                    flight=self.flight,
+                )
+            else:
+                self.pool = WorkerPool(
+                    self.application, self.snapshot,
+                    workers=self.config.workers,
+                    strategy=self.config.strategy,
+                    llm=self.llm, metrics=self.metrics,
+                    default_deadline_s=self.config.default_deadline_s,
+                )
             self._executor = ThreadPoolExecutor(
                 max_workers=self.config.workers,
                 thread_name_prefix="repro-serve",
@@ -474,6 +478,8 @@ class ExplanationServer:
             "status": "shedding" if breaker["state"] == OPEN else "ok",
             "app": self.application.name,
             "strategy": self.config.strategy,
+            "backend": self.config.backend,
+            "breaker_cooldown_remaining_s": breaker["cooldown_remaining_s"],
             "workers": len(self.pool) if self.pool is not None else 0,
             "warm_start": (
                 self.pool.snapshot_stats() if self.pool is not None else None
@@ -544,114 +550,25 @@ class ExplanationServer:
     # Executor-side serving (runs on repro-serve worker threads)
     # ------------------------------------------------------------------
     def _execute(self, route: str, body: bytes) -> tuple[int, dict, str]:
-        """Parse, borrow a worker, serve; returns (status, payload, qid).
+        """Serve one routed request; returns (status, payload, qid).
 
         Runs entirely on an executor thread so the event loop never
         blocks on explanation work; the flight record is opened here and
         is therefore the thread's current record for the whole serve —
         the session's own nested records and cache counters land on it.
+        The pool is backend-blind: parsing and route semantics live in
+        :meth:`WorkerPool.serve` (and its process-backed counterpart),
+        shared with the worker processes so responses stay
+        byte-identical across backends.  A
+        :class:`~repro.serve.protocol.ProtocolError` propagates to
+        ``_dispatch`` (400 + ``serve.bad_requests``).
         """
-        parser = {
-            "explain": parse_explain_request,
-            "explain_batch": parse_batch_request,
-            "whynot": parse_whynot_request,
-            "update": parse_update_request,
-        }[route]
-        request = parser(body)  # ProtocolError propagates to _dispatch
         assert self.pool is not None
         with self.flight.record(f"serve.{route}") as record:
             query_id = record.query_id or ""
-            if isinstance(request, UpdateRequest):
-                # Updates target the whole pool, not one borrowed worker.
-                status, payload = self._serve_update(request, record)
-                record.set(http_status=status)
-                return status, payload, query_id
-
-            def task(session: ExplanationSession) -> tuple[int, dict]:
-                if isinstance(request, ExplainRequest):
-                    return self._serve_explain(session, request)
-                if isinstance(request, BatchRequest):
-                    return self._serve_batch(session, request)
-                assert isinstance(request, WhyNotRequest)
-                return self._serve_whynot(session, request)
-
-            status, payload = self.pool.run(task)
+            status, payload = self.pool.serve(route, body, record=record)
             record.set(http_status=status)
         return status, payload, query_id
-
-    def _deadline(self, requested: float | None) -> Deadline:
-        budget = (
-            requested if requested is not None
-            else self.config.default_deadline_s
-        )
-        return Deadline(budget)
-
-    def _serve_explain(
-        self, session: ExplanationSession, request: ExplainRequest
-    ) -> tuple[int, dict]:
-        deadline = self._deadline(request.deadline_s)
-        try:
-            deadline.check("explain request admission")
-            explanation = session.explain(
-                request.query, prefer_enhanced=request.prefer_enhanced
-            )
-            # Work that *finished* is returned even if the budget ran
-            # out meanwhile — computed results are never discarded.
-            return 200, explanation_payload(explanation, audit=request.audit)
-        except DeadlineExceeded as error:
-            self.metrics.incr("serve.deadline_exceeded")
-            obs.flight_event("deadline_exceeded", where="explain")
-            return 504, error_payload("deadline_exceeded", str(error))
-        except KeyError as error:
-            return 404, error_payload(
-                "not_derived",
-                f"{request.query} was not derived: {error}",
-            )
-
-    def _serve_batch(
-        self, session: ExplanationSession, request: BatchRequest
-    ) -> tuple[int, dict]:
-        deadline = self._deadline(request.deadline_s)
-        outcomes = session.explain_batch(
-            list(request.queries), deadline=deadline,
-            prefer_enhanced=request.prefer_enhanced,
-        )
-        assert all(isinstance(o, BatchOutcome) for o in outcomes)
-        missed = sum(
-            1 for outcome in outcomes
-            if outcome.status == BatchOutcome.STATUS_DEADLINE
-        )
-        if missed:
-            self.metrics.incr("serve.deadline_exceeded")
-            obs.flight_event(
-                "deadline_exceeded", where="explain_batch", missed=missed
-            )
-            # 504 with a partial-result body: the served prefix rides
-            # along so the client keeps every explanation the budget
-            # did cover.
-            return 504, batch_payload(outcomes, partial=True)
-        return 200, batch_payload(outcomes)
-
-    def _serve_whynot(
-        self, session: ExplanationSession, request: WhyNotRequest
-    ) -> tuple[int, dict]:
-        answer = session.why_not(request.query)
-        return 200, whynot_payload(answer)
-
-    def _serve_update(
-        self, request: UpdateRequest, record
-    ) -> tuple[int, dict]:
-        assert self.pool is not None
-        record.set(adds=len(request.adds), retracts=len(request.retracts))
-        try:
-            outcome = self.pool.update(request.adds, request.retracts)
-        except ValueError as error:
-            # A semantically invalid delta (e.g. retracting a derived
-            # fact) is the client's mistake, not server unhealth.
-            self.metrics.incr("serve.bad_requests")
-            return 400, error_payload("bad_request", str(error))
-        record.set(mode=outcome.mode)
-        return 200, update_payload(outcome)
 
 
 class ServerHandle:

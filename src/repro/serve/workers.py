@@ -45,6 +45,9 @@ from ..engine.incremental import (
 )
 from ..io import dumps_database, loads_database
 from ..obs.metrics import ServiceMetrics
+from .. import obs
+from .protocol import UpdateRequest, error_payload, update_payload
+from .routes import PARSERS, serve_session_request
 
 T = TypeVar("T")
 
@@ -60,17 +63,20 @@ class WorkerPool:
         strategy: str = "planned",
         llm: object | None = None,
         metrics: ServiceMetrics | None = None,
+        default_deadline_s: float = 10.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.application = application
         self.snapshot = snapshot
         self.strategy = strategy
+        self.default_deadline_s = default_deadline_s
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.service = ExplanationService(
             llm=llm, metrics=self.metrics, max_workers=workers,
         )
         self.warm_start_s: list[float] = []
+        self.boot_rows: list[dict] = []
         self._workers: list[ExplanationSession] = []
         self._available: "queue.SimpleQueue[ExplanationSession]" = (
             queue.SimpleQueue()
@@ -95,15 +101,34 @@ class WorkerPool:
     # Spin-up
     # ------------------------------------------------------------------
     def _spin_up_one(self) -> None:
+        index = len(self._workers)
         started = time.perf_counter()
         database = loads_database(self.snapshot)
+        loaded = time.perf_counter()
         session = self.service.session(
             self.application, database, strategy=self.strategy
         )
         session.result.index  # materialize before taking traffic
-        elapsed = time.perf_counter() - started
+        done = time.perf_counter()
+        # Two phases behind the historical warm-start total: rehydrating
+        # the repro-db/1 snapshot, then building the session (compile
+        # cache hit or miss, chase, provenance index).
+        snapshot_load_s = loaded - started
+        boot_s = done - loaded
+        elapsed = done - started
         self.warm_start_s.append(elapsed)
+        self.boot_rows.append({
+            "worker": index,
+            "snapshot_load_s": round(snapshot_load_s, 6),
+            "boot_s": round(boot_s, 6),
+            "total_s": round(elapsed, 6),
+        })
+        self.metrics.observe("serve.worker_snapshot_load", snapshot_load_s)
+        self.metrics.observe("serve.worker_boot", boot_s)
         self.metrics.observe("serve.worker_warm_start", elapsed)
+        obs.get_profiler().record(
+            f"serve.worker_boot[{index}]", wall_s=elapsed
+        )
         self._workers.append(session)
         self._available.put(session)
 
@@ -130,6 +155,50 @@ class WorkerPool:
             return task(worker)
         finally:
             self._available.put(worker)
+
+    def serve(
+        self,
+        route: str,
+        body: bytes,
+        record=None,
+        timeout_s: float = 30.0,
+    ) -> tuple[int, dict]:
+        """Parse ``body`` for ``route`` and serve it: (status, payload).
+
+        The backend-agnostic entry point the HTTP server calls — the
+        process-backed pool overrides it to ship the same work over a
+        pipe.  A :class:`~repro.serve.protocol.ProtocolError` from the
+        parser propagates (the server answers 400); ``update`` targets
+        the whole pool, every other route borrows one worker.
+        """
+        request = PARSERS[route](body)
+        if isinstance(request, UpdateRequest):
+            if record is not None:
+                record.set(
+                    adds=len(request.adds), retracts=len(request.retracts)
+                )
+            try:
+                outcome = self.update(
+                    request.adds, request.retracts, timeout_s=timeout_s
+                )
+            except ValueError as error:
+                # A semantically invalid delta (e.g. retracting a
+                # derived fact) is the client's mistake, not server
+                # unhealth.
+                self.metrics.incr("serve.bad_requests")
+                return 400, error_payload("bad_request", str(error))
+            if record is not None:
+                record.set(mode=outcome.mode)
+            return 200, update_payload(outcome)
+
+        def task(session: ExplanationSession) -> tuple[int, dict]:
+            return serve_session_request(
+                session, request,
+                default_deadline_s=self.default_deadline_s,
+                metrics=self.metrics,
+            )
+
+        return self.run(task, timeout_s=timeout_s)
 
     # ------------------------------------------------------------------
     # Live updates
@@ -201,6 +270,7 @@ class WorkerPool:
             "strategy": self.strategy,
             "warm_start_s": [round(s, 6) for s in self.warm_start_s],
             "warm_start_max_s": round(max(self.warm_start_s), 6),
+            "boot_rows": [dict(row) for row in self.boot_rows],
             "fingerprint": (
                 self._workers[0].compiled.fingerprint
                 if self._workers else None

@@ -1,0 +1,267 @@
+"""Shard-parallel chase: partition analysis, determinism, fallbacks.
+
+The contract under test (DESIGN.md §14): ``strategy="parallel"``
+partitions the EDB by weakly-connected component, runs the planned
+kernels per shard, and merges to a :class:`ChaseResult` byte-identical
+to single-shard ``planned`` — or falls back to single-shard (with the
+``engine.parallel_fallback`` counter) rather than risk a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.figures import (
+    figure8_instance,
+    figure12_control_instance,
+    figure12_stress_instance,
+    figure15_instance,
+)
+from repro.apps.generators import (
+    close_links_common_control,
+    control_with_steps,
+    stress_with_steps,
+)
+from repro.datalog.atoms import Atom, fact
+from repro.datalog.conditions import Comparison
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine import (
+    ChaseEngine,
+    Database,
+    analyze_program,
+    partition_database,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro import obs
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+
+def _suffix(term, copy: int):
+    if isinstance(term, Constant) and isinstance(term.value, str):
+        return Constant(f"{term.value}@{copy}")
+    return term
+
+
+def union_of(instance_factory, copies: int):
+    """Disjoint union of ``copies`` renamed copies of one scenario.
+
+    String constants get a ``@<copy>`` suffix, so the copies share no
+    entities and the EDB decomposes into ``copies`` weakly-connected
+    components.
+    """
+    base = instance_factory()
+    facts = []
+    for copy in range(copies):
+        for f in base.database.facts():
+            facts.append(
+                Atom(f.predicate, tuple(_suffix(t, copy) for t in f.terms))
+            )
+    return base.application.program, Database(facts)
+
+
+def _result_signature(result):
+    """Everything parity means: records, order, stats, violations."""
+    return (
+        tuple(
+            (
+                record.index,
+                record.round,
+                record.rule.label,
+                str(record.fact),
+                tuple(str(parent) for parent in record.parents),
+                tuple(
+                    (str(contribution.value),
+                     tuple(str(f) for f in contribution.facts))
+                    for contribution in record.contributors
+                ),
+            )
+            for record in result.records
+        ),
+        tuple(str(f) for f in result.database.facts()),
+        result.stats.rounds,
+        tuple(result.stats.rounds_per_stratum),
+        tuple(result.stats.delta_sizes),
+        dict(result.stats.rule_firings),
+        tuple(
+            (v.constraint.label, tuple(str(w) for w in v.witnesses))
+            for v in result.violations
+        ),
+        tuple(sorted((str(f) for f in result.superseded))),
+    )
+
+
+def assert_parity(program, database, processes=None):
+    planned = ChaseEngine(strategy="planned").run(program, database.copy())
+    parallel = ChaseEngine(strategy="parallel", processes=processes).run(
+        program, database.copy()
+    )
+    assert _result_signature(planned) == _result_signature(parallel)
+    return parallel
+
+
+# ----------------------------------------------------------------------
+# Analysis verdicts
+# ----------------------------------------------------------------------
+
+class TestAnalysis:
+    def test_bundled_apps_are_shardable(self):
+        for factory in (
+            figure8_instance, figure12_stress_instance,
+            figure12_control_instance, figure15_instance,
+            close_links_common_control,
+            lambda: control_with_steps(4),
+            lambda: stress_with_steps(4),
+        ):
+            instance = factory()
+            analysis = analyze_program(
+                instance.application.program, instance.database
+            )
+            assert analysis.shardable, analysis.reasons
+
+    def test_stress_tag_constants_in_heads_are_safe(self):
+        # sigma5/sigma6 derive Risk(c, el, "long"/"short"): the tag
+        # constant rides along with an entity variable, which the
+        # three-sort analysis must accept.
+        instance = stress_with_steps(3)
+        analysis = analyze_program(
+            instance.application.program, instance.database
+        )
+        assert analysis.shardable
+        assert analysis.tag_positions or analysis.data_positions
+
+    def test_existential_rule_is_unshardable(self):
+        rule = Rule(
+            label="r1",
+            body=(Atom.of("Edge", Variable("x"), Variable("y")),),
+            head=Atom.of("Blank", Variable("x"), Variable("z")),
+        )
+        program = Program(name="p", rules=(rule,), goal="Blank")
+        database = Database([fact("Edge", "a", "b")])
+        analysis = analyze_program(program, database)
+        assert not analysis.shardable
+        assert any("existential" in reason for reason in analysis.reasons)
+
+    def test_headless_entity_rule_is_unshardable(self):
+        # A head holding only a data variable would derive the same fact
+        # in every shard the value reaches — duplicate derivations.
+        rule = Rule(
+            label="r1",
+            body=(Atom.of("Owns", Variable("x"), Variable("w")),),
+            head=Atom.of("Weight", Variable("w")),
+        )
+        program = Program(name="p", rules=(rule,), goal="Weight")
+        database = Database([fact("Owns", "a", 0.5)])
+        analysis = analyze_program(program, database)
+        assert not analysis.shardable
+
+    def test_disconnected_body_is_unshardable(self):
+        rule = Rule(
+            label="r1",
+            body=(
+                Atom.of("Edge", Variable("x"), Variable("y")),
+                Atom.of("Edge", Variable("u"), Variable("v")),
+            ),
+            head=Atom.of("Pair", Variable("x"), Variable("u")),
+        )
+        program = Program(name="p", rules=(rule,), goal="Pair")
+        database = Database([fact("Edge", "a", "b"), fact("Edge", "c", "d")])
+        analysis = analyze_program(program, database)
+        assert not analysis.shardable
+        assert any("cross" in r or "connect" in r for r in analysis.reasons)
+
+
+# ----------------------------------------------------------------------
+# Partition shapes
+# ----------------------------------------------------------------------
+
+class TestPartition:
+    def test_single_component_is_one_shard(self):
+        instance = figure8_instance()
+        partition = partition_database(instance.database)
+        assert partition.count == 1
+
+    def test_union_decomposes_into_components(self):
+        program, database = union_of(lambda: control_with_steps(4), 3)
+        partition = partition_database(database)
+        assert partition.count == 3
+        total = sum(len(shard) for shard in partition.shards)
+        replicated = len(partition.replicated)
+        assert total == len(database.facts()) + replicated * (3 - 1)
+
+    def test_shards_preserve_insertion_order(self):
+        program, database = union_of(lambda: control_with_steps(3), 2)
+        partition = partition_database(database)
+        order = {str(f): i for i, f in enumerate(database.facts())}
+        for shard in partition.shards:
+            positions = [order[str(f)] for f in shard]
+            assert positions == sorted(positions)
+
+
+# ----------------------------------------------------------------------
+# Parity
+# ----------------------------------------------------------------------
+
+class TestParity:
+    @pytest.mark.parametrize("factory", [
+        figure8_instance, figure12_stress_instance,
+        figure12_control_instance, figure15_instance,
+        close_links_common_control,
+    ])
+    def test_bundled_scenarios(self, factory):
+        instance = factory()
+        assert_parity(instance.application.program, instance.database)
+
+    def test_multi_component_control_union(self):
+        program, database = union_of(lambda: control_with_steps(4), 5)
+        result = assert_parity(program, database)
+        assert result.stats.rounds > 0
+
+    def test_multi_component_stress_union(self):
+        program, database = union_of(lambda: stress_with_steps(3), 4)
+        assert_parity(program, database)
+
+    def test_multi_component_with_process_pool(self):
+        program, database = union_of(lambda: control_with_steps(3), 4)
+        assert_parity(program, database, processes=2)
+
+
+# ----------------------------------------------------------------------
+# Fallback behaviour
+# ----------------------------------------------------------------------
+
+class TestFallback:
+    def test_unshardable_program_falls_back_with_counter(self):
+        rule = Rule(
+            label="r1",
+            body=(
+                Atom.of("Edge", Variable("x"), Variable("y")),
+                Atom.of("Edge", Variable("u"), Variable("v")),
+            ),
+            head=Atom.of("Pair", Variable("x"), Variable("u")),
+        )
+        program = Program(name="p", rules=(rule,), goal="Pair")
+        database = Database([fact("Edge", "a", "b"), fact("Edge", "c", "d")])
+        registry = MetricsRegistry()
+        with obs.observed(metrics=registry):
+            parallel = ChaseEngine(strategy="parallel").run(
+                program, database.copy()
+            )
+        assert registry.counter_value("engine.parallel_fallback") == 1
+        planned = ChaseEngine(strategy="planned").run(
+            program, database.copy()
+        )
+        assert _result_signature(planned) == _result_signature(parallel)
+
+    def test_shardable_run_counts_shards(self):
+        program, database = union_of(lambda: control_with_steps(3), 3)
+        registry = MetricsRegistry()
+        with obs.observed(metrics=registry):
+            ChaseEngine(strategy="parallel").run(program, database)
+        assert registry.counter_value("engine.parallel_fallback") == 0
+        assert registry.counter_value("engine.parallel_runs") == 1
+        assert registry.gauge_value("engine.parallel_shards") == 3.0

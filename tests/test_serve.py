@@ -615,3 +615,333 @@ class TestUpdateEndpoint:
         payload = json.loads(data)
         assert payload["status"] == "shed"
         assert "circuit open" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes: integer Retry-After, breaker cooldown in /healthz,
+# per-worker boot telemetry
+# ----------------------------------------------------------------------
+
+class TestRetryAfterAndCooldown:
+    @pytest.fixture()
+    def shedding(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=1, strategy="planned",
+                breaker_window=4, breaker_min_calls=2,
+                breaker_cooldown_s=45.5,
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        with instance.run_in_thread():
+            yield instance
+
+    def test_retry_after_is_integer_ceil_of_remaining(self, shedding):
+        for _ in range(4):
+            shedding.breaker.observe_health(False)
+        status, headers, _data = _request(
+            shedding, "POST", "/explain", {"query": "Control(A, B)"}
+        )
+        assert status == 503
+        retry_after = headers["Retry-After"]
+        assert "." not in retry_after  # integer seconds, not a float
+        # ceil of the *remaining* cooldown (45.5s window, just opened).
+        assert 1 <= int(retry_after) <= 46
+
+    def test_healthz_surfaces_remaining_cooldown(self, shedding):
+        status, _headers, data = _request(shedding, "GET", "/healthz")
+        payload = json.loads(data)
+        assert status == 200
+        assert payload["breaker_cooldown_remaining_s"] == 0.0
+        for _ in range(4):
+            shedding.breaker.observe_health(False)
+        status, _headers, data = _request(shedding, "GET", "/healthz")
+        payload = json.loads(data)
+        assert payload["status"] == "shedding"
+        remaining = payload["breaker_cooldown_remaining_s"]
+        assert 0.0 < remaining <= 45.5
+        # The nested admission view reads its own clock a hair later.
+        nested = payload["admission"]["breaker"]["cooldown_remaining_s"]
+        assert abs(nested - remaining) < 0.5
+
+    def test_healthz_names_backend(self, server):
+        _status, _headers, data = _request(server, "GET", "/healthz")
+        payload = json.loads(data)
+        assert payload["backend"] == "thread"
+
+
+class TestWorkerBootTelemetry:
+    def test_boot_rows_in_healthz(self, server):
+        _status, _headers, data = _request(server, "GET", "/healthz")
+        rows = json.loads(data)["warm_start"]["boot_rows"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["worker"] == 0
+        assert row["snapshot_load_s"] >= 0.0
+        assert row["boot_s"] > 0.0
+        assert row["total_s"] >= row["boot_s"]
+
+    def test_boot_histograms_recorded(self, server):
+        for name in (
+            "serve.worker_snapshot_load", "serve.worker_boot",
+            "serve.worker_warm_start",
+        ):
+            histogram = server.metrics.find_histogram(name)
+            assert histogram is not None, name
+            assert histogram.count == 1
+
+
+# ----------------------------------------------------------------------
+# Process backend: byte parity, telemetry merge, update broadcast
+# ----------------------------------------------------------------------
+
+class TestProcessBackend:
+    @pytest.fixture(scope="class")
+    def proc_server(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=2, backend="process", strategy="planned",
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        with instance.run_in_thread():
+            yield instance
+
+    def test_healthz_reports_process_backend(self, proc_server):
+        status, _headers, data = _request(proc_server, "GET", "/healthz")
+        payload = json.loads(data)
+        assert status == 200
+        assert payload["backend"] == "process"
+        assert payload["workers"] == 2
+        rows = payload["warm_start"]["boot_rows"]
+        assert sorted(row["worker"] for row in rows) == [0, 1]
+
+    def test_explain_byte_parity_with_thread_backend(
+        self, proc_server, direct, scenario
+    ):
+        status, headers, served = _request(
+            proc_server, "POST", "/explain", {"query": str(scenario.target)}
+        )
+        assert status == 200
+        expected = encode_body(
+            explanation_payload(direct.explain(scenario.target))
+        )
+        assert served == expected
+        assert headers.get("X-Query-Id")
+
+    def test_whynot_byte_parity(self, proc_server, direct, scenario):
+        arity = scenario.target.arity
+        absent = "{}({})".format(
+            scenario.target.predicate,
+            ", ".join(f"Absentia{n}" for n in range(arity)),
+        )
+        status, _headers, served = _request(
+            proc_server, "POST", "/whynot", {"query": absent}
+        )
+        assert status == 200
+        expected = encode_body(
+            whynot_payload(direct.why_not(parse_fact(absent)))
+        )
+        assert served == expected
+
+    def test_malformed_body_is_400(self, proc_server):
+        connection = http.client.HTTPConnection(
+            proc_server.host, proc_server.port, timeout=30
+        )
+        try:
+            connection.request("POST", "/explain", body=b'{"nope": 1}')
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["status"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_worker_metrics_merge_into_parent(self, proc_server, scenario):
+        _request(
+            proc_server, "POST", "/explain", {"query": str(scenario.target)}
+        )
+        # Session-level counters only exist inside the worker processes;
+        # seeing them in the parent registry proves the delta shipping.
+        snapshot_doc = proc_server.metrics.registry_snapshot()
+        assert any(
+            name.startswith(("explain", "session", "serve.worker"))
+            for name in snapshot_doc["counters"]
+        ) or snapshot_doc["histograms"], snapshot_doc["counters"]
+        boot = proc_server.metrics.find_histogram("serve.worker_boot")
+        assert boot is not None and boot.count == 2
+
+    def test_worker_flight_records_ingested(self, proc_server, scenario):
+        _request(
+            proc_server, "POST", "/explain", {"query": str(scenario.target)}
+        )
+        prefixed = [
+            record.query_id
+            for record in proc_server.flight.records()
+            if record.query_id.startswith("w")
+        ]
+        assert prefixed, "expected w<i>- prefixed worker flight records"
+
+
+class TestProcessUpdateBroadcast:
+    @pytest.fixture()
+    def setup(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=2, backend="process", strategy="planned",
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        service = ExplanationService(llm=None)
+        mirror = service.session(
+            scenario.application, loads_database(snapshot),
+            strategy="planned",
+        )
+        try:
+            with instance.run_in_thread():
+                yield instance, mirror
+        finally:
+            service.shutdown()
+
+    def test_update_broadcasts_to_every_worker(self, setup):
+        instance, mirror = setup
+        adds = ["Company(Absentia0)", "Own(IrishBank, Absentia0, 0.9)"]
+        status, _headers, data = _request(
+            instance, "POST", "/update", {"adds": adds}
+        )
+        assert status == 200
+        assert json.loads(data)["mode"] == "incremental"
+        mirror.update(adds=[parse_fact(entry) for entry in adds])
+        derived = "Control(IrishBank, Absentia0)"
+        expected = encode_body(
+            explanation_payload(mirror.explain(parse_fact(derived)))
+        )
+        # Every worker process must serve the post-update state: with 2
+        # workers, 4 sequential requests hit both.
+        for _ in range(4):
+            status, _headers, served = _request(
+                instance, "POST", "/explain", {"query": derived}
+            )
+            assert status == 200
+            assert served == expected
+
+    def test_rejected_delta_leaves_every_worker_untouched(
+        self, setup, scenario
+    ):
+        instance, mirror = setup
+        status, _headers, data = _request(
+            instance, "POST", "/update",
+            {"retracts": ["Control(IrishBank, FondoItaliano)"]},
+        )
+        assert status == 400
+        assert "derived" in json.loads(data)["error"]
+        expected = encode_body(
+            explanation_payload(mirror.explain(scenario.target))
+        )
+        for _ in range(4):
+            status, _headers, served = _request(
+                instance, "POST", "/explain", {"query": str(scenario.target)}
+            )
+            assert status == 200
+            assert served == expected
+
+
+# ----------------------------------------------------------------------
+# POST /update racing keep-alive /explain connections
+# ----------------------------------------------------------------------
+
+class TestUpdateRacesKeepAlive:
+    """The drain lock must neither drop nor reorder in-flight responses:
+    every response on a keep-alive connection answers its own request,
+    and the pre-to-post-update transition is atomic (no response shows
+    pre-update state after one has shown post-update state)."""
+
+    @pytest.fixture()
+    def racing(self, scenario, snapshot):
+        instance = ExplanationServer(
+            scenario.application, snapshot=snapshot,
+            config=ServeConfig(
+                workers=2, strategy="planned",
+                slo_period_s=60.0, slo_interval_requests=10_000,
+            ),
+            llm=None,
+        )
+        with instance.run_in_thread():
+            yield instance
+
+    def test_update_does_not_drop_or_reorder_responses(
+        self, racing, scenario
+    ):
+        import threading as _threading
+
+        target = str(scenario.target)
+        # Pre-update: the target explains (200).  The update retracts
+        # the FrenchPLC edge, after which it must 404 as not_derived.
+        status, _headers, pre_body = _request(
+            racing, "POST", "/explain", {"query": target}
+        )
+        assert status == 200
+
+        results: dict[int, list] = {}
+        errors: list = []
+        started = _threading.Barrier(4)
+
+        def client(slot: int) -> None:
+            connection = http.client.HTTPConnection(
+                racing.host, racing.port, timeout=30
+            )
+            rows = results.setdefault(slot, [])
+            try:
+                started.wait(timeout=10)
+                for _ in range(10):
+                    status, _headers, data = _request(
+                        racing, "POST", "/explain", {"query": target},
+                        connection=connection,
+                    )
+                    rows.append((status, data))
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+            finally:
+                connection.close()
+
+        threads = [
+            _threading.Thread(target=client, args=(slot,))
+            for slot in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        started.wait(timeout=10)
+        status, _headers, data = _request(
+            racing, "POST", "/update",
+            {"retracts": ["Own(FrenchPLC, MadridCredit, 0.21)"]},
+        )
+        assert status == 200
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        for slot, rows in results.items():
+            assert len(rows) == 10, f"connection {slot} dropped responses"
+            seen_post = False
+            for status, data in rows:
+                if status == 200:
+                    # Pre-update state: exact bytes, and never after a
+                    # post-update response on the same ordered connection.
+                    assert data == pre_body
+                    assert not seen_post, (
+                        f"connection {slot} regressed to pre-update state"
+                    )
+                else:
+                    assert status == 404
+                    assert json.loads(data)["status"] == "not_derived"
+                    seen_post = True
+        # The update really landed: fresh requests see post-update state.
+        status, _headers, _data = _request(
+            racing, "POST", "/explain", {"query": target}
+        )
+        assert status == 404
